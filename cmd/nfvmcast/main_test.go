@@ -1,0 +1,75 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGEANT(t *testing.T) {
+	err := run([]string{
+		"-topology", "geant", "-source", "17", "-dest", "1,5,30",
+		"-chain", "NAT,Firewall",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWaxmanAllAlgorithms(t *testing.T) {
+	for _, alg := range []string{"appro", "oneserver", "nearest"} {
+		err := run([]string{
+			"-topology", "waxman", "-nodes", "40", "-seed", "3",
+			"-source", "0", "-dest", "5,9", "-algorithm", alg, "-k", "2",
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                // missing -dest
+		{"-dest", "1", "-topology", "x"},  // unknown topology
+		{"-dest", "1,banana"},             // bad destination list
+		{"-dest", "1", "-chain", "Bogus"}, // unknown function
+		{"-dest", "1", "-algorithm", "magic"},
+		{"-dest", "999"}, // destination out of range on GEANT
+		{"-nonsense-flag"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("case %d (%v): error expected", i, args)
+		}
+	}
+}
+
+func TestParseChainAliases(t *testing.T) {
+	c, err := parseChain("lb,ids")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("chain length = %d, want 2", c.Len())
+	}
+}
+
+func TestRunDOTOutput(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tree.dot")
+	err := run([]string{
+		"-topology", "geant", "-source", "17", "-dest", "1,5", "-dot", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "digraph pseudomulticast") {
+		t.Fatal("DOT output missing header")
+	}
+}

@@ -1,0 +1,116 @@
+// Command nfvsim regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	nfvsim -experiment fig5 [-requests 100] [-seed 42] [-k 3]
+//	nfvsim -experiment all [-reps 5] [-json results/]
+//	nfvsim -experiment fig8 -quick
+//	nfvsim -list
+//
+// Each experiment prints one aligned text table per figure panel; see
+// DESIGN.md §3 for the figure index and EXPERIMENTS.md for recorded
+// paper-vs-measured results.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nfvmcast/internal/sim"
+	"nfvmcast/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "nfvsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("nfvsim", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "", "experiment to run (or 'all')")
+		list       = fs.Bool("list", false, "list available experiments")
+		requests   = fs.Int("requests", 0, "requests per measurement point (default per-experiment)")
+		seed       = fs.Int64("seed", 42, "random seed")
+		k          = fs.Int("k", 3, "server budget K for Appro_Multi")
+		quick      = fs.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		jsonDir    = fs.String("json", "", "also write results as JSON into this directory")
+		reps       = fs.Int("reps", 1, "repetitions per experiment (mean ± 95% CI when > 1)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list || *experiment == "" {
+		fmt.Println("available experiments:")
+		for _, e := range sim.Experiments {
+			fmt.Printf("  %-20s %s\n", e.Name, e.Desc)
+		}
+		fmt.Println("  all                  run everything")
+		return nil
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Seed = *seed
+	cfg.K = *k
+	if *quick {
+		cfg.Requests = 20
+		cfg.NetworkSizes = []int{50, 100, 150}
+	}
+	if *requests > 0 {
+		cfg.Requests = *requests
+	}
+	// The online figures are cheap per request; use the paper's 300
+	// arrivals unless the user overrode the count.
+	onlineCfg := cfg
+	if *requests == 0 && !*quick {
+		onlineCfg.Requests = 300
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = names[:0]
+		for _, e := range sim.Experiments {
+			names = append(names, e.Name)
+		}
+	}
+	for _, name := range names {
+		c := cfg
+		switch name {
+		case "fig8", "fig9", "ablation-costmodel", "ext-churn", "ext-erlang", "ext-onlinek", "ext-reoptimize":
+			c = onlineCfg
+		}
+		start := time.Now()
+		figs, err := sim.Replicate(name, c, *reps)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		for _, f := range figs {
+			fmt.Println(f.Render())
+		}
+		if *jsonDir != "" {
+			if err := os.MkdirAll(*jsonDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*jsonDir, name+".json")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			werr := trace.NewResults(name, c, figs).Write(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return fmt.Errorf("write %s: %w", path, werr)
+			}
+		}
+		fmt.Printf("# %s completed in %v (requests=%d, seed=%d, K=%d, reps=%d)\n\n",
+			name, time.Since(start).Round(time.Millisecond), c.Requests, c.Seed, c.K, *reps)
+	}
+	return nil
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+	// No experiment behaves like -list.
+	if err := run(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-experiment", "nope", "-quick"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunQuickExperimentWithJSON(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-experiment", "ablation-evaluator",
+		"-requests", "3", "-quick", "-json", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "ablation-evaluator.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty JSON dump")
+	}
+}
+
+func TestRunReplicated(t *testing.T) {
+	err := run([]string{
+		"-experiment", "ablation-evaluator",
+		"-requests", "2", "-quick", "-reps", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package nfvmcast_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nfvmcast"
+)
+
+// ExampleApproMulti solves one NFV-enabled multicast request on a
+// hand-built five-switch network with a single server.
+func ExampleApproMulti() {
+	// Topology: 0—1—2—3—4 in a line, server at switch 2.
+	g := nfvmcast.NewGraph(5)
+	for i := 0; i < 4; i++ {
+		if _, err := g.AddEdge(i, i+1, 1); err != nil {
+			fmt.Println("build:", err)
+			return
+		}
+	}
+	topo := &nfvmcast.Topology{Name: "line5", Graph: g, Servers: 1}
+	rng := rand.New(rand.NewSource(7))
+	nw, err := nfvmcast.NewNetworkWithServers(
+		topo, nfvmcast.DefaultNetworkConfig(), []nfvmcast.NodeID{2}, rng)
+	if err != nil {
+		fmt.Println("network:", err)
+		return
+	}
+
+	req := &nfvmcast.Request{
+		ID:            1,
+		Source:        0,
+		Destinations:  []nfvmcast.NodeID{4},
+		BandwidthMbps: 100,
+		Chain:         nfvmcast.MustChain(nfvmcast.Firewall),
+	}
+	sol, err := nfvmcast.ApproMulti(nw, req, nfvmcast.Options{K: 1})
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Printf("served by switch %d using %d directed hops\n",
+		sol.Servers[0], sol.Tree.NumHops())
+	// Output:
+	// served by switch 2 using 4 directed hops
+}
+
+// ExampleChain shows service-chain construction and demand accounting.
+func ExampleChain() {
+	chain := nfvmcast.MustChain(nfvmcast.NAT, nfvmcast.Firewall, nfvmcast.IDS)
+	fmt.Println(chain)
+	fmt.Printf("demand at 100 Mbps: %.0f MHz\n", chain.DemandMHz(100))
+	fmt.Printf("demand at 200 Mbps: %.0f MHz\n", chain.DemandMHz(200))
+	// Output:
+	// <NAT, Firewall, IDS>
+	// demand at 100 Mbps: 140 MHz
+	// demand at 200 Mbps: 280 MHz
+}
+
+// ExampleSteinerKMB computes an approximate Steiner tree directly.
+func ExampleSteinerKMB() {
+	// A square with a diagonal shortcut.
+	g := nfvmcast.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	g.MustAddEdge(0, 2, 1.5)
+	tree, err := nfvmcast.SteinerKMB(g, []nfvmcast.NodeID{0, 1, 2})
+	if err != nil {
+		fmt.Println("steiner:", err)
+		return
+	}
+	fmt.Printf("tree weight %.1f over %d edges\n", tree.Weight, len(tree.EdgeIDs))
+	// Output:
+	// tree weight 2.0 over 2 edges
+}
+
+// ExampleGEANT inspects the embedded real topology.
+func ExampleGEANT() {
+	topo := nfvmcast.GEANT()
+	fmt.Printf("%s: %d PoPs, %d links, %d NFV server sites\n",
+		topo.Name, topo.NumNodes(), topo.NumEdges(), topo.Servers)
+	fmt.Println("node 17 is", topo.NodeNames[17])
+	// Output:
+	// GEANT: 40 PoPs, 66 links, 9 NFV server sites
+	// node 17 is London
+}

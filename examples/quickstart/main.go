@@ -1,0 +1,79 @@
+// Quickstart: build a small SDN, admit one NFV-enabled multicast
+// request with the paper's 2K-approximation, install the resulting
+// pseudo-multicast tree on the controller and replay a packet to prove
+// every destination receives service-chained traffic.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nfvmcast"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// A 50-switch GT-ITM-style random network; 10% of switches carry
+	// NFV servers (picked inside NewNetwork).
+	topo, err := nfvmcast.WaxmanDegree(50, nfvmcast.DefaultAvgDegree, 0.14, 42)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(1))
+	nw, err := nfvmcast.NewNetwork(topo, nfvmcast.DefaultNetworkConfig(), rng)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network: %d switches, %d links, servers at %v\n",
+		nw.NumNodes(), nw.NumEdges(), nw.Servers())
+
+	// One multicast group: source 0, five receivers, 100 Mbps, and a
+	// service chain every packet must traverse first.
+	req := &nfvmcast.Request{
+		ID:            1,
+		Source:        0,
+		Destinations:  []nfvmcast.NodeID{7, 13, 21, 34, 48},
+		BandwidthMbps: 100,
+		Chain:         nfvmcast.MustChain(nfvmcast.NAT, nfvmcast.Firewall, nfvmcast.IDS),
+	}
+	fmt.Printf("request: %d -> %v, %.0f Mbps, chain %v (%.0f MHz)\n",
+		req.Source, req.Destinations, req.BandwidthMbps, req.Chain, req.ComputeDemandMHz())
+
+	// Solve with Appro_Multi (K = 3 servers max).
+	sol, err := nfvmcast.ApproMulti(nw, req, nfvmcast.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("solution: cost %.2f, service chain on server(s) %v, %d directed hops\n",
+		sol.OperationalCost, sol.Servers, sol.Tree.NumHops())
+
+	// Commit the resources and compile the tree into flow tables.
+	if err := nw.Allocate(nfvmcast.AllocationFor(req, sol.Tree)); err != nil {
+		return err
+	}
+	ctrl := nfvmcast.NewController(nw)
+	if err := ctrl.Install(req, sol.Tree); err != nil {
+		return err
+	}
+	fmt.Printf("controller: %d forwarding rules installed\n", ctrl.TotalRules())
+
+	// Replay a packet over the installed rules: every destination must
+	// receive a copy that passed the service chain.
+	delivery, err := ctrl.InjectPacket(req.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("packet replay: delivered to %v in %d hops\n",
+		delivery.Delivered, delivery.HopCount)
+	if err := ctrl.VerifyDelivery(req.ID); err != nil {
+		return err
+	}
+	fmt.Println("all destinations received service-chained traffic ✔")
+	return nil
+}

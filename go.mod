@@ -1,0 +1,3 @@
+module nfvmcast
+
+go 1.22

@@ -1,0 +1,450 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/nfv"
+	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/topology"
+)
+
+// testNetwork builds a deterministic sparse Waxman network for tests.
+func testNetwork(t testing.TB, n int, seed int64) *sdn.Network {
+	t.Helper()
+	topo, err := topology.WaxmanDegree(n, topology.DefaultAvgDegree, 0.14, seed)
+	if err != nil {
+		t.Fatalf("waxman(%d): %v", n, err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	nw, err := sdn.NewNetwork(topo, sdn.DefaultConfig(), rng)
+	if err != nil {
+		t.Fatalf("network: %v", err)
+	}
+	return nw
+}
+
+// testRequest draws a deterministic request over nw.
+func testRequest(t testing.TB, nw *sdn.Network, seed int64) *multicast.Request {
+	t.Helper()
+	gen, err := multicast.NewGenerator(nw.NumNodes(), multicast.DefaultGeneratorConfig(), seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := gen.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return req
+}
+
+func TestApproMultiProducesValidTree(t *testing.T) {
+	nw := testNetwork(t, 40, 7)
+	for seed := int64(0); seed < 10; seed++ {
+		req := testRequest(t, nw, 100+seed)
+		sol, err := ApproMulti(nw, req, DefaultOptions())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := sol.Tree.CheckDelivery(nw.Graph()); err != nil {
+			t.Fatalf("seed %d: delivery: %v", seed, err)
+		}
+		if sol.OperationalCost <= 0 {
+			t.Fatalf("seed %d: operational cost %v", seed, sol.OperationalCost)
+		}
+		if len(sol.Servers) < 1 || len(sol.Servers) > 3 {
+			t.Fatalf("seed %d: %d servers used, want 1..3", seed, len(sol.Servers))
+		}
+		for _, v := range sol.Servers {
+			if !nw.IsServer(v) {
+				t.Fatalf("seed %d: non-server node %d used as server", seed, v)
+			}
+		}
+	}
+}
+
+func TestApproMultiInvalidK(t *testing.T) {
+	nw := testNetwork(t, 20, 1)
+	req := testRequest(t, nw, 2)
+	if _, err := ApproMulti(nw, req, Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestApproMultiInvalidRequest(t *testing.T) {
+	nw := testNetwork(t, 20, 1)
+	req := &multicast.Request{
+		ID:            1,
+		Source:        0,
+		Destinations:  nil, // invalid
+		BandwidthMbps: 100,
+		Chain:         nfv.MustChain(nfv.Firewall),
+	}
+	if _, err := ApproMulti(nw, req, DefaultOptions()); err == nil {
+		t.Fatal("empty destination set accepted")
+	}
+}
+
+// TestApproMultiNeverWorseThanOneServer: the single-server rooted
+// candidates Alg_One_Server evaluates are all inside Appro_Multi's
+// search space, so Appro_Multi's implementation cost is at most
+// Alg_One_Server's on every instance.
+func TestApproMultiNeverWorseThanOneServer(t *testing.T) {
+	nw := testNetwork(t, 50, 11)
+	for seed := int64(0); seed < 20; seed++ {
+		req := testRequest(t, nw, 300+seed)
+		multi, err := ApproMulti(nw, req, Options{K: 3})
+		if err != nil {
+			t.Fatalf("appro seed %d: %v", seed, err)
+		}
+		one, err := AlgOneServer(nw, req, false)
+		if err != nil {
+			t.Fatalf("oneserver seed %d: %v", seed, err)
+		}
+		if multi.OperationalCost > one.OperationalCost+1e-6 {
+			t.Fatalf("seed %d: Appro_Multi cost %v exceeds Alg_One_Server %v",
+				seed, multi.OperationalCost, one.OperationalCost)
+		}
+		near, err := AlgOneServerNearest(nw, req, false)
+		if err != nil {
+			t.Fatalf("nearest seed %d: %v", seed, err)
+		}
+		if one.OperationalCost > near.OperationalCost+1e-6 {
+			t.Fatalf("seed %d: Alg_One_Server cost %v exceeds nearest-server variant %v",
+				seed, one.OperationalCost, near.OperationalCost)
+		}
+	}
+}
+
+func TestApproMultiK1MatchesOneServerShape(t *testing.T) {
+	nw := testNetwork(t, 30, 3)
+	req := testRequest(t, nw, 5)
+	sol, err := ApproMulti(nw, req, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Servers) != 1 {
+		t.Fatalf("K=1 used %d servers", len(sol.Servers))
+	}
+}
+
+// TestApproMultiClosureMatchesExplicit cross-checks the fast closure
+// evaluator against the paper-literal auxiliary-graph construction on
+// small instances: both are KMB-based 2K-approximations, and on
+// instances where the zero-cost source edge rule does not fire they
+// must agree on the selection cost up to tie-breaking (we allow a
+// small relative tolerance for equal-cost tree choices).
+func TestApproMultiClosureMatchesExplicit(t *testing.T) {
+	for netSeed := int64(0); netSeed < 5; netSeed++ {
+		nw := testNetwork(t, 25, 40+netSeed)
+		for reqSeed := int64(0); reqSeed < 4; reqSeed++ {
+			req := testRequest(t, nw, 500+10*netSeed+reqSeed)
+			fast, ferr := ApproMulti(nw, req, Options{K: 2})
+			slow, serr := ApproMulti(nw, req, Options{K: 2, ExplicitAuxiliary: true})
+			if (ferr == nil) != (serr == nil) {
+				t.Fatalf("net %d req %d: feasibility mismatch: fast=%v explicit=%v",
+					netSeed, reqSeed, ferr, serr)
+			}
+			if ferr != nil {
+				continue
+			}
+			// The explicit variant's zero-cost rule can only lower its
+			// auxiliary cost; otherwise both evaluate the same KMB
+			// trees over the same subsets.
+			if slow.SelectionCost > fast.SelectionCost*1.05+1e-9 {
+				t.Fatalf("net %d req %d: explicit cost %v much worse than closure cost %v",
+					netSeed, reqSeed, slow.SelectionCost, fast.SelectionCost)
+			}
+			if err := slow.Tree.CheckDelivery(nw.Graph()); err != nil {
+				t.Fatalf("net %d req %d: explicit delivery: %v", netSeed, reqSeed, err)
+			}
+		}
+	}
+}
+
+func TestApproMultiCapRespectsResiduals(t *testing.T) {
+	nw := testNetwork(t, 40, 9)
+	// Admit requests until rejection, allocating each; residuals must
+	// never go negative and every admitted tree must fit.
+	gen, err := multicast.NewGenerator(nw.NumNodes(), multicast.DefaultGeneratorConfig(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admitted := 0
+	for i := 0; i < 200; i++ {
+		req, err := gen.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, err := ApproMulti(nw, req, Options{K: 3, Capacitated: true})
+		if err != nil {
+			if errors.Is(err, ErrNoFeasibleServer) || errors.Is(err, ErrUnreachable) {
+				continue // expected once resources tighten
+			}
+			t.Fatalf("request %d: %v", i, err)
+		}
+		alloc := AllocationFor(req, sol.Tree)
+		if err := nw.Allocate(alloc); err != nil {
+			// The capacitated variant guarantees per-link b_k fits,
+			// but pseudo-tree back-tracking can demand 2*b_k on a
+			// link with residual in [b_k, 2b_k); treat as rejection.
+			continue
+		}
+		admitted++
+	}
+	if admitted == 0 {
+		t.Fatal("no requests admitted at all")
+	}
+	for e := 0; e < nw.NumEdges(); e++ {
+		if nw.ResidualBandwidth(e) < -1e-9 {
+			t.Fatalf("link %d residual negative: %v", e, nw.ResidualBandwidth(e))
+		}
+	}
+	for _, v := range nw.Servers() {
+		if nw.ResidualCompute(v) < -1e-9 {
+			t.Fatalf("server %d residual negative: %v", v, nw.ResidualCompute(v))
+		}
+	}
+}
+
+func TestApproMultiCapRejectsWhenSaturated(t *testing.T) {
+	topo, err := topology.Waxman(20, topology.DefaultWaxman(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	nw, err := sdn.NewNetwork(topo, sdn.DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Saturate every server.
+	servers := make(map[graph.NodeID]float64)
+	for _, v := range nw.Servers() {
+		servers[v] = nw.ResidualCompute(v)
+	}
+	if err := nw.Allocate(sdn.Allocation{Servers: servers}); err != nil {
+		t.Fatal(err)
+	}
+	req := testRequest(t, nw, 1)
+	if _, err := ApproMulti(nw, req, Options{K: 2, Capacitated: true}); !errors.Is(err, ErrNoFeasibleServer) {
+		t.Fatalf("saturated servers: err = %v, want ErrNoFeasibleServer", err)
+	}
+}
+
+func TestOperationalCostCountsBacktracking(t *testing.T) {
+	// Path: src(0) - a(1) - server(2). Destination a(1).
+	// Traffic must go 0->1->2 unprocessed and back 2->1 processed:
+	// link (1,2) is charged twice.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	topo := &topology.Topology{Name: "line", Graph: g, Servers: 1}
+	rng := rand.New(rand.NewSource(1))
+	nw, err := sdn.NewNetworkWithServers(topo, sdn.DefaultConfig(), []graph.NodeID{2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &multicast.Request{
+		ID:            1,
+		Source:        0,
+		Destinations:  []graph.NodeID{1},
+		BandwidthMbps: 100,
+		Chain:         nfv.MustChain(nfv.Firewall),
+	}
+	sol, err := ApproMulti(nw, req, Options{K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Tree.CheckDelivery(nw.Graph()); err != nil {
+		t.Fatal(err)
+	}
+	loads := sol.Tree.LinkLoads()
+	e12, ok := nw.Graph().EdgeBetween(1, 2)
+	if !ok {
+		t.Fatal("missing edge (1,2)")
+	}
+	if loads[e12] != 2 {
+		t.Fatalf("link (1,2) load = %d, want 2 (forward + backtrack)", loads[e12])
+	}
+	wantCost := 1*req.BandwidthMbps*nw.LinkUnitCost(0) + // 0-1 once
+		2*req.BandwidthMbps*nw.LinkUnitCost(e12) + // 1-2 twice
+		req.ComputeDemandMHz()*nw.ServerUnitCost(2)
+	if math.Abs(sol.OperationalCost-wantCost) > 1e-6 {
+		t.Fatalf("operational cost = %v, want %v", sol.OperationalCost, wantCost)
+	}
+}
+
+// TestPropertyApproMultiDelivery fuzzes networks and requests and
+// checks the central invariant: every produced tree delivers processed
+// traffic to all destinations and uses only genuine servers.
+func TestPropertyApproMultiDelivery(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 15 + rng.Intn(30)
+		topo, err := topology.Waxman(n, topology.DefaultWaxman(), seed)
+		if err != nil {
+			return false
+		}
+		nw, err := sdn.NewNetwork(topo, sdn.DefaultConfig(), rng)
+		if err != nil {
+			return false
+		}
+		gen, err := multicast.NewGenerator(n, multicast.DefaultGeneratorConfig(), seed+1)
+		if err != nil {
+			return false
+		}
+		req, err := gen.Next()
+		if err != nil {
+			return false
+		}
+		k := 1 + rng.Intn(3)
+		sol, err := ApproMulti(nw, req, Options{K: k})
+		if err != nil {
+			return false
+		}
+		if len(sol.Servers) > k {
+			return false
+		}
+		for _, v := range sol.Servers {
+			if !nw.IsServer(v) {
+				return false
+			}
+		}
+		return sol.Tree.CheckDelivery(nw.Graph()) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountSubsets(t *testing.T) {
+	tests := []struct {
+		n, k, want int
+	}{
+		{3, 1, 3},
+		{3, 2, 6},
+		{3, 3, 7},
+		{5, 2, 15},
+		{2, 5, 3}, // k clamped to n
+	}
+	for _, tt := range tests {
+		if got := countSubsets(tt.n, tt.k); got != tt.want {
+			t.Fatalf("countSubsets(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestForEachSubsetEnumeratesAll(t *testing.T) {
+	items := []graph.NodeID{10, 20, 30, 40}
+	seen := make(map[string]bool)
+	forEachSubset(items, 2, func(s []graph.NodeID) bool {
+		key := ""
+		for _, v := range s {
+			key += string(rune('a' + v/10))
+		}
+		if seen[key] {
+			t.Fatalf("duplicate subset %v", s)
+		}
+		seen[key] = true
+		return true
+	})
+	if len(seen) != countSubsets(4, 2) {
+		t.Fatalf("enumerated %d subsets, want %d", len(seen), countSubsets(4, 2))
+	}
+}
+
+func TestForEachSubsetEarlyStop(t *testing.T) {
+	items := []graph.NodeID{1, 2, 3}
+	count := 0
+	forEachSubset(items, 3, func([]graph.NodeID) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d subsets, want 2", count)
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct{ n, k, want int }{
+		{5, 0, 1}, {5, 5, 1}, {5, 2, 10}, {10, 3, 120}, {4, 7, 0}, {4, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := binomial(tt.n, tt.k); got != tt.want {
+			t.Fatalf("binomial(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+// TestApproMultiDeterministic guards against map-iteration
+// non-determinism: repeated solves of the same instance must produce
+// bit-identical costs and hop sets.
+func TestApproMultiDeterministic(t *testing.T) {
+	nw := testNetwork(t, 60, 23)
+	req := testRequest(t, nw, 6)
+	ref, err := ApproMulti(nw, req, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refHops := ref.Tree.Hops()
+	for trial := 0; trial < 5; trial++ {
+		sol, err := ApproMulti(nw, req, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.OperationalCost != ref.OperationalCost {
+			t.Fatalf("trial %d: cost %v != %v", trial, sol.OperationalCost, ref.OperationalCost)
+		}
+		hops := sol.Tree.Hops()
+		if len(hops) != len(refHops) {
+			t.Fatalf("trial %d: hop count %d != %d", trial, len(hops), len(refHops))
+		}
+		seen := make(map[multicast.Hop]bool, len(refHops))
+		for _, h := range refHops {
+			seen[h] = true
+		}
+		for _, h := range hops {
+			if !seen[h] {
+				t.Fatalf("trial %d: unexpected hop %+v", trial, h)
+			}
+		}
+	}
+}
+
+func TestApproMultiDelayBound(t *testing.T) {
+	nw := testNetwork(t, 50, 13)
+	req := testRequest(t, nw, 3)
+	free, err := ApproMulti(nw, req, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	depth, err := free.Tree.MaxDeliveryDepth(nw.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bound equal to the unconstrained depth must keep a solution...
+	sol, err := ApproMulti(nw, req, Options{K: 2, MaxDeliveryHops: depth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := sol.Tree.MaxDeliveryDepth(nw.Graph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got > depth {
+		t.Fatalf("bounded solve depth %d > bound %d", got, depth)
+	}
+	// ...and an impossible bound must be reported as such.
+	if _, err := ApproMulti(nw, req, Options{K: 2, MaxDeliveryHops: 1}); !errors.Is(err, ErrDelayBound) {
+		t.Fatalf("impossible bound = %v, want ErrDelayBound", err)
+	}
+	// The cost under a binding constraint is never lower.
+	if sol.OperationalCost < free.OperationalCost-1e-9 {
+		t.Fatal("constrained solve cheaper than unconstrained")
+	}
+}

@@ -1,0 +1,330 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+)
+
+// closureEvaluator scores server subsets for Appro_Multi without
+// materialising the auxiliary graph G_k^i: distances between real
+// nodes are subset-independent, so one Dijkstra per destination and
+// per server (done once per request) lets every subset be evaluated
+// through the KMB metric closure in O(|D_k|^2 + |D_k|*|subset|).
+type closureEvaluator struct {
+	w     *workGraph
+	req   *multicast.Request
+	spSrv map[graph.NodeID]*graph.ShortestPaths
+	spDst []*graph.ShortestPaths // parallel to req.Destinations
+}
+
+func newClosureEvaluator(
+	w *workGraph, req *multicast.Request, spSrv map[graph.NodeID]*graph.ShortestPaths,
+) (*closureEvaluator, error) {
+	ev := &closureEvaluator{
+		w:     w,
+		req:   req,
+		spSrv: spSrv,
+		spDst: make([]*graph.ShortestPaths, len(req.Destinations)),
+	}
+	for i, d := range req.Destinations {
+		sp, err := graph.Dijkstra(w.g, d)
+		if err != nil {
+			return nil, err
+		}
+		ev.spDst[i] = sp
+	}
+	return ev, nil
+}
+
+// closureMST computes the MST of the metric closure over the terminals
+// {virtual source} ∪ D_k for the given subset: closure node 0 is the
+// virtual source, node j+1 is destination j. It returns the closure
+// MST edges plus, per destination, the cheapest entry server realising
+// the virtual-source distance. ok is false when some destination
+// cannot be reached through any subset server.
+func (ev *closureEvaluator) closureMST(
+	subset []graph.NodeID, omega map[graph.NodeID]float64,
+) (mst *graph.MST, closure *graph.Graph, entry []graph.NodeID, ok bool) {
+	m := len(ev.req.Destinations)
+	closure = graph.New(m + 1)
+	entry = make([]graph.NodeID, m)
+	for j, d := range ev.req.Destinations {
+		best := graph.Infinity
+		bestV := graph.NodeID(-1)
+		for _, v := range subset {
+			if dist := ev.spSrv[v].Dist[d]; dist < graph.Infinity {
+				if c := omega[v] + dist; c < best {
+					best, bestV = c, v
+				}
+			}
+		}
+		if bestV == -1 {
+			return nil, nil, nil, false
+		}
+		entry[j] = bestV
+		closure.MustAddEdge(0, j+1, best)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := ev.spDst[i].Dist[ev.req.Destinations[j]]
+			if d < graph.Infinity {
+				closure.MustAddEdge(i+1, j+1, d)
+			}
+		}
+	}
+	t, err := graph.PrimMST(closure)
+	if err != nil {
+		return nil, nil, nil, false
+	}
+	return t, closure, entry, true
+}
+
+// expand converts a closure MST into the union of work-graph edges and
+// used virtual servers (KMB step 3).
+func (ev *closureEvaluator) expand(
+	mst *graph.MST, closure *graph.Graph, entry []graph.NodeID,
+) (union map[graph.EdgeID]struct{}, virt map[graph.NodeID]struct{}, err error) {
+	union = make(map[graph.EdgeID]struct{})
+	virt = make(map[graph.NodeID]struct{})
+	dests := ev.req.Destinations
+	for _, cid := range mst.EdgeIDs {
+		ce := closure.Edge(cid)
+		a, b := ce.U, ce.V
+		if a > b {
+			a, b = b, a
+		}
+		if a == 0 {
+			// Virtual source to destination b-1 through its entry server.
+			v := entry[b-1]
+			virt[v] = struct{}{}
+			_, edges, ok := ev.spSrv[v].PathTo(dests[b-1])
+			if !ok {
+				return nil, nil, fmt.Errorf("%w: server %d to destination %d",
+					ErrUnreachable, v, dests[b-1])
+			}
+			for _, e := range edges {
+				union[e] = struct{}{}
+			}
+			continue
+		}
+		_, edges, ok := ev.spDst[a-1].PathTo(dests[b-1])
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: destinations %d and %d",
+				ErrUnreachable, dests[a-1], dests[b-1])
+		}
+		for _, e := range edges {
+			union[e] = struct{}{}
+		}
+	}
+	return union, virt, nil
+}
+
+// refine runs KMB steps 4-5 on the expansion: MST of the union
+// subgraph (with the virtual source attached through its used virtual
+// edges), then iterative pruning of non-terminal leaves. It returns
+// the surviving virtual servers, the surviving real work-graph edges,
+// and the total auxiliary cost. When virt is empty, extraTerminals
+// must anchor the tree instead of the virtual source (the rooted
+// variant used for single-server candidates).
+func (ev *closureEvaluator) refine(
+	union map[graph.EdgeID]struct{},
+	virt map[graph.NodeID]struct{},
+	omega map[graph.NodeID]float64,
+	extraTerminals ...graph.NodeID,
+) (servers []graph.NodeID, realEdges []graph.EdgeID, cost float64, err error) {
+	w := ev.w
+	n := w.g.NumNodes()
+	virtualNode := n // the auxiliary virtual source s'_k
+
+	// Deterministic iteration order.
+	unionList := make([]graph.EdgeID, 0, len(union))
+	for e := range union {
+		unionList = append(unionList, e)
+	}
+	sort.Ints(unionList)
+	virtList := make([]graph.NodeID, 0, len(virt))
+	for v := range virt {
+		virtList = append(virtList, v)
+	}
+	sort.Ints(virtList)
+
+	// Temp graph over n+1 nodes holding only the union edges; payload
+	// maps temp edge -> (real work edge | virtual server).
+	type payload struct {
+		real    graph.EdgeID
+		virtual graph.NodeID // -1 when real
+	}
+	tg := graph.New(n + 1)
+	payloads := make([]payload, 0, len(unionList)+len(virtList))
+	for _, e := range unionList {
+		he := w.g.Edge(e)
+		tg.MustAddEdge(he.U, he.V, he.W)
+		payloads = append(payloads, payload{real: e, virtual: -1})
+	}
+	for _, v := range virtList {
+		tg.MustAddEdge(virtualNode, v, omega[v])
+		payloads = append(payloads, payload{virtual: v})
+	}
+
+	// Spanning forest of the union: the terminal component is a tree,
+	// isolated nodes contribute nothing, so ErrDisconnected is
+	// expected and benign here.
+	forest, ferr := graph.KruskalMST(tg)
+	if ferr != nil && ferr != graph.ErrDisconnected {
+		return nil, nil, 0, ferr
+	}
+
+	// Prune non-terminal leaves (terminals: virtual source when
+	// present, the destinations, and any extra anchors).
+	isTerm := make(map[graph.NodeID]struct{}, len(ev.req.Destinations)+2)
+	if len(virtList) > 0 {
+		isTerm[virtualNode] = struct{}{}
+	}
+	for _, d := range ev.req.Destinations {
+		isTerm[d] = struct{}{}
+	}
+	for _, v := range extraTerminals {
+		isTerm[v] = struct{}{}
+	}
+	deg := make(map[graph.NodeID]int)
+	alive := make(map[graph.EdgeID]bool, len(forest.EdgeIDs))
+	incident := make(map[graph.NodeID][]graph.EdgeID)
+	for _, id := range forest.EdgeIDs {
+		alive[id] = true
+		e := tg.Edge(id)
+		deg[e.U]++
+		deg[e.V]++
+		incident[e.U] = append(incident[e.U], id)
+		incident[e.V] = append(incident[e.V], id)
+	}
+	var queue []graph.NodeID
+	for v, d := range deg {
+		if d == 1 {
+			if _, ok := isTerm[v]; !ok {
+				queue = append(queue, v)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, id := range incident[v] {
+			if !alive[id] {
+				continue
+			}
+			alive[id] = false
+			e := tg.Edge(id)
+			other := e.U
+			if other == v {
+				other = e.V
+			}
+			deg[v]--
+			deg[other]--
+			if deg[other] == 1 {
+				if _, ok := isTerm[other]; !ok {
+					queue = append(queue, other)
+				}
+			}
+		}
+	}
+
+	aliveIDs := make([]graph.EdgeID, 0, len(alive))
+	for id, ok := range alive {
+		if ok {
+			aliveIDs = append(aliveIDs, id)
+		}
+	}
+	sort.Ints(aliveIDs)
+	for _, id := range aliveIDs {
+		cost += tg.Weight(id)
+		p := payloads[id]
+		if p.virtual >= 0 {
+			servers = append(servers, p.virtual)
+		} else {
+			realEdges = append(realEdges, p.real)
+		}
+	}
+	if len(virtList) > 0 && len(servers) == 0 {
+		return nil, nil, 0, fmt.Errorf("core: internal: pruned tree lost every server")
+	}
+	return servers, realEdges, cost, nil
+}
+
+// steinerRooted builds a KMB tree over {root} ∪ D_k from the
+// precomputed per-server and per-destination Dijkstras. It realises
+// the single-server "rooted" candidate (route to the server first,
+// then distribute), which is always in the solution space of the
+// problem and complements the virtual-source construction whose
+// closure offsets all source-side distances by ω.
+func (ev *closureEvaluator) steinerRooted(
+	root graph.NodeID,
+) (realEdges []graph.EdgeID, cost float64, err error) {
+	spRoot, ok := ev.spSrv[root]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: server %d has no precomputed paths", ErrUnreachable, root)
+	}
+	m := len(ev.req.Destinations)
+	closure := graph.New(m + 1)
+	for j, d := range ev.req.Destinations {
+		dist := spRoot.Dist[d]
+		if dist >= graph.Infinity {
+			return nil, 0, fmt.Errorf("%w: destination %d from server %d", ErrUnreachable, d, root)
+		}
+		closure.MustAddEdge(0, j+1, dist)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			d := ev.spDst[i].Dist[ev.req.Destinations[j]]
+			if d < graph.Infinity {
+				closure.MustAddEdge(i+1, j+1, d)
+			}
+		}
+	}
+	mst, err := graph.PrimMST(closure)
+	if err != nil {
+		return nil, 0, err
+	}
+	union := make(map[graph.EdgeID]struct{})
+	for _, cid := range mst.EdgeIDs {
+		ce := closure.Edge(cid)
+		a, b := ce.U, ce.V
+		if a > b {
+			a, b = b, a
+		}
+		var pathEdges []graph.EdgeID
+		var pok bool
+		if a == 0 {
+			_, pathEdges, pok = spRoot.PathTo(ev.req.Destinations[b-1])
+		} else {
+			_, pathEdges, pok = ev.spDst[a-1].PathTo(ev.req.Destinations[b-1])
+		}
+		if !pok {
+			return nil, 0, ErrUnreachable
+		}
+		for _, e := range pathEdges {
+			union[e] = struct{}{}
+		}
+	}
+	_, realEdges, cost, err = ev.refine(union, nil, nil, root)
+	return realEdges, cost, err
+}
+
+// steiner runs the full KMB pipeline for one server subset and
+// returns the used servers, the surviving real work-graph edges, and
+// the auxiliary Steiner tree cost c(T_k^i).
+func (ev *closureEvaluator) steiner(
+	subset []graph.NodeID, omega map[graph.NodeID]float64,
+) (servers []graph.NodeID, realEdges []graph.EdgeID, auxCost float64, err error) {
+	mst, closure, entry, ok := ev.closureMST(subset, omega)
+	if !ok {
+		return nil, nil, 0, ErrUnreachable
+	}
+	union, virt, err := ev.expand(mst, closure, entry)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	return ev.refine(union, virt, omega)
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// Departure support: multicast sessions end (conferences finish,
+// streams stop) and their resources return to the pool. The paper
+// models a fixed monitoring period without departures; this extension
+// makes the online admitters usable as long-running systems. Each
+// admitter tracks its live allocations by request ID and Depart
+// releases them atomically.
+
+// ErrUnknownRequest is returned when departing a request that is not
+// currently admitted.
+var ErrUnknownRequest = fmt.Errorf("core: request not admitted")
+
+// liveTable tracks admitted requests' allocations for departure.
+type liveTable struct {
+	nw    *sdn.Network
+	byID  map[int]sdn.Allocation
+	solBy map[int]*Solution
+}
+
+func newLiveTable(nw *sdn.Network) *liveTable {
+	return &liveTable{
+		nw:    nw,
+		byID:  make(map[int]sdn.Allocation),
+		solBy: make(map[int]*Solution),
+	}
+}
+
+func (l *liveTable) record(req *multicast.Request, sol *Solution, alloc sdn.Allocation) {
+	l.byID[req.ID] = alloc
+	l.solBy[req.ID] = sol
+}
+
+func (l *liveTable) depart(reqID int) (*Solution, error) {
+	alloc, ok := l.byID[reqID]
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	if err := l.nw.Release(alloc); err != nil {
+		return nil, err
+	}
+	sol := l.solBy[reqID]
+	delete(l.byID, reqID)
+	delete(l.solBy, reqID)
+	return sol, nil
+}
+
+func (l *liveTable) live() int { return len(l.byID) }
+
+// replace swaps the recorded solution and allocation of an admitted
+// request after an external re-placement (Reoptimize) has already
+// adjusted the network's residuals, so a later departure releases the
+// correct bundle.
+func (l *liveTable) replace(reqID int, sol *Solution) error {
+	if _, ok := l.byID[reqID]; !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	if sol == nil || sol.Request == nil || sol.Tree == nil {
+		return fmt.Errorf("core: replace %d with incomplete solution", reqID)
+	}
+	l.byID[reqID] = AllocationFor(sol.Request, sol.Tree)
+	l.solBy[reqID] = sol
+	return nil
+}
+
+// Depart releases the resources of an admitted request (the session
+// ended). It returns the solution that had realised the request so
+// callers can also uninstall its flow rules.
+func (o *OnlineCP) Depart(reqID int) (*Solution, error) {
+	if o.lives == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	return o.lives.depart(reqID)
+}
+
+// Replace records that an admitted request is now realised by sol
+// (its ID must match a live session) — used after Reoptimize, which
+// re-places sessions directly on the network. A later Depart then
+// releases the new allocation.
+func (o *OnlineCP) Replace(reqID int, sol *Solution) error {
+	if o.lives == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	return o.lives.replace(reqID, sol)
+}
+
+// LiveCount reports how many admitted requests currently hold
+// resources.
+func (o *OnlineCP) LiveCount() int {
+	if o.lives == nil {
+		return 0
+	}
+	return o.lives.live()
+}
+
+// Depart releases the resources of an admitted request.
+func (o *OnlineSP) Depart(reqID int) (*Solution, error) {
+	if o.lives == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	return o.lives.depart(reqID)
+}
+
+// Replace records a re-placed solution for a live session (see
+// OnlineCP.Replace).
+func (o *OnlineSP) Replace(reqID int, sol *Solution) error {
+	if o.lives == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	return o.lives.replace(reqID, sol)
+}
+
+// LiveCount reports how many admitted requests currently hold
+// resources.
+func (o *OnlineSP) LiveCount() int {
+	if o.lives == nil {
+		return 0
+	}
+	return o.lives.live()
+}
+
+// Depart releases the resources of an admitted request.
+func (o *OnlineSPStatic) Depart(reqID int) (*Solution, error) {
+	if o.lives == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	return o.lives.depart(reqID)
+}
+
+// Replace records a re-placed solution for a live session (see
+// OnlineCP.Replace).
+func (o *OnlineSPStatic) Replace(reqID int, sol *Solution) error {
+	if o.lives == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	return o.lives.replace(reqID, sol)
+}
+
+// LiveCount reports how many admitted requests currently hold
+// resources.
+func (o *OnlineSPStatic) LiveCount() int {
+	if o.lives == nil {
+		return 0
+	}
+	return o.lives.live()
+}

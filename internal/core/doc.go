@@ -1,0 +1,21 @@
+// Package core implements the paper's contribution: the Appro_Multi
+// 2K-approximation for NFV-enabled multicasting (with and without
+// resource capacity constraints), the Online_CP online admission
+// algorithm with its exponential cost model, and the evaluation
+// baselines Alg_One_Server (Zhang et al.) and SP.
+//
+// All algorithms operate on an sdn.Network and produce
+// multicast.PseudoTree routing graphs plus sdn.Allocation resource
+// bundles, so the results can be installed on the SDN controller and
+// verified by packet replay.
+//
+// Performance note: Appro_Multi enumerates every server subset of
+// size <= K. The default implementation precomputes one Dijkstra per
+// terminal and per server on the request-weighted graph and evaluates
+// each subset through the metric closure (the KMB construction), so a
+// subset costs O(|D_k|^2) rather than |D_k| fresh Dijkstras. An
+// explicit auxiliary-graph implementation (paper-literal, including
+// the zero-cost source-to-server edge rule) is available through
+// Options.ExplicitAuxiliary and is cross-checked against the fast
+// path in the test suite; see DESIGN.md §4.
+package core

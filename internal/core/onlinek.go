@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// OnlineCPK is an extension beyond the paper: online admission with
+// service chains replicated on up to K servers. The paper proves its
+// competitive ratio only for K = 1 and leaves the general case open;
+// OnlineCPK combines Appro_Multi's server-subset search with
+// Online_CP's exponential cost model — subsets are evaluated on the
+// residual network priced with marginal exponential link weights, and
+// the same per-resource admission thresholds apply (every tree link
+// must satisfy w_e(k) < σ_e, every used server w_v(k) < σ_v). No
+// competitive-ratio claim is made; the harness measures it
+// empirically (ext-onlinek).
+type OnlineCPK struct {
+	nw    *sdn.Network
+	model CostModel
+	k     int
+	lives *liveTable
+
+	admitted []*Solution
+	rejected int
+}
+
+// NewOnlineCPK returns a K-server online admitter over nw.
+func NewOnlineCPK(nw *sdn.Network, model CostModel, k int) (*OnlineCPK, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if k < 1 {
+		return nil, fmt.Errorf("core: invalid K=%d (need K >= 1)", k)
+	}
+	return &OnlineCPK{nw: nw, model: model, k: k, lives: newLiveTable(nw)}, nil
+}
+
+// Admit decides request r, allocating resources on admission and
+// returning ErrRejected otherwise.
+func (o *OnlineCPK) Admit(req *multicast.Request) (*Solution, error) {
+	sol, err := o.plan(req)
+	if err != nil {
+		o.rejected++
+		return nil, err
+	}
+	alloc := AllocationFor(req, sol.Tree)
+	if err := o.nw.Allocate(alloc); err != nil {
+		o.rejected++
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	o.lives.record(req, sol, alloc)
+	o.admitted = append(o.admitted, sol)
+	return sol, nil
+}
+
+func (o *OnlineCPK) plan(req *multicast.Request) (*Solution, error) {
+	nw := o.nw
+	if err := validateInput(nw, req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	// Residual network with marginal exponential link weights (the
+	// same pricing Online_CP uses for tree construction).
+	w := buildWorkGraph(nw, req, true, func(e graph.EdgeID) float64 {
+		utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
+		return math.Pow(o.model.Beta, utilAfter) - 1
+	})
+	if len(w.servers) == 0 {
+		return nil, fmt.Errorf("%w: no server with enough free computing", ErrRejected)
+	}
+	spSrc, err := graph.Dijkstra(w.g, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	// Threshold (a) per server, plus reachability.
+	var candidates []graph.NodeID
+	omega := make(map[graph.NodeID]float64)
+	spSrv := make(map[graph.NodeID]*graph.ShortestPaths)
+	for _, v := range w.servers {
+		if !spSrc.Reachable(v) {
+			continue
+		}
+		wv := o.model.ServerWeight(nw, v)
+		if wv >= o.model.SigmaV {
+			continue
+		}
+		sp, derr := graph.Dijkstra(w.g, v)
+		if derr != nil {
+			return nil, derr
+		}
+		candidates = append(candidates, v)
+		spSrv[v] = sp
+		omega[v] = spSrc.Dist[v] + wv
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("%w: every server over threshold or cut off", ErrRejected)
+	}
+	for _, d := range req.Destinations {
+		if !spSrc.Reachable(d) {
+			return nil, fmt.Errorf("%w: destination %d unreachable", ErrRejected, d)
+		}
+	}
+	ev, err := newClosureEvaluator(w, req, spSrv)
+	if err != nil {
+		return nil, err
+	}
+
+	// Host-edge weight lookup for threshold (b) and selection.
+	hostWeight := make(map[graph.EdgeID]float64, w.g.NumEdges())
+	for le := 0; le < w.g.NumEdges(); le++ {
+		hostWeight[w.hostEdge(le)] = w.g.Weight(le)
+	}
+
+	var (
+		bestSel  = graph.Infinity
+		bestTree *multicast.PseudoTree
+	)
+	consider := func(servers []graph.NodeID, realEdges []graph.EdgeID) {
+		tree, derr := decompose(w, req, spSrc, servers, realEdges)
+		if derr != nil {
+			return
+		}
+		// Threshold (b): every tree link under σ_e (pre-allocation
+		// weights, as in Online_CP).
+		sel := 0.0
+		for e, uses := range tree.LinkLoads() {
+			we := o.model.LinkWeight(nw, e)
+			if we >= o.model.SigmaE {
+				return
+			}
+			sel += float64(uses) * hostWeight[e]
+		}
+		for _, v := range servers {
+			sel += o.model.ServerWeight(nw, v)
+		}
+		if sel < bestSel {
+			bestSel, bestTree = sel, tree
+		}
+	}
+	forEachSubset(candidates, o.k, func(subset []graph.NodeID) bool {
+		if servers, realEdges, _, cerr := ev.steiner(subset, omega); cerr == nil {
+			consider(servers, realEdges)
+		}
+		return true
+	})
+	for _, v := range candidates {
+		if realEdges, _, rerr := ev.steinerRooted(v); rerr == nil {
+			consider([]graph.NodeID{v}, realEdges)
+		}
+	}
+	if bestTree == nil {
+		return nil, fmt.Errorf("%w: no admissible tree within thresholds", ErrRejected)
+	}
+	return &Solution{
+		Request:         req,
+		Tree:            bestTree,
+		Servers:         bestTree.Servers,
+		OperationalCost: OperationalCost(nw, req, bestTree),
+		SelectionCost:   bestSel,
+	}, nil
+}
+
+// Depart releases the resources of an admitted request.
+func (o *OnlineCPK) Depart(reqID int) (*Solution, error) {
+	if o.lives == nil {
+		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	return o.lives.depart(reqID)
+}
+
+// Replace records a re-placed solution for a live session (see
+// OnlineCP.Replace).
+func (o *OnlineCPK) Replace(reqID int, sol *Solution) error {
+	if o.lives == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
+	}
+	return o.lives.replace(reqID, sol)
+}
+
+// LiveCount reports how many admitted requests currently hold
+// resources.
+func (o *OnlineCPK) LiveCount() int {
+	if o.lives == nil {
+		return 0
+	}
+	return o.lives.live()
+}
+
+// Admitted returns the solutions admitted so far.
+func (o *OnlineCPK) Admitted() []*Solution {
+	out := make([]*Solution, len(o.admitted))
+	copy(out, o.admitted)
+	return out
+}
+
+// AdmittedCount reports the number of admitted requests.
+func (o *OnlineCPK) AdmittedCount() int { return len(o.admitted) }
+
+// RejectedCount reports how many requests were rejected.
+func (o *OnlineCPK) RejectedCount() int { return o.rejected }

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+
+	"nfvmcast/internal/multicast"
+)
+
+func TestOnlineCPKValidation(t *testing.T) {
+	nw := testNetwork(t, 30, 2)
+	if _, err := NewOnlineCPK(nw, DefaultCostModel(nw.NumNodes()), 0); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	if _, err := NewOnlineCPK(nw, CostModel{Alpha: 0.5}, 2); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestOnlineCPKSequenceInvariants(t *testing.T) {
+	nw := testNetwork(t, 50, 14)
+	ok2, err := NewOnlineCPK(nw, DefaultCostModel(nw.NumNodes()), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := multicast.NewGenerator(nw.NumNodes(), multicast.OnlineGeneratorConfig(), 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 120; i++ {
+		req, gerr := gen.Next()
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		sol, aerr := ok2.Admit(req)
+		if aerr != nil {
+			if !IsRejection(aerr) {
+				t.Fatalf("request %d: %v", i, aerr)
+			}
+			continue
+		}
+		if len(sol.Servers) < 1 || len(sol.Servers) > 2 {
+			t.Fatalf("request %d used %d servers, want 1..2", i, len(sol.Servers))
+		}
+		if derr := sol.Tree.CheckDelivery(nw.Graph()); derr != nil {
+			t.Fatalf("request %d: %v", i, derr)
+		}
+	}
+	if ok2.AdmittedCount() == 0 {
+		t.Fatal("nothing admitted")
+	}
+	if ok2.AdmittedCount()+ok2.RejectedCount() != 120 {
+		t.Fatal("counters don't add up")
+	}
+	if ok2.LiveCount() != ok2.AdmittedCount() {
+		t.Fatal("live count mismatch without departures")
+	}
+	if len(ok2.Admitted()) != ok2.AdmittedCount() {
+		t.Fatal("Admitted() length mismatch")
+	}
+	for e := 0; e < nw.NumEdges(); e++ {
+		if r := nw.ResidualBandwidth(e); r < -1e-9 || r > nw.BandwidthCap(e)+1e-9 {
+			t.Fatalf("link %d residual %v out of bounds", e, r)
+		}
+	}
+	// Departures drain cleanly.
+	first := ok2.Admitted()[0]
+	if _, err := ok2.Depart(first.Request.ID); err != nil {
+		t.Fatal(err)
+	}
+	if ok2.LiveCount() != ok2.AdmittedCount()-1 {
+		t.Fatal("departure did not decrement live count")
+	}
+}
+
+// TestOnlineCPKAtLeastCompetitiveWithK1 compares throughput across K
+// on identical replicas: more placement freedom should not admit
+// dramatically fewer requests (it may admit slightly fewer because
+// multi-server trees consume computing on every replica).
+func TestOnlineCPKAtLeastCompetitiveWithK1(t *testing.T) {
+	counts := make(map[int]int)
+	for _, k := range []int{1, 2} {
+		nw := testNetwork(t, 50, 26)
+		adm, err := NewOnlineCPK(nw, DefaultCostModel(nw.NumNodes()), k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gen, err := multicast.NewGenerator(nw.NumNodes(), multicast.OnlineGeneratorConfig(), 27)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			req, gerr := gen.Next()
+			if gerr != nil {
+				t.Fatal(gerr)
+			}
+			_, _ = adm.Admit(req)
+		}
+		counts[k] = adm.AdmittedCount()
+	}
+	t.Logf("admitted: K=1 %d, K=2 %d", counts[1], counts[2])
+	if counts[2] < counts[1]*8/10 {
+		t.Fatalf("K=2 admitted %d, far below K=1's %d", counts[2], counts[1])
+	}
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// Errors shared by the algorithms.
+var (
+	// ErrNoFeasibleServer means no server (combination) can host the
+	// request's service chain under the current constraints.
+	ErrNoFeasibleServer = errors.New("core: no feasible server for service chain")
+	// ErrUnreachable means the source, a destination, or every
+	// candidate server is cut off in the (residual) network.
+	ErrUnreachable = errors.New("core: endpoints unreachable in (residual) network")
+	// ErrRejected is returned by online algorithms when the admission
+	// policy rejects a request.
+	ErrRejected = errors.New("core: request rejected")
+	// ErrDelayBound is returned when Options.MaxDeliveryHops excludes
+	// every candidate tree.
+	ErrDelayBound = errors.New("core: delay bound excludes every tree")
+)
+
+// Solution is an algorithm's answer for one request: the routing
+// graph, which servers host the chain, and its costs.
+type Solution struct {
+	// Request is the solved request.
+	Request *multicast.Request
+	// Tree is the pseudo-multicast tree realising the request.
+	Tree *multicast.PseudoTree
+	// Servers are the switches whose servers run the chain VM.
+	Servers []graph.NodeID
+	// OperationalCost is the pay-as-you-go cost of the realised tree:
+	// sum over links of traversals*b_k*c_e plus sum over used servers
+	// of C_v(SC_k)*c_v. This is what the paper's offline figures plot.
+	OperationalCost float64
+	// SelectionCost is the objective value the algorithm minimised
+	// when picking this solution (the auxiliary-tree cost c(T_k^i) for
+	// Appro_Multi, the exponential cost for Online_CP, hop count for
+	// SP). Comparable only within one algorithm.
+	SelectionCost float64
+}
+
+// OperationalCost prices a pseudo-multicast tree on a network using
+// the linear pay-as-you-go model of the offline problem (paper §III.C
+// Case 1): every distinct directed traversal of a link is charged
+// b_k*c_e and every serving node is charged C_v(SC_k)*c_v.
+func OperationalCost(nw *sdn.Network, req *multicast.Request, tree *multicast.PseudoTree) float64 {
+	// Sum in sorted edge order: float addition is order-dependent, and
+	// map-ordered sums would make near-tie candidate selection (and
+	// thus whole experiment runs) non-deterministic.
+	loads := tree.LinkLoads()
+	edges := make([]graph.EdgeID, 0, len(loads))
+	for e := range loads {
+		edges = append(edges, e)
+	}
+	sort.Ints(edges)
+	var cost float64
+	for _, e := range edges {
+		cost += float64(loads[e]) * req.BandwidthMbps * nw.LinkUnitCost(e)
+	}
+	demand := req.ComputeDemandMHz()
+	for _, v := range tree.Servers {
+		cost += demand * nw.ServerUnitCost(v)
+	}
+	return cost
+}
+
+// AllocationFor converts a pseudo-multicast tree into the resource
+// bundle it occupies: b_k per distinct directed traversal per link,
+// and C_v(SC_k) at every serving node.
+func AllocationFor(req *multicast.Request, tree *multicast.PseudoTree) sdn.Allocation {
+	links := make(map[graph.EdgeID]float64)
+	for e, uses := range tree.LinkLoads() {
+		links[e] = float64(uses) * req.BandwidthMbps
+	}
+	servers := make(map[graph.NodeID]float64, len(tree.Servers))
+	demand := req.ComputeDemandMHz()
+	for _, v := range tree.Servers {
+		servers[v] = demand
+	}
+	return sdn.Allocation{Links: links, Servers: servers}
+}
+
+// validateInput checks a request against a network before solving.
+func validateInput(nw *sdn.Network, req *multicast.Request) error {
+	if err := req.Validate(nw.NumNodes()); err != nil {
+		return err
+	}
+	if len(nw.Servers()) == 0 {
+		return fmt.Errorf("%w: network has no servers", ErrNoFeasibleServer)
+	}
+	return nil
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// OnlineSP is the evaluation's online baseline heuristic SP (paper
+// §VI.A): it removes links and servers without enough available
+// resources, assigns every remaining link the same unit weight, and
+// for each candidate server v picks a shortest path s_k→v plus the
+// single-source shortest-path tree rooted at v spanning the
+// destinations, keeping the minimum-cost combination. Unlike
+// Online_CP it ignores resource utilisation, so it piles load onto
+// already-busy links.
+type OnlineSP struct {
+	nw       *sdn.Network
+	lives    *liveTable
+	admitted []*Solution
+	rejected int
+}
+
+// NewOnlineSP returns an SP admitter over nw.
+func NewOnlineSP(nw *sdn.Network) *OnlineSP {
+	return &OnlineSP{nw: nw, lives: newLiveTable(nw)}
+}
+
+// Admit decides request r, allocating resources on admission and
+// returning ErrRejected otherwise.
+func (o *OnlineSP) Admit(req *multicast.Request) (*Solution, error) {
+	sol, err := o.plan(req)
+	if err != nil {
+		o.rejected++
+		return nil, err
+	}
+	alloc := AllocationFor(req, sol.Tree)
+	if err := o.nw.Allocate(alloc); err != nil {
+		o.rejected++
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	o.lives.record(req, sol, alloc)
+	o.admitted = append(o.admitted, sol)
+	return sol, nil
+}
+
+func (o *OnlineSP) plan(req *multicast.Request) (*Solution, error) {
+	nw := o.nw
+	if err := validateInput(nw, req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	// Residual network with uniform link weights.
+	w := buildWorkGraph(nw, req, true, func(graph.EdgeID) float64 { return 1 })
+	if len(w.servers) == 0 {
+		return nil, fmt.Errorf("%w: no server with enough free computing", ErrRejected)
+	}
+	spSrc, err := graph.Dijkstra(w.g, req.Source)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		bestCost   = graph.Infinity
+		bestServer = graph.NodeID(-1)
+		bestSP     *graph.ShortestPaths
+	)
+	for _, v := range w.servers {
+		if !spSrc.Reachable(v) {
+			continue
+		}
+		spV, derr := graph.Dijkstra(w.g, v)
+		if derr != nil {
+			return nil, derr
+		}
+		cost := spSrc.Dist[v]
+		feasible := true
+		// Union of shortest paths v→d: hop count of the SP tree
+		// restricted to destination paths.
+		counted := make(map[graph.EdgeID]struct{})
+		for _, d := range req.Destinations {
+			if !spV.Reachable(d) {
+				feasible = false
+				break
+			}
+			_, edges, _ := spV.PathTo(d)
+			for _, e := range edges {
+				if _, ok := counted[e]; !ok {
+					counted[e] = struct{}{}
+					cost++
+				}
+			}
+		}
+		if !feasible {
+			continue
+		}
+		if cost < bestCost {
+			bestCost, bestServer, bestSP = cost, v, spV
+		}
+	}
+	if bestServer == -1 {
+		return nil, fmt.Errorf("%w: no server reaches source and all destinations", ErrRejected)
+	}
+
+	tree := multicast.NewPseudoTree(req.Source, req.Destinations, []graph.NodeID{bestServer})
+	nodes, edges, ok := spSrc.PathTo(bestServer)
+	if !ok {
+		return nil, fmt.Errorf("%w: server %d", ErrUnreachable, bestServer)
+	}
+	if err := w.addHostPath(tree, nodes, edges, false); err != nil {
+		return nil, err
+	}
+	for _, d := range req.Destinations {
+		nodes, edges, ok = bestSP.PathTo(d)
+		if !ok {
+			return nil, fmt.Errorf("%w: destination %d", ErrUnreachable, d)
+		}
+		if err := w.addHostPath(tree, nodes, edges, true); err != nil {
+			return nil, err
+		}
+	}
+	return &Solution{
+		Request:         req,
+		Tree:            tree,
+		Servers:         []graph.NodeID{bestServer},
+		OperationalCost: OperationalCost(nw, req, tree),
+		SelectionCost:   bestCost,
+	}, nil
+}
+
+// Admitted returns the solutions admitted so far.
+func (o *OnlineSP) Admitted() []*Solution {
+	out := make([]*Solution, len(o.admitted))
+	copy(out, o.admitted)
+	return out
+}
+
+// AdmittedCount reports the number of admitted requests.
+func (o *OnlineSP) AdmittedCount() int { return len(o.admitted) }
+
+// RejectedCount reports how many requests were rejected.
+func (o *OnlineSP) RejectedCount() int { return o.rejected }
+
+// OnlineSPStatic is a congestion-oblivious variant of SP that models
+// static shortest-path multicast routing (fixed routes, as in plain
+// IP multicast over static routing tables): trees are always computed
+// on the pristine topology with uniform weights, and a request whose
+// fixed tree no longer fits the residual capacities is rejected — no
+// re-routing around loaded links. It quantifies how much of
+// Online_CP's advantage comes from load awareness: against this
+// baseline the admission gap of the paper's Figs. 8-9 opens fully.
+type OnlineSPStatic struct {
+	nw       *sdn.Network
+	lives    *liveTable
+	admitted []*Solution
+	rejected int
+}
+
+// NewOnlineSPStatic returns a static-routes SP admitter over nw.
+func NewOnlineSPStatic(nw *sdn.Network) *OnlineSPStatic {
+	return &OnlineSPStatic{nw: nw, lives: newLiveTable(nw)}
+}
+
+// Admit decides request r: the fixed shortest-path tree either fits
+// the residual network and is allocated, or the request is rejected.
+func (o *OnlineSPStatic) Admit(req *multicast.Request) (*Solution, error) {
+	sol, err := o.plan(req)
+	if err != nil {
+		o.rejected++
+		return nil, err
+	}
+	alloc := AllocationFor(req, sol.Tree)
+	if err := o.nw.Allocate(alloc); err != nil {
+		o.rejected++
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	o.lives.record(req, sol, alloc)
+	o.admitted = append(o.admitted, sol)
+	return sol, nil
+}
+
+func (o *OnlineSPStatic) plan(req *multicast.Request) (*Solution, error) {
+	nw := o.nw
+	if err := validateInput(nw, req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	// Pristine topology with uniform weights: no residual filtering.
+	w := buildWorkGraph(nw, req, false, func(graph.EdgeID) float64 { return 1 })
+	spSrc, err := graph.Dijkstra(w.g, req.Source)
+	if err != nil {
+		return nil, err
+	}
+	demand := req.ComputeDemandMHz()
+	var (
+		bestCost   = graph.Infinity
+		bestServer = graph.NodeID(-1)
+		bestSP     *graph.ShortestPaths
+	)
+	for _, v := range w.servers {
+		if !spSrc.Reachable(v) {
+			continue
+		}
+		// Static routing still will not place the VM on a server that
+		// cannot host it.
+		if nw.ResidualCompute(v) < demand {
+			continue
+		}
+		spV, derr := graph.Dijkstra(w.g, v)
+		if derr != nil {
+			return nil, derr
+		}
+		cost := spSrc.Dist[v]
+		counted := make(map[graph.EdgeID]struct{})
+		feasible := true
+		for _, d := range req.Destinations {
+			if !spV.Reachable(d) {
+				feasible = false
+				break
+			}
+			_, edges, _ := spV.PathTo(d)
+			for _, e := range edges {
+				if _, ok := counted[e]; !ok {
+					counted[e] = struct{}{}
+					cost++
+				}
+			}
+		}
+		if !feasible {
+			continue
+		}
+		if cost < bestCost {
+			bestCost, bestServer, bestSP = cost, v, spV
+		}
+	}
+	if bestServer == -1 {
+		return nil, fmt.Errorf("%w: no feasible server on static routes", ErrRejected)
+	}
+	tree := multicast.NewPseudoTree(req.Source, req.Destinations, []graph.NodeID{bestServer})
+	nodes, edges, ok := spSrc.PathTo(bestServer)
+	if !ok {
+		return nil, fmt.Errorf("%w: server %d", ErrUnreachable, bestServer)
+	}
+	if err := w.addHostPath(tree, nodes, edges, false); err != nil {
+		return nil, err
+	}
+	for _, d := range req.Destinations {
+		nodes, edges, ok = bestSP.PathTo(d)
+		if !ok {
+			return nil, fmt.Errorf("%w: destination %d", ErrUnreachable, d)
+		}
+		if err := w.addHostPath(tree, nodes, edges, true); err != nil {
+			return nil, err
+		}
+	}
+	return &Solution{
+		Request:         req,
+		Tree:            tree,
+		Servers:         []graph.NodeID{bestServer},
+		OperationalCost: OperationalCost(nw, req, tree),
+		SelectionCost:   bestCost,
+	}, nil
+}
+
+// Admitted returns the solutions admitted so far.
+func (o *OnlineSPStatic) Admitted() []*Solution {
+	out := make([]*Solution, len(o.admitted))
+	copy(out, o.admitted)
+	return out
+}
+
+// AdmittedCount reports the number of admitted requests.
+func (o *OnlineSPStatic) AdmittedCount() int { return len(o.admitted) }
+
+// RejectedCount reports how many requests were rejected.
+func (o *OnlineSPStatic) RejectedCount() int { return o.rejected }

@@ -1,0 +1,67 @@
+package core
+
+import "nfvmcast/internal/graph"
+
+// forEachSubset enumerates every non-empty subset of items with size
+// at most k (the paper's loop over all server combinations, sizes
+// 1..K) in deterministic order, calling fn with a reused scratch
+// slice. fn must not retain the slice. Enumeration stops early when fn
+// returns false.
+func forEachSubset(items []graph.NodeID, k int, fn func(subset []graph.NodeID) bool) {
+	if k > len(items) {
+		k = len(items)
+	}
+	scratch := make([]graph.NodeID, 0, k)
+	for size := 1; size <= k; size++ {
+		if !combinations(items, size, scratch, 0, fn) {
+			return
+		}
+	}
+}
+
+// combinations recursively emits all size-`size` combinations of
+// items[start:] appended to prefix.
+func combinations(
+	items []graph.NodeID, size int, prefix []graph.NodeID, start int,
+	fn func([]graph.NodeID) bool,
+) bool {
+	if len(prefix) == size {
+		return fn(prefix)
+	}
+	// Not enough items left to finish the combination.
+	need := size - len(prefix)
+	for i := start; i+need <= len(items); i++ {
+		if !combinations(items, size, append(prefix, items[i]), i+1, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// countSubsets reports how many subsets forEachSubset will visit.
+func countSubsets(n, k int) int {
+	if k > n {
+		k = n
+	}
+	total := 0
+	for size := 1; size <= k; size++ {
+		total += binomial(n, size)
+	}
+	return total
+}
+
+// binomial computes C(n, k) without overflow for the small sizes used
+// here.
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 1; i <= k; i++ {
+		res = res * (n - k + i) / i
+	}
+	return res
+}

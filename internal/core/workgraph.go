@@ -1,0 +1,77 @@
+package core
+
+import (
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// workGraph is a (possibly filtered) re-weighted view of the network
+// graph an algorithm runs on. Its edge IDs are local; toHost maps them
+// back to network edge IDs for pricing and allocation.
+type workGraph struct {
+	g       *graph.Graph
+	toHost  []graph.EdgeID
+	servers []graph.NodeID // eligible servers in this view
+}
+
+// hostEdge maps a local edge ID back to the network's edge ID.
+func (w *workGraph) hostEdge(local graph.EdgeID) graph.EdgeID { return w.toHost[local] }
+
+// buildWorkGraph constructs the algorithm's working view of nw for
+// req. When capacitated is true it keeps only links with residual
+// bandwidth >= b_k and servers with residual computing >= C_v(SC_k)
+// (the Appro_Multi_Cap / online residual-network construction);
+// otherwise it keeps everything. weight prices a network edge for the
+// algorithm's objective.
+func buildWorkGraph(
+	nw *sdn.Network,
+	req *multicast.Request,
+	capacitated bool,
+	weight func(host graph.EdgeID) float64,
+) *workGraph {
+	hg := nw.Graph()
+	n := hg.NumNodes()
+	g := graph.New(n)
+	var toHost []graph.EdgeID
+	for e := 0; e < hg.NumEdges(); e++ {
+		if !nw.LinkUp(e) {
+			continue // failed links are physically unusable
+		}
+		if capacitated && nw.ResidualBandwidth(e) < req.BandwidthMbps {
+			continue
+		}
+		he := hg.Edge(e)
+		g.MustAddEdge(he.U, he.V, weight(e))
+		toHost = append(toHost, e)
+	}
+	demand := req.ComputeDemandMHz()
+	var servers []graph.NodeID
+	for _, v := range nw.Servers() {
+		if !nw.ServerUp(v) {
+			continue // failed servers cannot host new VMs
+		}
+		if capacitated && nw.ResidualCompute(v) < demand {
+			continue
+		}
+		servers = append(servers, v)
+	}
+	return &workGraph{g: g, toHost: toHost, servers: servers}
+}
+
+// hostPath converts a local (nodes, edges) path to host edge IDs.
+func (w *workGraph) hostPath(edges []graph.EdgeID) []graph.EdgeID {
+	out := make([]graph.EdgeID, len(edges))
+	for i, e := range edges {
+		out[i] = w.toHost[e]
+	}
+	return out
+}
+
+// addHostPath appends a directed walk (local IDs) to a pseudo tree,
+// translating edges to host IDs.
+func (w *workGraph) addHostPath(
+	t *multicast.PseudoTree, nodes []graph.NodeID, edges []graph.EdgeID, processed bool,
+) error {
+	return t.AddPath(nodes, w.hostPath(edges), processed)
+}

@@ -1,0 +1,95 @@
+package graph
+
+// Bridges finds all bridge edges (cut edges) of g in O(n + m) using
+// Tarjan's low-link algorithm, implemented iteratively so deep graphs
+// cannot overflow the stack. An edge is a bridge when removing it
+// increases the number of connected components; parallel edges between
+// the same pair are never bridges. The result is sorted by edge ID.
+func Bridges(g *Graph) []EdgeID {
+	n := g.NumNodes()
+	disc := make([]int, n) // discovery time, 0 = unvisited
+	low := make([]int, n)  // low-link value
+	parentEdge := make([]EdgeID, n)
+	for i := range parentEdge {
+		parentEdge[i] = -1
+	}
+	timer := 0
+	var bridges []EdgeID
+
+	type frame struct {
+		v    NodeID
+		next int // next adjacency index to explore
+	}
+	// Count parallel edges per unordered pair lazily: an edge (u,v) is
+	// only a bridge when it is the unique u-v edge on the tree path,
+	// which the skip-one-parent-edge rule handles (we skip the exact
+	// parent edge ID, so a second parallel edge still relaxes low[]).
+	for start := 0; start < n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		stack := []frame{{v: start}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			ns := g.adj[f.v]
+			if f.next < len(ns) {
+				h := ns[f.next]
+				f.next++
+				if h.id == parentEdge[f.v] {
+					continue
+				}
+				if disc[h.to] != 0 {
+					if disc[h.to] < low[f.v] {
+						low[f.v] = disc[h.to]
+					}
+					continue
+				}
+				timer++
+				disc[h.to] = timer
+				low[h.to] = timer
+				parentEdge[h.to] = h.id
+				stack = append(stack, frame{v: h.to})
+				continue
+			}
+			// Post-order: propagate low-link to the parent.
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := stack[len(stack)-1].v
+				if low[f.v] < low[p] {
+					low[p] = low[f.v]
+				}
+				if low[f.v] > disc[p] {
+					bridges = append(bridges, parentEdge[f.v])
+				}
+			}
+		}
+	}
+	sortInts(bridges)
+	return bridges
+}
+
+// IsBridge reports whether edge e is a bridge of g. For repeated
+// queries call Bridges once and index the result.
+func IsBridge(g *Graph, e EdgeID) bool {
+	if e < 0 || e >= g.NumEdges() {
+		return false
+	}
+	for _, b := range Bridges(g) {
+		if b == e {
+			return true
+		}
+	}
+	return false
+}
+
+// sortInts is a tiny insertion sort for the small slices used here.
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBridgesLine(t *testing.T) {
+	g := lineGraph(5)
+	bridges := Bridges(g)
+	if len(bridges) != 4 {
+		t.Fatalf("line graph bridges = %v, want all 4 edges", bridges)
+	}
+}
+
+func TestBridgesCycle(t *testing.T) {
+	g := New(4)
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(i, (i+1)%4, 1)
+	}
+	if bridges := Bridges(g); len(bridges) != 0 {
+		t.Fatalf("cycle has bridges: %v", bridges)
+	}
+}
+
+func TestBridgesBarbell(t *testing.T) {
+	// Two triangles joined by one edge: only the joint is a bridge.
+	g := New(6)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 0, 1)
+	joint := g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 5, 1)
+	g.MustAddEdge(5, 3, 1)
+	bridges := Bridges(g)
+	if len(bridges) != 1 || bridges[0] != joint {
+		t.Fatalf("bridges = %v, want [%d]", bridges, joint)
+	}
+	if !IsBridge(g, joint) {
+		t.Fatal("IsBridge(joint) = false")
+	}
+	if IsBridge(g, 0) {
+		t.Fatal("triangle edge reported as bridge")
+	}
+	if IsBridge(g, -1) || IsBridge(g, 99) {
+		t.Fatal("out-of-range edge reported as bridge")
+	}
+}
+
+func TestBridgesParallelEdges(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(0, 1, 2)
+	if bridges := Bridges(g); len(bridges) != 0 {
+		t.Fatalf("parallel pair has bridges: %v", bridges)
+	}
+	single := New(2)
+	e := single.MustAddEdge(0, 1, 1)
+	if bridges := Bridges(single); len(bridges) != 1 || bridges[0] != e {
+		t.Fatalf("single edge not a bridge: %v", bridges)
+	}
+}
+
+func TestBridgesDisconnected(t *testing.T) {
+	g := New(5)
+	a := g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 4, 1)
+	g.MustAddEdge(4, 2, 1)
+	bridges := Bridges(g)
+	if len(bridges) != 1 || bridges[0] != a {
+		t.Fatalf("bridges = %v, want [%d]", bridges, a)
+	}
+}
+
+// TestPropertyBridgesMatchBruteForce compares Tarjan against the
+// definition: e is a bridge iff removing it disconnects its endpoints.
+func TestPropertyBridgesMatchBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 2+rng.Intn(25), rng.Intn(30))
+		fast := make(map[EdgeID]bool)
+		for _, e := range Bridges(g) {
+			fast[e] = true
+		}
+		for id := 0; id < g.NumEdges(); id++ {
+			e := g.Edge(id)
+			// Rebuild without edge id.
+			reduced := New(g.NumNodes())
+			for j := 0; j < g.NumEdges(); j++ {
+				if j == id {
+					continue
+				}
+				oe := g.Edge(j)
+				reduced.MustAddEdge(oe.U, oe.V, oe.W)
+			}
+			sp, err := Dijkstra(reduced, e.U)
+			if err != nil {
+				return false
+			}
+			slow := !sp.Reachable(e.V)
+			if slow != fast[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

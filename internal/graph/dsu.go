@@ -1,0 +1,51 @@
+package graph
+
+// DisjointSet is a union–find structure with path compression and
+// union by rank, used by Kruskal's MST and connectivity checks.
+type DisjointSet struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// NewDisjointSet returns n singleton sets {0}, {1}, ..., {n-1}.
+func NewDisjointSet(n int) *DisjointSet {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &DisjointSet{parent: p, rank: make([]byte, n), sets: n}
+}
+
+// Find returns the representative of x's set.
+func (d *DisjointSet) Find(x int) int {
+	for d.parent[x] != x {
+		d.parent[x] = d.parent[d.parent[x]] // path halving
+		x = d.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether they
+// were previously distinct.
+func (d *DisjointSet) Union(x, y int) bool {
+	rx, ry := d.Find(x), d.Find(y)
+	if rx == ry {
+		return false
+	}
+	if d.rank[rx] < d.rank[ry] {
+		rx, ry = ry, rx
+	}
+	d.parent[ry] = rx
+	if d.rank[rx] == d.rank[ry] {
+		d.rank[rx]++
+	}
+	d.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (d *DisjointSet) Connected(x, y int) bool { return d.Find(x) == d.Find(y) }
+
+// Count reports the number of disjoint sets.
+func (d *DisjointSet) Count() int { return d.sets }

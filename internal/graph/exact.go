@@ -1,0 +1,307 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrTooManyTerminals bounds the Dreyfus–Wagner exact solver, whose
+// running time grows as 3^t.
+var ErrTooManyTerminals = errors.New("graph: too many terminals for exact Steiner")
+
+// maxExactTerminals caps the exponential exact computation at a size
+// that stays fast enough for tests and small instances.
+const maxExactTerminals = 12
+
+// SteinerExact computes an exact minimum Steiner tree (not just its
+// weight) by running the Dreyfus–Wagner dynamic program with choice
+// tracking and reconstructing the tree from the recorded merge/extend
+// decisions. Exponential in the terminal count; intended for small
+// instances and ground-truth comparisons.
+func SteinerExact(g *Graph, terminals []NodeID) (*SteinerTree, error) {
+	terms := dedupNodes(terminals)
+	out := &SteinerTree{Terminals: terms}
+	if len(terms) <= 1 {
+		return out, nil
+	}
+	weight, dw, err := dreyfusWagner(g, terms)
+	if err != nil {
+		return nil, err
+	}
+	edges, err := dw.reconstruct()
+	if err != nil {
+		return nil, err
+	}
+	// The union of reconstruction paths can contain redundant edges
+	// only when zero-weight ties exist; an MST + prune pass (KMB
+	// steps 4-5 on an exact edge set) canonicalises without changing
+	// the weight.
+	tree, err := spanAndPrune(g, edges, terms)
+	if err != nil {
+		return nil, err
+	}
+	out.EdgeIDs = tree
+	for _, e := range tree {
+		out.Weight += g.Weight(e)
+	}
+	if out.Weight > weight+1e-6 {
+		return nil, fmt.Errorf("graph: internal: reconstructed weight %v exceeds optimum %v",
+			out.Weight, weight)
+	}
+	return out, nil
+}
+
+// spanAndPrune reduces an edge union to a tree spanning the terminals:
+// spanning forest of the union, then iterative removal of non-terminal
+// leaves.
+func spanAndPrune(g *Graph, union []EdgeID, terms []NodeID) ([]EdgeID, error) {
+	sub := New(g.NumNodes())
+	back := make([]EdgeID, 0, len(union))
+	sortInts(union)
+	for _, e := range union {
+		he := g.Edge(e)
+		sub.MustAddEdge(he.U, he.V, he.W)
+		back = append(back, e)
+	}
+	forest, err := KruskalMST(sub)
+	if err != nil && err != ErrDisconnected {
+		return nil, err
+	}
+	isTerm := make(map[NodeID]struct{}, len(terms))
+	for _, t := range terms {
+		isTerm[t] = struct{}{}
+	}
+	deg := make(map[NodeID]int)
+	alive := make(map[EdgeID]bool, len(forest.EdgeIDs))
+	incident := make(map[NodeID][]EdgeID)
+	for _, id := range forest.EdgeIDs {
+		he := back[id]
+		alive[he] = true
+		e := g.Edge(he)
+		deg[e.U]++
+		deg[e.V]++
+		incident[e.U] = append(incident[e.U], he)
+		incident[e.V] = append(incident[e.V], he)
+	}
+	var queue []NodeID
+	for v, d := range deg {
+		if d == 1 {
+			if _, ok := isTerm[v]; !ok {
+				queue = append(queue, v)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, he := range incident[v] {
+			if !alive[he] {
+				continue
+			}
+			alive[he] = false
+			e := g.Edge(he)
+			other := e.U
+			if other == v {
+				other = e.V
+			}
+			deg[v]--
+			deg[other]--
+			if deg[other] == 1 {
+				if _, ok := isTerm[other]; !ok {
+					queue = append(queue, other)
+				}
+			}
+		}
+	}
+	var out []EdgeID
+	for he, ok := range alive {
+		if ok {
+			out = append(out, he)
+		}
+	}
+	sortInts(out)
+	return out, nil
+}
+
+// SteinerExactWeight computes the exact minimum Steiner tree weight
+// spanning terminals using the Dreyfus–Wagner dynamic program
+// (O(3^t·n + 2^t·n^2) after n Dijkstra runs). It exists to verify the
+// KMB 2-approximation and the paper's 2K bound empirically on small
+// instances; production code should use SteinerKMB.
+func SteinerExactWeight(g *Graph, terminals []NodeID) (float64, error) {
+	terms := dedupNodes(terminals)
+	if len(terms) <= 1 {
+		for _, t := range terms {
+			if t < 0 || t >= g.NumNodes() {
+				return 0, fmt.Errorf("%w: terminal %d with n=%d",
+					ErrNodeOutOfRange, t, g.NumNodes())
+			}
+		}
+		return 0, nil
+	}
+	weight, _, err := dreyfusWagner(g, terms)
+	return weight, err
+}
+
+// dwChoice records how dp[mask][v] was achieved, for reconstruction.
+type dwChoice struct {
+	kind byte   // 0 unset, 'l' leaf path, 'm' merge, 'e' extend
+	sub  int    // merge: one half of the mask
+	u    NodeID // extend: the relay node
+}
+
+// dwState carries the DP tables needed to reconstruct a tree.
+type dwState struct {
+	g       *Graph
+	terms   []NodeID
+	sps     []*ShortestPaths // one per graph node (metric closure)
+	dp      [][]float64
+	choices [][]dwChoice
+	full    int
+}
+
+// dreyfusWagner runs the DP over masks of terms[0..t-2] rooted at
+// terms[t-1] and returns the optimal weight plus the state for
+// reconstruction.
+func dreyfusWagner(g *Graph, terms []NodeID) (float64, *dwState, error) {
+	for _, t := range terms {
+		if t < 0 || t >= g.NumNodes() {
+			return 0, nil, fmt.Errorf("%w: terminal %d with n=%d",
+				ErrNodeOutOfRange, t, g.NumNodes())
+		}
+	}
+	t := len(terms)
+	if t > maxExactTerminals {
+		return 0, nil, fmt.Errorf("%w: %d > %d", ErrTooManyTerminals, t, maxExactTerminals)
+	}
+	n := g.NumNodes()
+
+	// All-pairs shortest paths via one Dijkstra per node (paths kept
+	// for reconstruction).
+	sps := make([]*ShortestPaths, n)
+	for v := 0; v < n; v++ {
+		sp, err := Dijkstra(g, v)
+		if err != nil {
+			return 0, nil, err
+		}
+		sps[v] = sp
+	}
+	for i := 0; i < t; i++ {
+		for j := i + 1; j < t; j++ {
+			if sps[terms[i]].Dist[terms[j]] >= Infinity {
+				return 0, nil, fmt.Errorf("graph: terminals %d and %d: %w",
+					terms[i], terms[j], ErrDisconnected)
+			}
+		}
+	}
+
+	full := (1 << (t - 1)) - 1
+	dp := make([][]float64, full+1)
+	choices := make([][]dwChoice, full+1)
+	for mask := 0; mask <= full; mask++ {
+		dp[mask] = make([]float64, n)
+		choices[mask] = make([]dwChoice, n)
+		for v := range dp[mask] {
+			dp[mask][v] = Infinity
+		}
+	}
+	for i := 0; i < t-1; i++ {
+		ti := terms[i]
+		for v := 0; v < n; v++ {
+			dp[1<<i][v] = sps[ti].Dist[v]
+			choices[1<<i][v] = dwChoice{kind: 'l'}
+		}
+	}
+	for mask := 1; mask <= full; mask++ {
+		if bits.OnesCount(uint(mask)) < 2 {
+			continue
+		}
+		// Merge: split mask into two non-empty halves joined at v.
+		for sub := (mask - 1) & mask; sub > 0; sub = (sub - 1) & mask {
+			if sub < mask-sub {
+				continue // each {sub, mask^sub} pair once
+			}
+			rest := mask ^ sub
+			for v := 0; v < n; v++ {
+				if c := dp[sub][v] + dp[rest][v]; c < dp[mask][v] {
+					dp[mask][v] = c
+					choices[mask][v] = dwChoice{kind: 'm', sub: sub}
+				}
+			}
+		}
+		// Extend: connect the partial tree at u to v by a shortest
+		// path. One round of all-pairs relaxation is exact because the
+		// distances form a metric closure; strict improvement keeps
+		// reconstruction acyclic under zero-weight ties.
+		for v := 0; v < n; v++ {
+			dv := sps[v].Dist
+			for u := 0; u < n; u++ {
+				if c := dp[mask][u] + dv[u]; c < dp[mask][v]-1e-15 {
+					dp[mask][v] = c
+					choices[mask][v] = dwChoice{kind: 'e', u: u}
+				}
+			}
+		}
+	}
+	st := &dwState{g: g, terms: terms, sps: sps, dp: dp, choices: choices, full: full}
+	return dp[full][terms[t-1]], st, nil
+}
+
+// reconstruct walks the recorded choices from (full, root) and returns
+// the union of host edges of an optimal tree.
+func (st *dwState) reconstruct() ([]EdgeID, error) {
+	union := make(map[EdgeID]struct{})
+	addPath := func(from, to NodeID) error {
+		_, edges, ok := st.sps[from].PathTo(to)
+		if !ok {
+			return ErrDisconnected
+		}
+		for _, e := range edges {
+			union[e] = struct{}{}
+		}
+		return nil
+	}
+	type item struct {
+		mask int
+		v    NodeID
+	}
+	t := len(st.terms)
+	stack := []item{{mask: st.full, v: st.terms[t-1]}}
+	// Generous budget: every pop either descends to a strictly smaller
+	// mask or follows a strictly-improving extend chain.
+	budget := (st.full + 2) * st.g.NumNodes() * 4
+	for len(stack) > 0 {
+		if budget--; budget < 0 {
+			return nil, fmt.Errorf("graph: internal: reconstruction did not terminate")
+		}
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ch := st.choices[it.mask][it.v]
+		switch ch.kind {
+		case 'l':
+			// Singleton mask: shortest path terminal -> v.
+			i := bits.TrailingZeros(uint(it.mask))
+			if err := addPath(st.terms[i], it.v); err != nil {
+				return nil, err
+			}
+		case 'm':
+			stack = append(stack, item{mask: ch.sub, v: it.v})
+			stack = append(stack, item{mask: it.mask ^ ch.sub, v: it.v})
+		case 'e':
+			if err := addPath(ch.u, it.v); err != nil {
+				return nil, err
+			}
+			stack = append(stack, item{mask: it.mask, v: ch.u})
+		default:
+			return nil, fmt.Errorf("graph: internal: no choice for mask %b node %d",
+				it.mask, it.v)
+		}
+	}
+	out := make([]EdgeID, 0, len(union))
+	for e := range union {
+		out = append(out, e)
+	}
+	sortInts(out)
+	return out, nil
+}

@@ -1,0 +1,221 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSteinerExactTrivial(t *testing.T) {
+	g := lineGraph(4)
+	w, err := SteinerExactWeight(g, []NodeID{2})
+	if err != nil || w != 0 {
+		t.Fatalf("single terminal = (%v, %v), want (0, nil)", w, err)
+	}
+	w, err = SteinerExactWeight(g, []NodeID{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 3 {
+		t.Fatalf("two-terminal weight = %v, want 3 (shortest path)", w)
+	}
+}
+
+func TestSteinerExactFindsSteinerPoint(t *testing.T) {
+	// Hub with three terminals: spokes (1 each) beat the pairwise
+	// perimeter (1.9 each); the exact solver must find 3, where the
+	// KMB approximation legitimately returns 3.8.
+	g := New(4)
+	g.MustAddEdge(3, 0, 1)
+	g.MustAddEdge(3, 1, 1)
+	g.MustAddEdge(3, 2, 1)
+	g.MustAddEdge(0, 1, 1.9)
+	g.MustAddEdge(1, 2, 1.9)
+	g.MustAddEdge(0, 2, 1.9)
+	w, err := SteinerExactWeight(g, []NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-3) > 1e-9 {
+		t.Fatalf("exact weight = %v, want 3", w)
+	}
+	st, err := SteinerKMB(g, []NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Weight < w-1e-9 {
+		t.Fatalf("KMB %v beat the exact optimum %v", st.Weight, w)
+	}
+}
+
+func TestSteinerExactErrors(t *testing.T) {
+	g := lineGraph(3)
+	if _, err := SteinerExactWeight(g, []NodeID{0, 9}); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("bad terminal = %v, want ErrNodeOutOfRange", err)
+	}
+	big := make([]NodeID, maxExactTerminals+1)
+	gBig := New(maxExactTerminals + 1)
+	for i := range big {
+		big[i] = i
+		if i > 0 {
+			gBig.MustAddEdge(i-1, i, 1)
+		}
+	}
+	if _, err := SteinerExactWeight(gBig, big); !errors.Is(err, ErrTooManyTerminals) {
+		t.Fatalf("too many terminals = %v, want ErrTooManyTerminals", err)
+	}
+	dis := New(4)
+	dis.MustAddEdge(0, 1, 1)
+	dis.MustAddEdge(2, 3, 1)
+	if _, err := SteinerExactWeight(dis, []NodeID{0, 3}); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("disconnected = %v, want ErrDisconnected", err)
+	}
+}
+
+// TestPropertyExactMatchesBruteForceOnTrees: on a tree the minimum
+// Steiner tree is the union of pairwise paths, computable directly.
+func TestPropertyExactMatchesBruteForceOnTrees(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(15)
+		g := New(n)
+		ids := make([]EdgeID, 0, n-1)
+		for v := 1; v < n; v++ {
+			ids = append(ids, g.MustAddEdge(rng.Intn(v), v, 0.5+rng.Float64()*4))
+		}
+		nt := 2 + rng.Intn(min(4, n-1))
+		terms := rng.Perm(n)[:nt]
+		// Union of tree paths between terminals = minimal subtree.
+		rt, err := NewRootedTree(g, ids, terms[0])
+		if err != nil {
+			return false
+		}
+		used := make(map[EdgeID]struct{})
+		for _, term := range terms[1:] {
+			_, edges, err := rt.PathBetween(terms[0], term)
+			if err != nil {
+				return false
+			}
+			for _, e := range edges {
+				used[e] = struct{}{}
+			}
+		}
+		var want float64
+		for e := range used {
+			want += g.Weight(e)
+		}
+		got, err := SteinerExactWeight(g, terms)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyKMBWithinTwiceExact empirically verifies the KMB
+// guarantee weight(KMB) <= 2(1 - 1/l)·OPT on random graphs.
+func TestPropertyKMBWithinTwiceExact(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(16)
+		g := randomConnectedGraph(rng, n, rng.Intn(25))
+		nt := 2 + rng.Intn(min(5, n-1))
+		terms := rng.Perm(n)[:nt]
+		opt, err := SteinerExactWeight(g, terms)
+		if err != nil {
+			return false
+		}
+		st, err := SteinerKMB(g, terms)
+		if err != nil {
+			return false
+		}
+		bound := 2 * (1 - 1/float64(nt)) * opt
+		return st.Weight >= opt-1e-9 && st.Weight <= bound+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSteinerExactReconstruction(t *testing.T) {
+	// Hub instance: the exact tree must be the three spokes.
+	g := New(4)
+	g.MustAddEdge(3, 0, 1)
+	g.MustAddEdge(3, 1, 1)
+	g.MustAddEdge(3, 2, 1)
+	g.MustAddEdge(0, 1, 2.5)
+	g.MustAddEdge(1, 2, 2.5)
+	g.MustAddEdge(0, 2, 2.5)
+	tree, err := SteinerExact(g, []NodeID{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tree.Weight-3) > 1e-9 {
+		t.Fatalf("weight = %v, want 3", tree.Weight)
+	}
+	if len(tree.EdgeIDs) != 3 {
+		t.Fatalf("edges = %v, want the 3 spokes", tree.EdgeIDs)
+	}
+	checkSteinerTree(t, g, tree, []NodeID{0, 1, 2})
+}
+
+func TestSteinerExactTrivialCases(t *testing.T) {
+	g := lineGraph(4)
+	tree, err := SteinerExact(g, []NodeID{1})
+	if err != nil || len(tree.EdgeIDs) != 0 {
+		t.Fatalf("single terminal = (%+v, %v)", tree, err)
+	}
+	if _, err := SteinerExact(g, []NodeID{0, 9}); err == nil {
+		t.Fatal("bad terminal accepted")
+	}
+}
+
+// TestPropertySteinerExactTreeMatchesWeight reconstructs trees on
+// random graphs and checks (a) structural validity, (b) the tree's
+// weight equals the DP optimum, (c) KMB never beats it.
+func TestPropertySteinerExactTreeMatchesWeight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(14)
+		g := randomConnectedGraph(rng, n, rng.Intn(20))
+		nt := 2 + rng.Intn(min(5, n-1))
+		terms := rng.Perm(n)[:nt]
+		opt, err := SteinerExactWeight(g, terms)
+		if err != nil {
+			return false
+		}
+		tree, err := SteinerExact(g, terms)
+		if err != nil {
+			return false
+		}
+		if math.Abs(tree.Weight-opt) > 1e-6 {
+			return false
+		}
+		// Structural checks.
+		dsu := NewDisjointSet(n)
+		for _, id := range tree.EdgeIDs {
+			e := g.Edge(id)
+			if !dsu.Union(e.U, e.V) {
+				return false
+			}
+		}
+		for _, term := range terms[1:] {
+			if !dsu.Connected(terms[0], term) {
+				return false
+			}
+		}
+		kmb, err := SteinerKMB(g, terms)
+		if err != nil {
+			return false
+		}
+		return kmb.Weight >= opt-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

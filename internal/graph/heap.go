@@ -1,0 +1,104 @@
+package graph
+
+// indexedHeap is a binary min-heap keyed by float64 priorities with
+// decrease-key support, specialised for Dijkstra over dense integer
+// node IDs. It avoids container/heap's interface indirection on the
+// hottest path in the repository (every request admission runs many
+// Dijkstra calls).
+type indexedHeap struct {
+	items []NodeID  // heap order
+	prio  []float64 // priority per node ID
+	pos   []int     // position of node in items, -1 if absent
+}
+
+// newIndexedHeap returns an empty heap able to hold node IDs in [0, n).
+func newIndexedHeap(n int) *indexedHeap {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &indexedHeap{
+		items: make([]NodeID, 0, n),
+		prio:  make([]float64, n),
+		pos:   pos,
+	}
+}
+
+// Len reports the number of queued nodes.
+func (h *indexedHeap) Len() int { return len(h.items) }
+
+// Contains reports whether v is currently queued.
+func (h *indexedHeap) Contains(v NodeID) bool { return h.pos[v] >= 0 }
+
+// PushOrDecrease inserts v with priority p, or lowers v's priority to p
+// when v is already queued with a higher priority. It reports whether
+// the heap changed.
+func (h *indexedHeap) PushOrDecrease(v NodeID, p float64) bool {
+	if i := h.pos[v]; i >= 0 {
+		if p >= h.prio[v] {
+			return false
+		}
+		h.prio[v] = p
+		h.up(i)
+		return true
+	}
+	h.prio[v] = p
+	h.pos[v] = len(h.items)
+	h.items = append(h.items, v)
+	h.up(len(h.items) - 1)
+	return true
+}
+
+// Pop removes and returns the node with the minimum priority.
+func (h *indexedHeap) Pop() (NodeID, float64) {
+	v := h.items[0]
+	p := h.prio[v]
+	last := len(h.items) - 1
+	h.swap(0, last)
+	h.items = h.items[:last]
+	h.pos[v] = -1
+	if last > 0 {
+		h.down(0)
+	}
+	return v, p
+}
+
+func (h *indexedHeap) swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.pos[h.items[i]] = i
+	h.pos[h.items[j]] = j
+}
+
+func (h *indexedHeap) less(i, j int) bool {
+	return h.prio[h.items[i]] < h.prio[h.items[j]]
+}
+
+func (h *indexedHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+func (h *indexedHeap) down(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}

@@ -1,0 +1,86 @@
+package graph
+
+import (
+	"errors"
+	"sort"
+)
+
+// ErrDisconnected is returned by spanning-tree routines when the graph
+// (restricted to the relevant nodes) is not connected.
+var ErrDisconnected = errors.New("graph: disconnected")
+
+// MST holds a minimum spanning tree as a set of edge IDs of the host
+// graph plus the total weight.
+type MST struct {
+	EdgeIDs []EdgeID
+	Weight  float64
+}
+
+// KruskalMST computes a minimum spanning forest of g and returns it as
+// an MST. When g is connected the result is a spanning tree; when it is
+// not, ErrDisconnected is returned alongside the forest so callers that
+// tolerate forests can still use it.
+func KruskalMST(g *Graph) (*MST, error) {
+	m := g.NumEdges()
+	order := make([]EdgeID, m)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return g.Weight(order[i]) < g.Weight(order[j])
+	})
+	dsu := NewDisjointSet(g.NumNodes())
+	out := &MST{}
+	for _, id := range order {
+		e := g.Edge(id)
+		if dsu.Union(e.U, e.V) {
+			out.EdgeIDs = append(out.EdgeIDs, id)
+			out.Weight += e.W
+		}
+	}
+	if g.NumNodes() > 0 && dsu.Count() != 1 {
+		return out, ErrDisconnected
+	}
+	return out, nil
+}
+
+// PrimMST computes a minimum spanning tree of g starting from node 0
+// using a binary heap. Returns ErrDisconnected when g is not connected
+// (the partial tree covering node 0's component is still returned).
+func PrimMST(g *Graph) (*MST, error) {
+	n := g.NumNodes()
+	out := &MST{}
+	if n == 0 {
+		return out, nil
+	}
+	inTree := make([]bool, n)
+	bestEdge := make([]EdgeID, n)
+	for i := range bestEdge {
+		bestEdge[i] = -1
+	}
+	h := newIndexedHeap(n)
+	h.PushOrDecrease(0, 0)
+	covered := 0
+	for h.Len() > 0 {
+		v, _ := h.Pop()
+		if inTree[v] {
+			continue
+		}
+		inTree[v] = true
+		covered++
+		if e := bestEdge[v]; e != -1 {
+			out.EdgeIDs = append(out.EdgeIDs, e)
+			out.Weight += g.Weight(e)
+		}
+		g.VisitNeighbors(v, func(to NodeID, id EdgeID, w float64) bool {
+			if !inTree[to] && h.PushOrDecrease(to, w) {
+				bestEdge[to] = id
+			}
+			return true
+		})
+	}
+	if covered != n {
+		return out, ErrDisconnected
+	}
+	return out, nil
+}

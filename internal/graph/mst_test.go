@@ -1,0 +1,175 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMSTSquareWithDiagonal(t *testing.T) {
+	// Square 0-1-2-3 with unit sides and a heavy diagonal.
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 4)
+	g.MustAddEdge(0, 2, 5)
+	for name, f := range map[string]func(*Graph) (*MST, error){
+		"kruskal": KruskalMST,
+		"prim":    PrimMST,
+	} {
+		mst, err := f(g)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if mst.Weight != 3 {
+			t.Fatalf("%s weight = %v, want 3", name, mst.Weight)
+		}
+		if len(mst.EdgeIDs) != 3 {
+			t.Fatalf("%s edges = %d, want 3", name, len(mst.EdgeIDs))
+		}
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(2, 3, 1)
+	if _, err := KruskalMST(g); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("Kruskal on disconnected = %v, want ErrDisconnected", err)
+	}
+	if _, err := PrimMST(g); !errors.Is(err, ErrDisconnected) {
+		t.Fatalf("Prim on disconnected = %v, want ErrDisconnected", err)
+	}
+}
+
+func TestMSTEmptyAndSingle(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		g := New(n)
+		mst, err := PrimMST(g)
+		if err != nil {
+			t.Fatalf("Prim(n=%d): %v", n, err)
+		}
+		if mst.Weight != 0 || len(mst.EdgeIDs) != 0 {
+			t.Fatalf("Prim(n=%d) = %+v, want empty", n, mst)
+		}
+	}
+}
+
+func TestMSTParallelEdgesUsesCheapest(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1, 5)
+	cheap := g.MustAddEdge(0, 1, 1)
+	mst, err := KruskalMST(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mst.EdgeIDs) != 1 || mst.EdgeIDs[0] != cheap {
+		t.Fatalf("MST edges = %v, want [%d]", mst.EdgeIDs, cheap)
+	}
+}
+
+func TestPropertyPrimEqualsKruskal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 2+rng.Intn(30), rng.Intn(60))
+		k, kerr := KruskalMST(g)
+		p, perr := PrimMST(g)
+		if kerr != nil || perr != nil {
+			return false
+		}
+		return math.Abs(k.Weight-p.Weight) < 1e-9 &&
+			len(k.EdgeIDs) == g.NumNodes()-1 &&
+			len(p.EdgeIDs) == g.NumNodes()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMSTIsSpanningAcyclic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 2+rng.Intn(30), rng.Intn(60))
+		mst, err := PrimMST(g)
+		if err != nil {
+			return false
+		}
+		dsu := NewDisjointSet(g.NumNodes())
+		for _, id := range mst.EdgeIDs {
+			e := g.Edge(id)
+			if !dsu.Union(e.U, e.V) {
+				return false // cycle
+			}
+		}
+		return dsu.Count() == 1 // spanning
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDisjointSetBasics(t *testing.T) {
+	d := NewDisjointSet(5)
+	if d.Count() != 5 {
+		t.Fatalf("Count = %d, want 5", d.Count())
+	}
+	if !d.Union(0, 1) {
+		t.Fatal("first Union(0,1) should merge")
+	}
+	if d.Union(0, 1) {
+		t.Fatal("second Union(0,1) should be a no-op")
+	}
+	if !d.Connected(0, 1) {
+		t.Fatal("0 and 1 should be connected")
+	}
+	if d.Connected(0, 2) {
+		t.Fatal("0 and 2 should not be connected")
+	}
+	d.Union(2, 3)
+	d.Union(1, 3)
+	if !d.Connected(0, 2) {
+		t.Fatal("0 and 2 should be connected after transitive unions")
+	}
+	if d.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", d.Count())
+	}
+}
+
+func TestPropertyDSUTransitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		d := NewDisjointSet(n)
+		// Apply random unions, then check against a naive labeling.
+		labels := make([]int, n)
+		for i := range labels {
+			labels[i] = i
+		}
+		relabel := func(from, to int) {
+			for i := range labels {
+				if labels[i] == from {
+					labels[i] = to
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			d.Union(a, b)
+			relabel(labels[a], labels[b])
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if d.Connected(a, b) != (labels[a] == labels[b]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package graph
+
+import "fmt"
+
+// ShortestPaths holds the result of a single-source shortest-path
+// computation: per-node distances and the predecessor arcs of a
+// shortest-path tree rooted at Source.
+type ShortestPaths struct {
+	Source     NodeID
+	Dist       []float64 // Dist[v] == Infinity when v is unreachable
+	parentNode []NodeID  // -1 at the source and at unreachable nodes
+	parentEdge []EdgeID  // -1 likewise
+}
+
+// Dijkstra computes single-source shortest paths from src over the
+// current edge weights. All weights must be non-negative (enforced at
+// insertion time).
+func Dijkstra(g *Graph, src NodeID) (*ShortestPaths, error) {
+	if src < 0 || src >= g.NumNodes() {
+		return nil, fmt.Errorf("%w: source %d with n=%d", ErrNodeOutOfRange, src, g.NumNodes())
+	}
+	n := g.NumNodes()
+	sp := &ShortestPaths{
+		Source:     src,
+		Dist:       make([]float64, n),
+		parentNode: make([]NodeID, n),
+		parentEdge: make([]EdgeID, n),
+	}
+	for i := 0; i < n; i++ {
+		sp.Dist[i] = Infinity
+		sp.parentNode[i] = -1
+		sp.parentEdge[i] = -1
+	}
+	sp.Dist[src] = 0
+	h := newIndexedHeap(n)
+	h.PushOrDecrease(src, 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		if du > sp.Dist[u] {
+			continue
+		}
+		g.VisitNeighbors(u, func(to NodeID, id EdgeID, w float64) bool {
+			if nd := du + w; nd < sp.Dist[to] {
+				sp.Dist[to] = nd
+				sp.parentNode[to] = u
+				sp.parentEdge[to] = id
+				h.PushOrDecrease(to, nd)
+			}
+			return true
+		})
+	}
+	return sp, nil
+}
+
+// Reachable reports whether v was reached from the source.
+func (sp *ShortestPaths) Reachable(v NodeID) bool { return sp.Dist[v] < Infinity }
+
+// Parent returns the predecessor node of v in the shortest-path tree,
+// or -1 for the source and unreachable nodes.
+func (sp *ShortestPaths) Parent(v NodeID) NodeID { return sp.parentNode[v] }
+
+// PathTo returns the node sequence of a shortest path from the source
+// to v (inclusive of both endpoints) together with the edge IDs used,
+// or ok=false when v is unreachable. len(edges) == len(nodes)-1.
+func (sp *ShortestPaths) PathTo(v NodeID) (nodes []NodeID, edges []EdgeID, ok bool) {
+	if v < 0 || v >= len(sp.Dist) || !sp.Reachable(v) {
+		return nil, nil, false
+	}
+	for at := v; at != -1; at = sp.parentNode[at] {
+		nodes = append(nodes, at)
+		if e := sp.parentEdge[at]; e != -1 {
+			edges = append(edges, e)
+		}
+	}
+	reverseNodes(nodes)
+	reverseEdges(edges)
+	return nodes, edges, true
+}
+
+func reverseNodes(s []NodeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+func reverseEdges(s []EdgeID) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// BellmanFord computes single-source shortest-path distances by edge
+// relaxation. It is O(n·m) and exists as an independent oracle for
+// property-testing Dijkstra; production code should use Dijkstra.
+func BellmanFord(g *Graph, src NodeID) ([]float64, error) {
+	if src < 0 || src >= g.NumNodes() {
+		return nil, fmt.Errorf("%w: source %d with n=%d", ErrNodeOutOfRange, src, g.NumNodes())
+	}
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Infinity
+	}
+	dist[src] = 0
+	for iter := 0; iter < n-1; iter++ {
+		changed := false
+		for id := 0; id < g.NumEdges(); id++ {
+			e := g.Edge(id)
+			if dist[e.U] < Infinity && dist[e.U]+e.W < dist[e.V] {
+				dist[e.V] = dist[e.U] + e.W
+				changed = true
+			}
+			if dist[e.V] < Infinity && dist[e.V]+e.W < dist[e.U] {
+				dist[e.U] = dist[e.V] + e.W
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist, nil
+}

@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// lineGraph returns 0-1-2-...-(n-1) with unit weights.
+func lineGraph(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	return g
+}
+
+func TestDijkstraLine(t *testing.T) {
+	g := lineGraph(5)
+	sp, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < 5; v++ {
+		if sp.Dist[v] != float64(v) {
+			t.Fatalf("Dist[%d] = %v, want %d", v, sp.Dist[v], v)
+		}
+	}
+	nodes, edges, ok := sp.PathTo(4)
+	if !ok {
+		t.Fatal("PathTo(4) not ok")
+	}
+	if len(nodes) != 5 || len(edges) != 4 {
+		t.Fatalf("path sizes = (%d nodes, %d edges), want (5, 4)", len(nodes), len(edges))
+	}
+	for i, v := range nodes {
+		if v != i {
+			t.Fatalf("nodes[%d] = %d, want %d", i, v, i)
+		}
+	}
+}
+
+func TestDijkstraPrefersCheaperLongerPath(t *testing.T) {
+	// 0-1 direct weight 10; 0-2-1 weight 2+3=5.
+	g := New(3)
+	g.MustAddEdge(0, 1, 10)
+	g.MustAddEdge(0, 2, 2)
+	g.MustAddEdge(2, 1, 3)
+	sp, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Dist[1] != 5 {
+		t.Fatalf("Dist[1] = %v, want 5", sp.Dist[1])
+	}
+	nodes, _, _ := sp.PathTo(1)
+	want := []NodeID{0, 2, 1}
+	if len(nodes) != len(want) {
+		t.Fatalf("path = %v, want %v", nodes, want)
+	}
+	for i := range want {
+		if nodes[i] != want[i] {
+			t.Fatalf("path = %v, want %v", nodes, want)
+		}
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(4)
+	g.MustAddEdge(0, 1, 1)
+	// 2, 3 isolated from 0.
+	g.MustAddEdge(2, 3, 1)
+	sp, err := Dijkstra(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Reachable(2) {
+		t.Fatal("node 2 should be unreachable")
+	}
+	if sp.Dist[2] != Infinity {
+		t.Fatalf("Dist[2] = %v, want Infinity", sp.Dist[2])
+	}
+	if _, _, ok := sp.PathTo(3); ok {
+		t.Fatal("PathTo(3) should report not ok")
+	}
+}
+
+func TestDijkstraBadSource(t *testing.T) {
+	g := lineGraph(3)
+	if _, err := Dijkstra(g, 7); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("Dijkstra(bad source) = %v, want ErrNodeOutOfRange", err)
+	}
+	if _, err := Dijkstra(g, -1); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("Dijkstra(-1) = %v, want ErrNodeOutOfRange", err)
+	}
+}
+
+func TestDijkstraSourcePath(t *testing.T) {
+	g := lineGraph(3)
+	sp, _ := Dijkstra(g, 1)
+	nodes, edges, ok := sp.PathTo(1)
+	if !ok || len(nodes) != 1 || len(edges) != 0 {
+		t.Fatalf("PathTo(source) = (%v, %v, %v), want single node", nodes, edges, ok)
+	}
+	if sp.Parent(1) != -1 {
+		t.Fatalf("Parent(source) = %d, want -1", sp.Parent(1))
+	}
+}
+
+func TestDijkstraZeroWeightEdges(t *testing.T) {
+	g := New(3)
+	g.MustAddEdge(0, 1, 0)
+	g.MustAddEdge(1, 2, 0)
+	sp, _ := Dijkstra(g, 0)
+	if sp.Dist[2] != 0 {
+		t.Fatalf("Dist[2] = %v, want 0", sp.Dist[2])
+	}
+}
+
+func TestPropertyDijkstraMatchesBellmanFord(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 2+rng.Intn(25), rng.Intn(40))
+		src := rng.Intn(g.NumNodes())
+		sp, err := Dijkstra(g, src)
+		if err != nil {
+			return false
+		}
+		bf, err := BellmanFord(g, src)
+		if err != nil {
+			return false
+		}
+		for v := range bf {
+			if math.Abs(sp.Dist[v]-bf[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 3+rng.Intn(15), rng.Intn(20))
+		n := g.NumNodes()
+		dist := make([][]float64, n)
+		for v := 0; v < n; v++ {
+			sp, err := Dijkstra(g, v)
+			if err != nil {
+				return false
+			}
+			dist[v] = sp.Dist
+		}
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				for c := 0; c < n; c++ {
+					if dist[a][b] > dist[a][c]+dist[c][b]+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPathLengthEqualsDistance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomConnectedGraph(rng, 2+rng.Intn(25), rng.Intn(40))
+		src := rng.Intn(g.NumNodes())
+		sp, err := Dijkstra(g, src)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.NumNodes(); v++ {
+			nodes, edges, ok := sp.PathTo(v)
+			if !ok {
+				return false // connected graph: everything reachable
+			}
+			if nodes[0] != src || nodes[len(nodes)-1] != v {
+				return false
+			}
+			var sum float64
+			for i, e := range edges {
+				he := g.Edge(e)
+				// Each edge must join consecutive path nodes.
+				a, b := nodes[i], nodes[i+1]
+				if !((he.U == a && he.V == b) || (he.V == a && he.U == b)) {
+					return false
+				}
+				sum += he.W
+			}
+			if math.Abs(sum-sp.Dist[v]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBellmanFordBadSource(t *testing.T) {
+	g := lineGraph(3)
+	if _, err := BellmanFord(g, 9); !errors.Is(err, ErrNodeOutOfRange) {
+		t.Fatalf("BellmanFord(bad source) = %v, want ErrNodeOutOfRange", err)
+	}
+}

@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SteinerTree is an approximate minimum Steiner tree over a host
+// graph: a set of host edge IDs forming a tree that spans Terminals.
+type SteinerTree struct {
+	Terminals []NodeID
+	EdgeIDs   []EdgeID
+	Weight    float64
+}
+
+// Nodes returns the sorted-unique node set touched by the tree.
+// A single-terminal tree returns just that terminal.
+func (t *SteinerTree) Nodes(g *Graph) []NodeID {
+	seen := make(map[NodeID]struct{}, 2*len(t.EdgeIDs)+len(t.Terminals))
+	var out []NodeID
+	add := func(v NodeID) {
+		if _, ok := seen[v]; !ok {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
+	}
+	for _, term := range t.Terminals {
+		add(term)
+	}
+	for _, id := range t.EdgeIDs {
+		e := g.Edge(id)
+		add(e.U)
+		add(e.V)
+	}
+	return out
+}
+
+// SteinerKMB computes a Steiner tree spanning terminals using the
+// Kou–Markowsky–Berman algorithm (Acta Informatica 15, 1981), whose
+// output costs at most 2·(1 − 1/ℓ) times the optimum for ℓ terminals.
+// This is the approximation the paper invokes for both Appro_Multi and
+// Online_CP.
+//
+// Steps: (1) metric closure over the terminals via one Dijkstra per
+// terminal, (2) MST of the closure, (3) expand closure edges to host
+// shortest paths, (4) MST of the expansion, (5) prune non-terminal
+// leaves. Returns ErrDisconnected when some terminal pair is not
+// connected in g.
+func SteinerKMB(g *Graph, terminals []NodeID) (*SteinerTree, error) {
+	terms := dedupNodes(terminals)
+	for _, t := range terms {
+		if t < 0 || t >= g.NumNodes() {
+			return nil, fmt.Errorf("%w: terminal %d with n=%d", ErrNodeOutOfRange, t, g.NumNodes())
+		}
+	}
+	out := &SteinerTree{Terminals: terms}
+	if len(terms) <= 1 {
+		return out, nil
+	}
+
+	// (1) Shortest paths from every terminal.
+	sps := make([]*ShortestPaths, len(terms))
+	for i, t := range terms {
+		sp, err := Dijkstra(g, t)
+		if err != nil {
+			return nil, err
+		}
+		sps[i] = sp
+	}
+
+	// (2) MST of the metric closure (complete graph over terminals).
+	closure := New(len(terms))
+	for i := 0; i < len(terms); i++ {
+		for j := i + 1; j < len(terms); j++ {
+			d := sps[i].Dist[terms[j]]
+			if d >= Infinity {
+				return nil, fmt.Errorf("graph: terminals %d and %d: %w", terms[i], terms[j], ErrDisconnected)
+			}
+			closure.MustAddEdge(i, j, d)
+		}
+	}
+	closureMST, err := PrimMST(closure)
+	if err != nil {
+		return nil, err
+	}
+
+	// (3) Expand each closure MST edge into its host shortest path,
+	// collecting the union of host edges.
+	inUnion := make(map[EdgeID]struct{})
+	for _, cid := range closureMST.EdgeIDs {
+		ce := closure.Edge(cid)
+		_, hostEdges, ok := sps[ce.U].PathTo(terms[ce.V])
+		if !ok {
+			return nil, ErrDisconnected
+		}
+		for _, he := range hostEdges {
+			inUnion[he] = struct{}{}
+		}
+	}
+
+	// (4) MST of the expansion subgraph. Build a compact subgraph over
+	// the touched nodes to keep Prim linear in the subgraph size.
+	// Iterate the union in sorted order so equal-weight MST
+	// tie-breaking is deterministic.
+	unionList := make([]EdgeID, 0, len(inUnion))
+	for he := range inUnion {
+		unionList = append(unionList, he)
+	}
+	sort.Ints(unionList)
+	nodeOf := make(map[NodeID]int)
+	var revNode []NodeID
+	localID := func(v NodeID) int {
+		if id, ok := nodeOf[v]; ok {
+			return id
+		}
+		id := len(revNode)
+		nodeOf[v] = id
+		revNode = append(revNode, v)
+		return id
+	}
+	sub := New(0)
+	hostOf := make([]EdgeID, 0, len(unionList))
+	for _, he := range unionList {
+		e := g.Edge(he)
+		u, v := localID(e.U), localID(e.V)
+		for sub.NumNodes() < len(revNode) {
+			sub.AddNode()
+		}
+		sub.MustAddEdge(u, v, e.W)
+		hostOf = append(hostOf, he)
+	}
+	subMST, err := PrimMST(sub)
+	if err != nil {
+		return nil, err
+	}
+
+	// (5) Prune non-terminal leaves iteratively.
+	isTerm := make(map[NodeID]struct{}, len(terms))
+	for _, t := range terms {
+		isTerm[t] = struct{}{}
+	}
+	deg := make(map[NodeID]int)
+	alive := make(map[EdgeID]bool, len(subMST.EdgeIDs))
+	incident := make(map[NodeID][]EdgeID)
+	for _, sid := range subMST.EdgeIDs {
+		he := hostOf[sid]
+		alive[he] = true
+		e := g.Edge(he)
+		deg[e.U]++
+		deg[e.V]++
+		incident[e.U] = append(incident[e.U], he)
+		incident[e.V] = append(incident[e.V], he)
+	}
+	var queue []NodeID
+	for v, d := range deg {
+		if d == 1 {
+			if _, ok := isTerm[v]; !ok {
+				queue = append(queue, v)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, he := range incident[v] {
+			if !alive[he] {
+				continue
+			}
+			alive[he] = false
+			e := g.Edge(he)
+			other := e.U
+			if other == v {
+				other = e.V
+			}
+			deg[v]--
+			deg[other]--
+			if deg[other] == 1 {
+				if _, ok := isTerm[other]; !ok {
+					queue = append(queue, other)
+				}
+			}
+		}
+	}
+	// Emit edges in sorted order so downstream float accumulations
+	// (tree weights, costs) are bit-deterministic across runs.
+	for he, ok := range alive {
+		if ok {
+			out.EdgeIDs = append(out.EdgeIDs, he)
+		}
+	}
+	sort.Ints(out.EdgeIDs)
+	for _, he := range out.EdgeIDs {
+		out.Weight += g.Weight(he)
+	}
+	return out, nil
+}
+
+// dedupNodes returns the input nodes with duplicates removed,
+// preserving first-occurrence order.
+func dedupNodes(in []NodeID) []NodeID {
+	seen := make(map[NodeID]struct{}, len(in))
+	out := make([]NodeID, 0, len(in))
+	for _, v := range in {
+		if _, ok := seen[v]; ok {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package graph
+
+// BFSOrder returns the nodes reachable from src in breadth-first order.
+func BFSOrder(g *Graph, src NodeID) []NodeID {
+	if src < 0 || src >= g.NumNodes() {
+		return nil
+	}
+	visited := make([]bool, g.NumNodes())
+	visited[src] = true
+	queue := []NodeID{src}
+	var order []NodeID
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		g.VisitNeighbors(v, func(to NodeID, _ EdgeID, _ float64) bool {
+			if !visited[to] {
+				visited[to] = true
+				queue = append(queue, to)
+			}
+			return true
+		})
+	}
+	return order
+}
+
+// ConnectedComponents labels every node with a component index in
+// [0, #components) and returns the labels plus the component count.
+func ConnectedComponents(g *Graph) (labels []int, count int) {
+	n := g.NumNodes()
+	labels = make([]int, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	for v := 0; v < n; v++ {
+		if labels[v] != -1 {
+			continue
+		}
+		stack := []NodeID{v}
+		labels[v] = count
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.VisitNeighbors(u, func(to NodeID, _ EdgeID, _ float64) bool {
+				if labels[to] == -1 {
+					labels[to] = count
+					stack = append(stack, to)
+				}
+				return true
+			})
+		}
+		count++
+	}
+	return labels, count
+}
+
+// IsConnected reports whether g is connected (vacuously true for n<=1).
+func IsConnected(g *Graph) bool {
+	if g.NumNodes() <= 1 {
+		return true
+	}
+	return len(BFSOrder(g, 0)) == g.NumNodes()
+}
+
+// SameComponent reports whether all of the given nodes lie in one
+// connected component of g. Vacuously true for fewer than two nodes.
+func SameComponent(g *Graph, nodes ...NodeID) bool {
+	if len(nodes) < 2 {
+		return true
+	}
+	labels, _ := ConnectedComponents(g)
+	want := labels[nodes[0]]
+	for _, v := range nodes[1:] {
+		if labels[v] != want {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNotATree is returned when a supplied edge set does not form a tree
+// containing the requested root.
+var ErrNotATree = errors.New("graph: edge set is not a tree")
+
+// RootedTree is a rooted view over a tree-shaped subset of a host
+// graph's edges, supporting parent/depth queries, weighted distances to
+// the root, lowest common ancestors (binary lifting), and tree paths.
+// Node IDs are those of the host graph; nodes outside the tree are
+// reported via InTree.
+type RootedTree struct {
+	root       NodeID
+	host       *Graph
+	inTree     []bool
+	parentNode []NodeID
+	parentEdge []EdgeID
+	depth      []int
+	distRoot   []float64 // weighted distance to root
+	up         [][]NodeID
+	order      []NodeID // preorder
+}
+
+// NewRootedTree roots the tree formed by edgeIDs (edges of host) at
+// root. The edge set must be acyclic and connected and must contain
+// root (an isolated root with zero edges is also valid).
+func NewRootedTree(host *Graph, edgeIDs []EdgeID, root NodeID) (*RootedTree, error) {
+	n := host.NumNodes()
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("%w: root %d with n=%d", ErrNodeOutOfRange, root, n)
+	}
+	adj := make(map[NodeID][]halfEdge)
+	nodeSet := map[NodeID]struct{}{root: {}}
+	for _, id := range edgeIDs {
+		e := host.Edge(id)
+		adj[e.U] = append(adj[e.U], halfEdge{to: e.V, id: id})
+		adj[e.V] = append(adj[e.V], halfEdge{to: e.U, id: id})
+		nodeSet[e.U] = struct{}{}
+		nodeSet[e.V] = struct{}{}
+	}
+	t := &RootedTree{
+		root:       root,
+		host:       host,
+		inTree:     make([]bool, n),
+		parentNode: make([]NodeID, n),
+		parentEdge: make([]EdgeID, n),
+		depth:      make([]int, n),
+		distRoot:   make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		t.parentNode[i] = -1
+		t.parentEdge[i] = -1
+	}
+	// Iterative DFS from the root.
+	stack := []NodeID{root}
+	t.inTree[root] = true
+	visitedEdges := 0
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		t.order = append(t.order, v)
+		for _, h := range adj[v] {
+			if h.id == t.parentEdge[v] {
+				continue
+			}
+			if t.inTree[h.to] {
+				return nil, fmt.Errorf("%w: cycle through node %d", ErrNotATree, h.to)
+			}
+			t.inTree[h.to] = true
+			t.parentNode[h.to] = v
+			t.parentEdge[h.to] = h.id
+			t.depth[h.to] = t.depth[v] + 1
+			t.distRoot[h.to] = t.distRoot[v] + host.Weight(h.id)
+			visitedEdges++
+			stack = append(stack, h.to)
+		}
+	}
+	if visitedEdges != len(edgeIDs) {
+		return nil, fmt.Errorf("%w: %d edges unreachable from root %d",
+			ErrNotATree, len(edgeIDs)-visitedEdges, root)
+	}
+	if len(t.order) != len(nodeSet) {
+		return nil, fmt.Errorf("%w: disconnected from root %d", ErrNotATree, root)
+	}
+	t.buildLifting()
+	return t, nil
+}
+
+func (t *RootedTree) buildLifting() {
+	levels := 1
+	for 1<<levels < len(t.order)+1 {
+		levels++
+	}
+	t.up = make([][]NodeID, levels)
+	n := len(t.parentNode)
+	t.up[0] = make([]NodeID, n)
+	copy(t.up[0], t.parentNode)
+	for k := 1; k < levels; k++ {
+		t.up[k] = make([]NodeID, n)
+		for v := 0; v < n; v++ {
+			mid := t.up[k-1][v]
+			if mid == -1 {
+				t.up[k][v] = -1
+			} else {
+				t.up[k][v] = t.up[k-1][mid]
+			}
+		}
+	}
+}
+
+// Root returns the root node.
+func (t *RootedTree) Root() NodeID { return t.root }
+
+// InTree reports whether v belongs to the tree.
+func (t *RootedTree) InTree(v NodeID) bool {
+	return v >= 0 && v < len(t.inTree) && t.inTree[v]
+}
+
+// Nodes returns the tree's nodes in preorder.
+func (t *RootedTree) Nodes() []NodeID {
+	out := make([]NodeID, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// Parent returns v's parent, or -1 for the root.
+func (t *RootedTree) Parent(v NodeID) NodeID { return t.parentNode[v] }
+
+// ParentEdge returns the host edge joining v to its parent, or -1.
+func (t *RootedTree) ParentEdge(v NodeID) EdgeID { return t.parentEdge[v] }
+
+// Depth returns v's hop depth below the root.
+func (t *RootedTree) Depth(v NodeID) int { return t.depth[v] }
+
+// DistToRoot returns the weighted length of the tree path root→v.
+func (t *RootedTree) DistToRoot(v NodeID) float64 { return t.distRoot[v] }
+
+// LCA returns the lowest common ancestor of u and v. Both nodes must be
+// in the tree.
+func (t *RootedTree) LCA(u, v NodeID) (NodeID, error) {
+	if !t.InTree(u) || !t.InTree(v) {
+		return 0, fmt.Errorf("%w: LCA(%d,%d) outside tree", ErrNodeOutOfRange, u, v)
+	}
+	if t.depth[u] < t.depth[v] {
+		u, v = v, u
+	}
+	diff := t.depth[u] - t.depth[v]
+	for k := 0; diff > 0; k++ {
+		if diff&1 == 1 {
+			u = t.up[k][u]
+		}
+		diff >>= 1
+	}
+	if u == v {
+		return u, nil
+	}
+	for k := len(t.up) - 1; k >= 0; k-- {
+		if t.up[k][u] != t.up[k][v] {
+			u = t.up[k][u]
+			v = t.up[k][v]
+		}
+	}
+	return t.parentNode[u], nil
+}
+
+// LCAAll folds LCA over a node list: LCA(x1, x2, ..., xm) as defined in
+// the paper's Algorithm 2, step 10. The list must be non-empty.
+func (t *RootedTree) LCAAll(nodes ...NodeID) (NodeID, error) {
+	if len(nodes) == 0 {
+		return 0, errors.New("graph: LCAAll of empty node list")
+	}
+	acc := nodes[0]
+	if !t.InTree(acc) {
+		return 0, fmt.Errorf("%w: LCAAll node %d outside tree", ErrNodeOutOfRange, acc)
+	}
+	for _, v := range nodes[1:] {
+		a, err := t.LCA(acc, v)
+		if err != nil {
+			return 0, err
+		}
+		acc = a
+	}
+	return acc, nil
+}
+
+// PathBetween returns the unique tree path u→v as node and edge
+// sequences (nodes includes both endpoints).
+func (t *RootedTree) PathBetween(u, v NodeID) (nodes []NodeID, edges []EdgeID, err error) {
+	a, err := t.LCA(u, v)
+	if err != nil {
+		return nil, nil, err
+	}
+	// u up to LCA.
+	for at := u; at != a; at = t.parentNode[at] {
+		nodes = append(nodes, at)
+		edges = append(edges, t.parentEdge[at])
+	}
+	nodes = append(nodes, a)
+	// LCA down to v: collect then reverse.
+	var down []NodeID
+	var downE []EdgeID
+	for at := v; at != a; at = t.parentNode[at] {
+		down = append(down, at)
+		downE = append(downE, t.parentEdge[at])
+	}
+	for i := len(down) - 1; i >= 0; i-- {
+		nodes = append(nodes, down[i])
+		edges = append(edges, downE[i])
+	}
+	return nodes, edges, nil
+}
+
+// PathWeight returns the weighted length of the unique tree path u→v.
+func (t *RootedTree) PathWeight(u, v NodeID) (float64, error) {
+	a, err := t.LCA(u, v)
+	if err != nil {
+		return 0, err
+	}
+	return t.distRoot[u] + t.distRoot[v] - 2*t.distRoot[a], nil
+}
+
+// SubtreeNodes returns all nodes in the subtree rooted at v (including
+// v itself), in preorder.
+func (t *RootedTree) SubtreeNodes(v NodeID) []NodeID {
+	if !t.InTree(v) {
+		return nil
+	}
+	// children lists are not stored; derive via parent pointers over
+	// the preorder, which visits every descendant after v... preorder
+	// from a stack DFS does not guarantee contiguity, so walk parents.
+	var out []NodeID
+	for _, u := range t.order {
+		if t.isAncestor(v, u) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// isAncestor reports whether a is an ancestor of v (or equal to it).
+func (t *RootedTree) isAncestor(a, v NodeID) bool {
+	if t.depth[v] < t.depth[a] {
+		return false
+	}
+	diff := t.depth[v] - t.depth[a]
+	for k := 0; diff > 0; k++ {
+		if diff&1 == 1 {
+			v = t.up[k][v]
+		}
+		diff >>= 1
+	}
+	return v == a
+}

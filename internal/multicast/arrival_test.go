@@ -1,0 +1,136 @@
+package multicast
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonConfigValidate(t *testing.T) {
+	good := PoissonConfig{ArrivalsPerHour: 10, MeanHoldingHours: 0.5}
+	if _, err := NewPoissonGenerator(20, DefaultGeneratorConfig(), good, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := good.OfferedErlangs(); got != 5 {
+		t.Fatalf("offered load = %v, want 5", got)
+	}
+	for _, bad := range []PoissonConfig{
+		{ArrivalsPerHour: 0, MeanHoldingHours: 1},
+		{ArrivalsPerHour: 1, MeanHoldingHours: 0},
+		{ArrivalsPerHour: -1, MeanHoldingHours: 1},
+	} {
+		if _, err := NewPoissonGenerator(20, DefaultGeneratorConfig(), bad, 1); err == nil {
+			t.Fatalf("bad config accepted: %+v", bad)
+		}
+	}
+}
+
+func TestPoissonArrivalsIncreaseAndHold(t *testing.T) {
+	g, err := NewPoissonGenerator(30, DefaultGeneratorConfig(),
+		PoissonConfig{ArrivalsPerHour: 20, MeanHoldingHours: 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for i := 0; i < 200; i++ {
+		tr, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.ArrivalHours <= prev {
+			t.Fatalf("arrival %d not strictly increasing: %v <= %v",
+				i, tr.ArrivalHours, prev)
+		}
+		if tr.DepartureHours <= tr.ArrivalHours {
+			t.Fatalf("arrival %d departs before it arrives", i)
+		}
+		if tr.HoldingHours() <= 0 {
+			t.Fatalf("arrival %d non-positive holding", i)
+		}
+		if err := tr.Validate(30); err != nil {
+			t.Fatalf("arrival %d invalid request: %v", i, err)
+		}
+		prev = tr.ArrivalHours
+	}
+	if g.Now() != prev {
+		t.Fatalf("Now() = %v, want %v", g.Now(), prev)
+	}
+}
+
+func TestPoissonRatesApproximatelyCorrect(t *testing.T) {
+	const (
+		lambda = 50.0
+		mean   = 0.25
+		count  = 5000
+	)
+	g, err := NewPoissonGenerator(30, DefaultGeneratorConfig(),
+		PoissonConfig{ArrivalsPerHour: lambda, MeanHoldingHours: mean}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumHold float64
+	for i := 0; i < count; i++ {
+		tr, err := g.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumHold += tr.HoldingHours()
+	}
+	// Empirical arrival rate within 10% of λ.
+	gotRate := count / g.Now()
+	if math.Abs(gotRate-lambda)/lambda > 0.1 {
+		t.Fatalf("empirical rate %v too far from %v", gotRate, lambda)
+	}
+	gotMean := sumHold / count
+	if math.Abs(gotMean-mean)/mean > 0.1 {
+		t.Fatalf("empirical holding mean %v too far from %v", gotMean, mean)
+	}
+}
+
+func TestPoissonDeterminism(t *testing.T) {
+	mk := func() *PoissonGenerator {
+		g, err := NewPoissonGenerator(25, DefaultGeneratorConfig(),
+			PoissonConfig{ArrivalsPerHour: 5, MeanHoldingHours: 2}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 50; i++ {
+		ta, _ := a.Next()
+		tb, _ := b.Next()
+		if ta.ArrivalHours != tb.ArrivalHours || ta.DepartureHours != tb.DepartureHours ||
+			ta.Source != tb.Source {
+			t.Fatalf("arrival %d differs between equal-seed generators", i)
+		}
+	}
+}
+
+func TestPropertyPoissonTimedRequestsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := NewPoissonGenerator(40, OnlineGeneratorConfig(),
+			PoissonConfig{ArrivalsPerHour: 12, MeanHoldingHours: 0.5}, seed)
+		if err != nil {
+			return false
+		}
+		prev := 0.0
+		for i := 0; i < 30; i++ {
+			tr, err := g.Next()
+			if err != nil {
+				return false
+			}
+			if tr.ArrivalHours <= prev || tr.DepartureHours <= tr.ArrivalHours {
+				return false
+			}
+			if tr.Validate(40) != nil {
+				return false
+			}
+			prev = tr.ArrivalHours
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package multicast
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/graph"
+)
+
+// Delivery-latency metrics: the number of link traversals a packet
+// needs from the source to each destination, including the detour
+// through the service chain and any pseudo-multicast back-tracking.
+// With per-link propagation delays these hop counts become an
+// end-to-end delay proxy; with uniform links they measure path
+// stretch.
+
+// DeliveryDepths returns, per destination, the minimum number of
+// directed hops a packet traverses from the source (unprocessed)
+// until the destination receives it processed. It runs a BFS over the
+// layered (node, processed) state graph that CheckDelivery validates.
+func (t *PseudoTree) DeliveryDepths(g *graph.Graph) (map[graph.NodeID]int, error) {
+	if err := t.CheckDelivery(g); err != nil {
+		return nil, err
+	}
+	isServer := make(map[graph.NodeID]struct{}, len(t.Servers))
+	for _, s := range t.Servers {
+		isServer[s] = struct{}{}
+	}
+	type arc struct {
+		to        graph.NodeID
+		processed bool
+	}
+	out := make(map[graph.NodeID][]arc)
+	for _, h := range t.hops {
+		out[h.From] = append(out[h.From], arc{to: h.To, processed: h.Processed})
+	}
+	type state struct {
+		node      graph.NodeID
+		processed bool
+	}
+	dist := map[state]int{{node: t.Source, processed: false}: 0}
+	queue := []state{{node: t.Source, processed: false}}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := dist[cur]
+		push := func(next state, cost int) {
+			if _, seen := dist[next]; !seen {
+				dist[next] = d + cost
+				queue = append(queue, next)
+			}
+		}
+		if !cur.processed {
+			if _, ok := isServer[cur.node]; ok {
+				// VM processing is local to the switch: zero hops.
+				push(state{node: cur.node, processed: true}, 0)
+			}
+		}
+		for _, a := range out[cur.node] {
+			if a.processed == cur.processed {
+				push(state{node: a.to, processed: cur.processed}, 1)
+			}
+		}
+	}
+	depths := make(map[graph.NodeID]int, len(t.Destinations))
+	for _, dst := range t.Destinations {
+		d, ok := dist[state{node: dst, processed: true}]
+		if !ok {
+			// CheckDelivery above guarantees reachability; this is a
+			// programming error.
+			return nil, fmt.Errorf("multicast: internal: destination %d lost", dst)
+		}
+		depths[dst] = d
+	}
+	return depths, nil
+}
+
+// MaxDeliveryDepth returns the worst-case hop count over all
+// destinations (the tree's delay proxy).
+func (t *PseudoTree) MaxDeliveryDepth(g *graph.Graph) (int, error) {
+	depths, err := t.DeliveryDepths(g)
+	if err != nil {
+		return 0, err
+	}
+	max := 0
+	for _, d := range depths {
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// Stretch returns the ratio of the tree's worst-case delivery depth to
+// the plain shortest-path hop distance from the source to the farthest
+// destination — the latency price of forcing traffic through the
+// service chain. Stretch is always >= 1.
+func (t *PseudoTree) Stretch(g *graph.Graph) (float64, error) {
+	worst, err := t.MaxDeliveryDepth(g)
+	if err != nil {
+		return 0, err
+	}
+	// Hop-count shortest paths: unit weights.
+	unit := g.Clone()
+	for e := 0; e < unit.NumEdges(); e++ {
+		if err := unit.SetWeight(e, 1); err != nil {
+			return 0, err
+		}
+	}
+	sp, err := graph.Dijkstra(unit, t.Source)
+	if err != nil {
+		return 0, err
+	}
+	far := 0.0
+	for _, d := range t.Destinations {
+		if !sp.Reachable(d) {
+			return 0, fmt.Errorf("multicast: destination %d: %w", d, graph.ErrDisconnected)
+		}
+		if sp.Dist[d] > far {
+			far = sp.Dist[d]
+		}
+	}
+	if far == 0 {
+		return 1, nil
+	}
+	return float64(worst) / far, nil
+}

@@ -1,0 +1,100 @@
+package multicast
+
+import (
+	"math"
+	"testing"
+
+	"nfvmcast/internal/graph"
+)
+
+func TestDeliveryDepthsLine(t *testing.T) {
+	g, ids := lineHost()
+	// Source 0, server 2, destinations {1, 4}: d=1 needs
+	// 0->1->2 (2 hops) + process + 2->1 back (1 hop) = 3 hops;
+	// d=4 needs 0->1->2 + 2->3->4 = 4 hops.
+	tr := NewPseudoTree(0, []graph.NodeID{1, 4}, []graph.NodeID{2})
+	tr.AddHop(Hop{From: 0, To: 1, Edge: ids[0], Processed: false})
+	tr.AddHop(Hop{From: 1, To: 2, Edge: ids[1], Processed: false})
+	tr.AddHop(Hop{From: 2, To: 1, Edge: ids[1], Processed: true})
+	tr.AddHop(Hop{From: 2, To: 3, Edge: ids[2], Processed: true})
+	tr.AddHop(Hop{From: 3, To: 4, Edge: ids[3], Processed: true})
+	depths, err := tr.DeliveryDepths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depths[1] != 3 {
+		t.Fatalf("depth[1] = %d, want 3 (back-track counted)", depths[1])
+	}
+	if depths[4] != 4 {
+		t.Fatalf("depth[4] = %d, want 4", depths[4])
+	}
+	max, err := tr.MaxDeliveryDepth(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if max != 4 {
+		t.Fatalf("max depth = %d, want 4", max)
+	}
+	// Shortest-path distance to the farthest destination (4) is 4
+	// hops, so stretch = 4/4 = 1; destination 1 pays stretch locally
+	// but Stretch is defined on the worst case.
+	stretch, err := tr.Stretch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stretch-1) > 1e-9 {
+		t.Fatalf("stretch = %v, want 1", stretch)
+	}
+}
+
+func TestDeliveryDepthsSourceIsServer(t *testing.T) {
+	g, ids := lineHost()
+	tr := NewPseudoTree(0, []graph.NodeID{1}, []graph.NodeID{0})
+	tr.AddHop(Hop{From: 0, To: 1, Edge: ids[0], Processed: true})
+	depths, err := tr.DeliveryDepths(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if depths[1] != 1 {
+		t.Fatalf("depth = %d, want 1 (processing is free)", depths[1])
+	}
+	stretch, err := tr.Stretch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stretch != 1 {
+		t.Fatalf("stretch = %v, want 1", stretch)
+	}
+}
+
+func TestDeliveryDepthsInvalidTree(t *testing.T) {
+	g, ids := lineHost()
+	tr := NewPseudoTree(0, []graph.NodeID{4}, []graph.NodeID{2})
+	tr.AddHop(Hop{From: 0, To: 1, Edge: ids[0], Processed: false})
+	if _, err := tr.DeliveryDepths(g); err == nil {
+		t.Fatal("undelivered tree accepted")
+	}
+}
+
+func TestStretchDetour(t *testing.T) {
+	// Triangle 0-1-2 plus pendant 3 on node 1; server at 2, source 0,
+	// destination 3. Direct distance 0->1->3 is 2 hops; route through
+	// the server is 0->2 (1 hop), 2->1 (1), 1->3 (1) = 3 hops.
+	g := graph.New(4)
+	e01 := g.MustAddEdge(0, 1, 1)
+	e02 := g.MustAddEdge(0, 2, 1)
+	e12 := g.MustAddEdge(1, 2, 1)
+	e13 := g.MustAddEdge(1, 3, 1)
+	_ = e01
+	tr := NewPseudoTree(0, []graph.NodeID{3}, []graph.NodeID{2})
+	tr.AddHop(Hop{From: 0, To: 2, Edge: e02, Processed: false})
+	tr.AddHop(Hop{From: 2, To: 1, Edge: e12, Processed: true})
+	tr.AddHop(Hop{From: 1, To: 3, Edge: e13, Processed: true})
+	stretch, err := tr.Stretch(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stretch-1.5) > 1e-9 {
+		t.Fatalf("stretch = %v, want 1.5", stretch)
+	}
+}

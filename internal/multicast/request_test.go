@@ -1,0 +1,184 @@
+package multicast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/nfv"
+)
+
+func validRequest() *Request {
+	return &Request{
+		ID:            1,
+		Source:        0,
+		Destinations:  []graph.NodeID{1, 2},
+		BandwidthMbps: 100,
+		Chain:         nfv.MustChain(nfv.Firewall),
+	}
+}
+
+func TestRequestValidate(t *testing.T) {
+	if err := validRequest().Validate(5); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Request)
+	}{
+		{"source out of range", func(r *Request) { r.Source = 9 }},
+		{"negative source", func(r *Request) { r.Source = -1 }},
+		{"no destinations", func(r *Request) { r.Destinations = nil }},
+		{"destination out of range", func(r *Request) { r.Destinations = []graph.NodeID{7} }},
+		{"destination equals source", func(r *Request) { r.Destinations = []graph.NodeID{0} }},
+		{"duplicate destination", func(r *Request) { r.Destinations = []graph.NodeID{1, 1} }},
+		{"zero bandwidth", func(r *Request) { r.BandwidthMbps = 0 }},
+		{"negative bandwidth", func(r *Request) { r.BandwidthMbps = -5 }},
+		{"empty chain", func(r *Request) { r.Chain = nfv.Chain{} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := validRequest()
+			tt.mutate(r)
+			if err := r.Validate(5); err == nil {
+				t.Fatalf("%s accepted", tt.name)
+			}
+		})
+	}
+}
+
+func TestRequestComputeDemand(t *testing.T) {
+	r := validRequest()
+	want := r.Chain.DemandMHz(r.BandwidthMbps)
+	if got := r.ComputeDemandMHz(); got != want {
+		t.Fatalf("demand = %v, want %v", got, want)
+	}
+}
+
+func TestRequestClone(t *testing.T) {
+	r := validRequest()
+	c := r.Clone()
+	c.Destinations[0] = 3
+	c.Source = 4
+	if r.Destinations[0] != 1 || r.Source != 0 {
+		t.Fatal("Clone shares state with original")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	good := DefaultGeneratorConfig()
+	if _, err := NewGenerator(10, good, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewGenerator(1, good, 1); err == nil {
+		t.Fatal("n=1 accepted")
+	}
+	bad := good
+	bad.DestRatio = 0
+	if _, err := NewGenerator(10, bad, 1); err == nil {
+		t.Fatal("ratio 0 accepted")
+	}
+	bad = good
+	bad.DestRatio = 1.5
+	if _, err := NewGenerator(10, bad, 1); err == nil {
+		t.Fatal("ratio > 1 accepted")
+	}
+	bad = good
+	bad.BandwidthRangeMbps = [2]float64{0, 10}
+	if _, err := NewGenerator(10, bad, 1); err == nil {
+		t.Fatal("zero bandwidth floor accepted")
+	}
+	bad = good
+	bad.BandwidthRangeMbps = [2]float64{100, 50}
+	if _, err := NewGenerator(10, bad, 1); err == nil {
+		t.Fatal("inverted bandwidth range accepted")
+	}
+	bad = good
+	bad.ChainLength = [2]int{0, 2}
+	if _, err := NewGenerator(10, bad, 1); err == nil {
+		t.Fatal("chain length 0 accepted")
+	}
+	bad = good
+	bad.DestRatioRange = [2]float64{0.3, 0.1}
+	if _, err := NewGenerator(10, bad, 1); err == nil {
+		t.Fatal("inverted ratio range accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, err := NewGenerator(30, DefaultGeneratorConfig(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewGenerator(30, DefaultGeneratorConfig(), 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ra, _ := a.Next()
+		rb, _ := b.Next()
+		if ra.Source != rb.Source || ra.BandwidthMbps != rb.BandwidthMbps ||
+			len(ra.Destinations) != len(rb.Destinations) || !ra.Chain.Equal(rb.Chain) {
+			t.Fatalf("request %d differs between equal-seed generators", i)
+		}
+	}
+}
+
+func TestGeneratorBatch(t *testing.T) {
+	g, err := NewGenerator(20, DefaultGeneratorConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := g.Batch(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 15 {
+		t.Fatalf("batch = %d requests, want 15", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.ID != i+1 {
+			t.Fatalf("request %d has ID %d, want sequential", i, r.ID)
+		}
+	}
+}
+
+func TestPropertyGeneratedRequestsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		cfg := DefaultGeneratorConfig()
+		if rng.Intn(2) == 0 {
+			cfg = OnlineGeneratorConfig()
+		}
+		g, err := NewGenerator(n, cfg, seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			r, err := g.Next()
+			if err != nil {
+				return false
+			}
+			if r.Validate(n) != nil {
+				return false
+			}
+			if r.BandwidthMbps < cfg.BandwidthRangeMbps[0] ||
+				r.BandwidthMbps > cfg.BandwidthRangeMbps[1] {
+				return false
+			}
+			dmax := int(0.2*float64(n) + 0.5)
+			if dmax < 1 {
+				dmax = 1
+			}
+			if len(r.Destinations) > dmax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package nfv models virtualised network functions and service chains
+// as used by NFV-enabled multicast requests: the five middlebox types
+// considered in the paper's evaluation (Firewall, Proxy, NAT, IDS and
+// Load Balancer), their computing demands, and ordered service chains
+// that are consolidated onto a single VM per hosting server.
+package nfv
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Function identifies one virtualised network function type.
+type Function int
+
+// The five network-function types from the paper's evaluation (§VI.A).
+const (
+	Firewall Function = iota + 1
+	Proxy
+	NAT
+	IDS
+	LoadBalancer
+)
+
+// AllFunctions lists every supported network function type.
+func AllFunctions() []Function {
+	return []Function{Firewall, Proxy, NAT, IDS, LoadBalancer}
+}
+
+// String implements fmt.Stringer.
+func (f Function) String() string {
+	switch f {
+	case Firewall:
+		return "Firewall"
+	case Proxy:
+		return "Proxy"
+	case NAT:
+		return "NAT"
+	case IDS:
+		return "IDS"
+	case LoadBalancer:
+		return "LoadBalancer"
+	default:
+		return fmt.Sprintf("Function(%d)", int(f))
+	}
+}
+
+// Valid reports whether f is one of the defined function types.
+func (f Function) Valid() bool { return f >= Firewall && f <= LoadBalancer }
+
+// baseDemandMHz is the computing demand of one function instance at the
+// reference traffic rate, in MHz. The paper cites ClickOS-era
+// measurements ([7], [17]) without reprinting the numbers; these values
+// are at the magnitudes those systems report (see DESIGN.md §5) and
+// scale linearly with the request bandwidth.
+var baseDemandMHz = map[Function]float64{
+	Firewall:     40,
+	Proxy:        60,
+	NAT:          20,
+	IDS:          80,
+	LoadBalancer: 30,
+}
+
+// ReferenceRateMbps is the traffic rate at which baseDemandMHz applies.
+const ReferenceRateMbps = 100.0
+
+// DemandMHz returns the computing demand in MHz of one instance of f
+// processing traffic at rateMbps.
+func (f Function) DemandMHz(rateMbps float64) float64 {
+	base, ok := baseDemandMHz[f]
+	if !ok {
+		return 0
+	}
+	if rateMbps < 0 {
+		rateMbps = 0
+	}
+	return base * rateMbps / ReferenceRateMbps
+}
+
+// ErrEmptyChain is returned when a service chain has no functions.
+var ErrEmptyChain = errors.New("nfv: empty service chain")
+
+// Chain is an ordered service chain SC_k: every packet of the request
+// must traverse the functions in this order before reaching any
+// destination. Chains are immutable after construction.
+type Chain struct {
+	funcs []Function
+}
+
+// NewChain builds a service chain from the given ordered functions.
+func NewChain(funcs ...Function) (Chain, error) {
+	if len(funcs) == 0 {
+		return Chain{}, ErrEmptyChain
+	}
+	for _, f := range funcs {
+		if !f.Valid() {
+			return Chain{}, fmt.Errorf("nfv: invalid function %d in chain", int(f))
+		}
+	}
+	cp := make([]Function, len(funcs))
+	copy(cp, funcs)
+	return Chain{funcs: cp}, nil
+}
+
+// MustChain is NewChain for statically-known chains; it panics on error.
+func MustChain(funcs ...Function) Chain {
+	c, err := NewChain(funcs...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Functions returns a copy of the chain's ordered function list.
+func (c Chain) Functions() []Function {
+	out := make([]Function, len(c.funcs))
+	copy(out, c.funcs)
+	return out
+}
+
+// Len reports the number of functions in the chain.
+func (c Chain) Len() int { return len(c.funcs) }
+
+// At returns the i-th function of the chain.
+func (c Chain) At(i int) Function { return c.funcs[i] }
+
+// Empty reports whether the chain holds no functions.
+func (c Chain) Empty() bool { return len(c.funcs) == 0 }
+
+// DemandMHz returns the consolidated computing demand C_v(SC_k) of the
+// whole chain at traffic rate rateMbps: the chain's functions run in a
+// single VM, so the demand is the sum over the chain.
+func (c Chain) DemandMHz(rateMbps float64) float64 {
+	var sum float64
+	for _, f := range c.funcs {
+		sum += f.DemandMHz(rateMbps)
+	}
+	return sum
+}
+
+// String renders the chain as "<NAT, Firewall, IDS>".
+func (c Chain) String() string {
+	if len(c.funcs) == 0 {
+		return "<>"
+	}
+	parts := make([]string, len(c.funcs))
+	for i, f := range c.funcs {
+		parts[i] = f.String()
+	}
+	return "<" + strings.Join(parts, ", ") + ">"
+}
+
+// Equal reports whether two chains contain the same functions in the
+// same order.
+func (c Chain) Equal(other Chain) bool {
+	if len(c.funcs) != len(other.funcs) {
+		return false
+	}
+	for i, f := range c.funcs {
+		if other.funcs[i] != f {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomChain draws a service chain of random length in [minLen,
+// maxLen] with distinct functions chosen uniformly from the five types,
+// using rng. It mirrors the paper's workload in which each request
+// carries a chain drawn from the five middlebox types.
+func RandomChain(rng *rand.Rand, minLen, maxLen int) (Chain, error) {
+	all := AllFunctions()
+	if minLen < 1 {
+		minLen = 1
+	}
+	if maxLen > len(all) {
+		maxLen = len(all)
+	}
+	if minLen > maxLen {
+		return Chain{}, fmt.Errorf("nfv: invalid chain length range [%d,%d]", minLen, maxLen)
+	}
+	length := minLen + rng.Intn(maxLen-minLen+1)
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return NewChain(all[:length]...)
+}

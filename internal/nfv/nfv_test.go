@@ -1,0 +1,222 @@
+package nfv
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFunctionString(t *testing.T) {
+	tests := []struct {
+		f    Function
+		want string
+	}{
+		{Firewall, "Firewall"},
+		{Proxy, "Proxy"},
+		{NAT, "NAT"},
+		{IDS, "IDS"},
+		{LoadBalancer, "LoadBalancer"},
+		{Function(99), "Function(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.f.String(); got != tt.want {
+			t.Fatalf("String(%d) = %q, want %q", int(tt.f), got, tt.want)
+		}
+	}
+}
+
+func TestFunctionValid(t *testing.T) {
+	for _, f := range AllFunctions() {
+		if !f.Valid() {
+			t.Fatalf("%v should be valid", f)
+		}
+	}
+	if Function(0).Valid() || Function(6).Valid() {
+		t.Fatal("out-of-range functions should be invalid")
+	}
+}
+
+func TestAllFunctionsCount(t *testing.T) {
+	if got := len(AllFunctions()); got != 5 {
+		t.Fatalf("AllFunctions() = %d entries, want 5 (paper §VI.A)", got)
+	}
+}
+
+func TestDemandScalesLinearly(t *testing.T) {
+	for _, f := range AllFunctions() {
+		base := f.DemandMHz(ReferenceRateMbps)
+		if base <= 0 {
+			t.Fatalf("%v base demand = %v, want > 0", f, base)
+		}
+		if got := f.DemandMHz(2 * ReferenceRateMbps); math.Abs(got-2*base) > 1e-9 {
+			t.Fatalf("%v demand at 2x rate = %v, want %v", f, got, 2*base)
+		}
+		if got := f.DemandMHz(0); got != 0 {
+			t.Fatalf("%v demand at 0 rate = %v, want 0", f, got)
+		}
+		if got := f.DemandMHz(-5); got != 0 {
+			t.Fatalf("%v demand at negative rate = %v, want 0", f, got)
+		}
+	}
+	if got := Function(42).DemandMHz(100); got != 0 {
+		t.Fatalf("unknown function demand = %v, want 0", got)
+	}
+}
+
+func TestNewChain(t *testing.T) {
+	c, err := NewChain(NAT, Firewall, IDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", c.Len())
+	}
+	if c.At(0) != NAT || c.At(2) != IDS {
+		t.Fatalf("chain order wrong: %v", c.Functions())
+	}
+	if c.Empty() {
+		t.Fatal("chain should not be empty")
+	}
+	want := "<NAT, Firewall, IDS>"
+	if got := c.String(); got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestNewChainErrors(t *testing.T) {
+	if _, err := NewChain(); !errors.Is(err, ErrEmptyChain) {
+		t.Fatalf("empty chain error = %v, want ErrEmptyChain", err)
+	}
+	if _, err := NewChain(Function(77)); err == nil {
+		t.Fatal("invalid function accepted")
+	}
+}
+
+func TestMustChainPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustChain with no functions should panic")
+		}
+	}()
+	MustChain()
+}
+
+func TestChainImmutability(t *testing.T) {
+	funcs := []Function{NAT, Firewall}
+	c, err := NewChain(funcs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	funcs[0] = IDS
+	if c.At(0) != NAT {
+		t.Fatal("chain mutated through constructor argument")
+	}
+	got := c.Functions()
+	got[0] = IDS
+	if c.At(0) != NAT {
+		t.Fatal("chain mutated through Functions() result")
+	}
+}
+
+func TestChainDemandIsSum(t *testing.T) {
+	c := MustChain(NAT, Firewall)
+	rate := 150.0
+	want := NAT.DemandMHz(rate) + Firewall.DemandMHz(rate)
+	if got := c.DemandMHz(rate); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("chain demand = %v, want %v", got, want)
+	}
+}
+
+func TestChainEqual(t *testing.T) {
+	a := MustChain(NAT, IDS)
+	b := MustChain(NAT, IDS)
+	c := MustChain(IDS, NAT)
+	d := MustChain(NAT)
+	if !a.Equal(b) {
+		t.Fatal("identical chains not equal")
+	}
+	if a.Equal(c) {
+		t.Fatal("order must matter")
+	}
+	if a.Equal(d) {
+		t.Fatal("length must matter")
+	}
+}
+
+func TestEmptyChainString(t *testing.T) {
+	var c Chain
+	if got := c.String(); got != "<>" {
+		t.Fatalf("empty chain String = %q, want <>", got)
+	}
+	if !c.Empty() {
+		t.Fatal("zero chain should be empty")
+	}
+	if c.DemandMHz(100) != 0 {
+		t.Fatal("zero chain demand should be 0")
+	}
+}
+
+func TestRandomChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		c, err := RandomChain(rng, 1, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Len() < 1 || c.Len() > 3 {
+			t.Fatalf("chain length %d outside [1,3]", c.Len())
+		}
+		seen := make(map[Function]bool)
+		for _, f := range c.Functions() {
+			if !f.Valid() {
+				t.Fatalf("invalid function %v in random chain", f)
+			}
+			if seen[f] {
+				t.Fatalf("duplicate function %v in random chain %v", f, c)
+			}
+			seen[f] = true
+		}
+	}
+}
+
+func TestRandomChainClampsAndValidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// minLen < 1 clamps to 1; maxLen > 5 clamps to 5.
+	c, err := RandomChain(rng, 0, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() < 1 || c.Len() > 5 {
+		t.Fatalf("clamped chain length %d outside [1,5]", c.Len())
+	}
+	if _, err := RandomChain(rng, 4, 2); err == nil {
+		t.Fatal("min > max accepted")
+	}
+}
+
+func TestPropertyChainStringRoundtrips(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := RandomChain(rng, 1, 5)
+		if err != nil {
+			return false
+		}
+		s := c.String()
+		if !strings.HasPrefix(s, "<") || !strings.HasSuffix(s, ">") {
+			return false
+		}
+		// Each function name appears exactly once.
+		for _, fn := range c.Functions() {
+			if strings.Count(s, fn.String()) < 1 {
+				return false
+			}
+		}
+		return c.DemandMHz(100) > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,169 @@
+package sdn
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/graph"
+)
+
+// Allocation is the resource bundle one admitted request occupies:
+// bandwidth per link (Mbps; already multiplied by the number of
+// traversals for pseudo-tree back-tracking) and computing per server
+// (MHz).
+type Allocation struct {
+	Links   map[graph.EdgeID]float64
+	Servers map[graph.NodeID]float64
+}
+
+// InsufficientBandwidthError reports a link without enough residual
+// bandwidth for an allocation.
+type InsufficientBandwidthError struct {
+	Edge     graph.EdgeID
+	Need     float64
+	Residual float64
+}
+
+func (e *InsufficientBandwidthError) Error() string {
+	return fmt.Sprintf("sdn: link %d: need %.1f Mbps, residual %.1f Mbps",
+		e.Edge, e.Need, e.Residual)
+}
+
+// InsufficientComputeError reports a server without enough residual
+// computing capacity for an allocation.
+type InsufficientComputeError struct {
+	Node     graph.NodeID
+	Need     float64
+	Residual float64
+}
+
+func (e *InsufficientComputeError) Error() string {
+	return fmt.Sprintf("sdn: server %d: need %.1f MHz, residual %.1f MHz",
+		e.Node, e.Need, e.Residual)
+}
+
+// NotServerError reports an allocation against a switch without an
+// attached server.
+type NotServerError struct{ Node graph.NodeID }
+
+func (e *NotServerError) Error() string {
+	return fmt.Sprintf("sdn: node %d has no attached server", e.Node)
+}
+
+// CanAllocate reports whether a fits in the current residual
+// capacities, returning the first violation found (deterministically:
+// lowest edge/node ID first).
+func (nw *Network) CanAllocate(a Allocation) error {
+	for _, e := range sortedEdgeKeys(a.Links) {
+		need := a.Links[e]
+		if e < 0 || e >= len(nw.linkFree) {
+			return fmt.Errorf("sdn: edge %d out of range (m=%d)", e, len(nw.linkFree))
+		}
+		if need < 0 {
+			return fmt.Errorf("sdn: negative bandwidth %v on edge %d", need, e)
+		}
+		if !nw.LinkUp(e) {
+			return fmt.Errorf("%w: %d", ErrLinkDown, e)
+		}
+		if need > nw.linkFree[e] {
+			return &InsufficientBandwidthError{Edge: e, Need: need, Residual: nw.linkFree[e]}
+		}
+	}
+	for _, v := range sortedNodeKeys(a.Servers) {
+		need := a.Servers[v]
+		if !nw.IsServer(v) {
+			return &NotServerError{Node: v}
+		}
+		if need < 0 {
+			return fmt.Errorf("sdn: negative computing %v on server %d", need, v)
+		}
+		if !nw.ServerUp(v) {
+			return fmt.Errorf("%w: %d", ErrServerDown, v)
+		}
+		if need > nw.srvFree[v] {
+			return &InsufficientComputeError{Node: v, Need: need, Residual: nw.srvFree[v]}
+		}
+	}
+	return nil
+}
+
+// Allocate atomically reserves a: either every link and server in the
+// allocation is charged, or (on any violation) nothing is and the
+// violation is returned.
+func (nw *Network) Allocate(a Allocation) error {
+	if err := nw.CanAllocate(a); err != nil {
+		return err
+	}
+	for e, need := range a.Links {
+		nw.linkFree[e] -= need
+	}
+	for v, need := range a.Servers {
+		nw.srvFree[v] -= need
+	}
+	return nil
+}
+
+// Release returns a previously-allocated bundle to the residual pools.
+// Releasing more than was allocated is a programming error and is
+// rejected (residuals never exceed capacity).
+func (nw *Network) Release(a Allocation) error {
+	for _, e := range sortedEdgeKeys(a.Links) {
+		amt := a.Links[e]
+		if e < 0 || e >= len(nw.linkFree) {
+			return fmt.Errorf("sdn: edge %d out of range (m=%d)", e, len(nw.linkFree))
+		}
+		if amt < 0 || nw.linkFree[e]+amt > nw.linkCap[e]+1e-6 {
+			return fmt.Errorf("sdn: release of %v Mbps overflows link %d (free %v, cap %v)",
+				amt, e, nw.linkFree[e], nw.linkCap[e])
+		}
+	}
+	for _, v := range sortedNodeKeys(a.Servers) {
+		amt := a.Servers[v]
+		if !nw.IsServer(v) {
+			return &NotServerError{Node: v}
+		}
+		if amt < 0 || nw.srvFree[v]+amt > nw.srvCap[v]+1e-6 {
+			return fmt.Errorf("sdn: release of %v MHz overflows server %d (free %v, cap %v)",
+				amt, v, nw.srvFree[v], nw.srvCap[v])
+		}
+	}
+	for e, amt := range a.Links {
+		nw.linkFree[e] += amt
+		if nw.linkFree[e] > nw.linkCap[e] {
+			nw.linkFree[e] = nw.linkCap[e]
+		}
+	}
+	for v, amt := range a.Servers {
+		nw.srvFree[v] += amt
+		if nw.srvFree[v] > nw.srvCap[v] {
+			nw.srvFree[v] = nw.srvCap[v]
+		}
+	}
+	return nil
+}
+
+func sortedEdgeKeys(m map[graph.EdgeID]float64) []graph.EdgeID {
+	out := make([]graph.EdgeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortedNodeKeys(m map[graph.NodeID]float64) []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(s []int) {
+	// Insertion sort: the allocation maps are tiny (tree-sized).
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

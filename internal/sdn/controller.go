@@ -1,0 +1,314 @@
+package sdn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+)
+
+// The controller compiles admitted pseudo-multicast trees into
+// per-switch forwarding rules (the SDN data plane the paper assumes)
+// and can replay packets over the installed rules, which gives an
+// end-to-end check that a computed tree really delivers processed
+// traffic to every destination.
+
+// Match is the rule key: SDN switches match a request's traffic and
+// whether it has already traversed the service-chain VM (e.g. via a
+// tag/VLAN bit set by the VM, as in SIMPLE [19]).
+type Match struct {
+	RequestID int
+	Processed bool
+}
+
+// ActionKind enumerates forwarding actions.
+type ActionKind int
+
+// Forwarding actions a rule may carry.
+const (
+	// ActionForward sends a copy of the packet over an incident link.
+	ActionForward ActionKind = iota + 1
+	// ActionProcess hands the packet to the local service-chain VM,
+	// which re-injects it with Processed=true. Valid only at switches
+	// with attached servers.
+	ActionProcess
+	// ActionDeliver hands the packet to a locally-attached receiver.
+	ActionDeliver
+)
+
+// Action is one entry of a rule's action set.
+type Action struct {
+	Kind ActionKind
+	// Edge and NextNode are set for ActionForward.
+	Edge     graph.EdgeID
+	NextNode graph.NodeID
+}
+
+// FlowTable is the rule set of one switch.
+type FlowTable struct {
+	rules map[Match][]Action
+}
+
+func newFlowTable() *FlowTable { return &FlowTable{rules: make(map[Match][]Action)} }
+
+// Actions returns the action set for a match (nil when absent).
+func (ft *FlowTable) Actions(m Match) []Action {
+	out := make([]Action, len(ft.rules[m]))
+	copy(out, ft.rules[m])
+	return out
+}
+
+// NumRules reports the number of (match, action-set) entries.
+func (ft *FlowTable) NumRules() int { return len(ft.rules) }
+
+func (ft *FlowTable) add(m Match, a Action) {
+	for _, existing := range ft.rules[m] {
+		if existing == a {
+			return
+		}
+	}
+	ft.rules[m] = append(ft.rules[m], a)
+}
+
+func (ft *FlowTable) drop(reqID int) {
+	delete(ft.rules, Match{RequestID: reqID, Processed: false})
+	delete(ft.rules, Match{RequestID: reqID, Processed: true})
+}
+
+// Controller owns the flow tables of every switch in a network.
+type Controller struct {
+	nw        *Network
+	tables    []*FlowTable
+	installed map[int]*multicast.PseudoTree
+	// ruleLimit caps rules per switch (0 = unlimited); SDN forwarding
+	// tables (TCAM) are a scarce resource ([2], [10] in the paper).
+	ruleLimit int
+}
+
+// NewController returns a controller with empty flow tables for nw.
+func NewController(nw *Network) *Controller {
+	tables := make([]*FlowTable, nw.NumNodes())
+	for i := range tables {
+		tables[i] = newFlowTable()
+	}
+	return &Controller{nw: nw, tables: tables, installed: make(map[int]*multicast.PseudoTree)}
+}
+
+// NewControllerWithRuleLimit returns a controller whose switches hold
+// at most maxRulesPerSwitch (match, action-set) entries each; Install
+// fails with ErrTableFull (and changes nothing) when a tree would
+// overflow a table.
+func NewControllerWithRuleLimit(nw *Network, maxRulesPerSwitch int) (*Controller, error) {
+	if maxRulesPerSwitch < 1 {
+		return nil, fmt.Errorf("sdn: rule limit %d must be positive", maxRulesPerSwitch)
+	}
+	c := NewController(nw)
+	c.ruleLimit = maxRulesPerSwitch
+	return c, nil
+}
+
+// Errors reported by the controller.
+var (
+	// ErrAlreadyInstalled means rules for the request exist.
+	ErrAlreadyInstalled = errors.New("sdn: request already installed")
+	// ErrNotInstalled means no rules exist for the request.
+	ErrNotInstalled = errors.New("sdn: request not installed")
+	// ErrForwardingLoop means packet replay exceeded the hop budget.
+	ErrForwardingLoop = errors.New("sdn: forwarding loop detected")
+	// ErrTableFull means a switch's flow table cannot hold the rules
+	// a tree needs (rule-limited controllers only).
+	ErrTableFull = errors.New("sdn: flow table full")
+)
+
+// Install compiles the pseudo-multicast tree of req into forwarding
+// rules: one forward action per directed hop, a process action at
+// every serving switch, and a deliver action at every destination.
+// With a rule limit set, Install is atomic: either every switch fits
+// the new rules or none is changed.
+func (c *Controller) Install(req *multicast.Request, tree *multicast.PseudoTree) error {
+	if _, ok := c.installed[req.ID]; ok {
+		return fmt.Errorf("%w: request %d", ErrAlreadyInstalled, req.ID)
+	}
+	// Validate endpoints and servers before mutating anything.
+	for _, h := range tree.Hops() {
+		if h.From < 0 || h.From >= len(c.tables) || h.To < 0 || h.To >= len(c.tables) {
+			return fmt.Errorf("sdn: %w: hop %d->%d", graph.ErrNodeOutOfRange, h.From, h.To)
+		}
+	}
+	for _, s := range tree.Servers {
+		if !c.nw.IsServer(s) {
+			return &NotServerError{Node: s}
+		}
+	}
+	if c.ruleLimit > 0 {
+		if err := c.checkRuleBudget(req, tree); err != nil {
+			return err
+		}
+	}
+	for _, h := range tree.Hops() {
+		c.tables[h.From].add(
+			Match{RequestID: req.ID, Processed: h.Processed},
+			Action{Kind: ActionForward, Edge: h.Edge, NextNode: h.To},
+		)
+	}
+	for _, s := range tree.Servers {
+		c.tables[s].add(Match{RequestID: req.ID, Processed: false}, Action{Kind: ActionProcess})
+	}
+	for _, d := range tree.Destinations {
+		c.tables[d].add(Match{RequestID: req.ID, Processed: true}, Action{Kind: ActionDeliver})
+	}
+	c.installed[req.ID] = tree
+	return nil
+}
+
+// checkRuleBudget counts the new (match, action-set) entries the tree
+// adds per switch and rejects the install when any table would exceed
+// the limit. A rule is new when the switch has no entry yet for the
+// (request, stage) match.
+func (c *Controller) checkRuleBudget(req *multicast.Request, tree *multicast.PseudoTree) error {
+	newMatches := make(map[graph.NodeID]map[Match]struct{})
+	record := func(v graph.NodeID, m Match) {
+		if _, exists := c.tables[v].rules[m]; exists {
+			return
+		}
+		if newMatches[v] == nil {
+			newMatches[v] = make(map[Match]struct{})
+		}
+		newMatches[v][m] = struct{}{}
+	}
+	for _, h := range tree.Hops() {
+		record(h.From, Match{RequestID: req.ID, Processed: h.Processed})
+	}
+	for _, s := range tree.Servers {
+		record(s, Match{RequestID: req.ID, Processed: false})
+	}
+	for _, d := range tree.Destinations {
+		record(d, Match{RequestID: req.ID, Processed: true})
+	}
+	for v, ms := range newMatches {
+		if c.tables[v].NumRules()+len(ms) > c.ruleLimit {
+			return fmt.Errorf("%w: switch %d needs %d rules over its %d-rule table",
+				ErrTableFull, v, c.tables[v].NumRules()+len(ms), c.ruleLimit)
+		}
+	}
+	return nil
+}
+
+// Uninstall removes every rule belonging to the request.
+func (c *Controller) Uninstall(reqID int) error {
+	if _, ok := c.installed[reqID]; !ok {
+		return fmt.Errorf("%w: request %d", ErrNotInstalled, reqID)
+	}
+	for _, ft := range c.tables {
+		ft.drop(reqID)
+	}
+	delete(c.installed, reqID)
+	return nil
+}
+
+// Installed reports whether rules exist for the request.
+func (c *Controller) Installed(reqID int) bool {
+	_, ok := c.installed[reqID]
+	return ok
+}
+
+// TotalRules reports the number of rules across all switches.
+func (c *Controller) TotalRules() int {
+	var total int
+	for _, ft := range c.tables {
+		total += ft.NumRules()
+	}
+	return total
+}
+
+// Table returns the flow table of switch v.
+func (c *Controller) Table(v graph.NodeID) *FlowTable { return c.tables[v] }
+
+// Delivery is the result of replaying one packet over installed rules.
+type Delivery struct {
+	// Delivered lists destinations that received a processed packet,
+	// sorted ascending.
+	Delivered []graph.NodeID
+	// HopCount is the number of directed link traversals performed.
+	HopCount int
+}
+
+// InjectPacket replays a packet of the request from its source over
+// the installed flow tables and reports which destinations received a
+// processed copy. It errors if the rules loop.
+func (c *Controller) InjectPacket(reqID int) (*Delivery, error) {
+	tree, ok := c.installed[reqID]
+	if !ok {
+		return nil, fmt.Errorf("%w: request %d", ErrNotInstalled, reqID)
+	}
+	type state struct {
+		node      graph.NodeID
+		processed bool
+	}
+	visited := make(map[state]struct{})
+	delivered := make(map[graph.NodeID]struct{})
+	queue := []state{{node: tree.Source, processed: false}}
+	visited[queue[0]] = struct{}{}
+	hops := 0
+	budget := 4 * (c.nw.NumEdges() + 1) // >= max distinct directed hops
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, a := range c.tables[cur.node].Actions(Match{RequestID: reqID, Processed: cur.processed}) {
+			switch a.Kind {
+			case ActionForward:
+				hops++
+				if hops > budget {
+					return nil, fmt.Errorf("%w: request %d", ErrForwardingLoop, reqID)
+				}
+				next := state{node: a.NextNode, processed: cur.processed}
+				if _, seen := visited[next]; !seen {
+					visited[next] = struct{}{}
+					queue = append(queue, next)
+				}
+			case ActionProcess:
+				next := state{node: cur.node, processed: true}
+				if _, seen := visited[next]; !seen {
+					visited[next] = struct{}{}
+					queue = append(queue, next)
+				}
+			case ActionDeliver:
+				if cur.processed {
+					delivered[cur.node] = struct{}{}
+				}
+			}
+		}
+	}
+	out := &Delivery{HopCount: hops}
+	for d := range delivered {
+		out.Delivered = append(out.Delivered, d)
+	}
+	sort.Ints(out.Delivered)
+	return out, nil
+}
+
+// VerifyDelivery replays a packet and errors unless every destination
+// of the request received processed traffic.
+func (c *Controller) VerifyDelivery(reqID int) error {
+	tree, ok := c.installed[reqID]
+	if !ok {
+		return fmt.Errorf("%w: request %d", ErrNotInstalled, reqID)
+	}
+	del, err := c.InjectPacket(reqID)
+	if err != nil {
+		return err
+	}
+	got := make(map[graph.NodeID]struct{}, len(del.Delivered))
+	for _, d := range del.Delivered {
+		got[d] = struct{}{}
+	}
+	for _, d := range tree.Destinations {
+		if _, ok := got[d]; !ok {
+			return fmt.Errorf("%w: destination %d (request %d)",
+				multicast.ErrUndelivered, d, reqID)
+		}
+	}
+	return nil
+}

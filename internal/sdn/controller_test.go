@@ -1,0 +1,275 @@
+package sdn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/nfv"
+	"nfvmcast/internal/topology"
+)
+
+// lineNetwork builds 0-1-2-3-4 with a server at node 2.
+func lineNetwork(t *testing.T) *Network {
+	t.Helper()
+	g := graph.New(5)
+	for i := 0; i < 4; i++ {
+		g.MustAddEdge(i, i+1, 1)
+	}
+	topo := &topology.Topology{Name: "line5", Graph: g, Servers: 1}
+	rng := rand.New(rand.NewSource(2))
+	nw, err := NewNetworkWithServers(topo, DefaultConfig(), []graph.NodeID{2}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+// lineTree builds the canonical pseudo tree on lineNetwork: source 0,
+// destinations {1,4}, server 2 with back-tracking to 1.
+func lineTree(nw *Network) (*multicast.Request, *multicast.PseudoTree) {
+	req := &multicast.Request{
+		ID:            7,
+		Source:        0,
+		Destinations:  []graph.NodeID{1, 4},
+		BandwidthMbps: 100,
+		Chain:         nfv.MustChain(nfv.NAT, nfv.Firewall),
+	}
+	g := nw.Graph()
+	e01, _ := g.EdgeBetween(0, 1)
+	e12, _ := g.EdgeBetween(1, 2)
+	e23, _ := g.EdgeBetween(2, 3)
+	e34, _ := g.EdgeBetween(3, 4)
+	tr := multicast.NewPseudoTree(0, req.Destinations, []graph.NodeID{2})
+	tr.AddHop(multicast.Hop{From: 0, To: 1, Edge: e01, Processed: false})
+	tr.AddHop(multicast.Hop{From: 1, To: 2, Edge: e12, Processed: false})
+	tr.AddHop(multicast.Hop{From: 2, To: 1, Edge: e12, Processed: true})
+	tr.AddHop(multicast.Hop{From: 2, To: 3, Edge: e23, Processed: true})
+	tr.AddHop(multicast.Hop{From: 3, To: 4, Edge: e34, Processed: true})
+	return req, tr
+}
+
+func TestControllerInstallAndDeliver(t *testing.T) {
+	nw := lineNetwork(t)
+	c := NewController(nw)
+	req, tr := lineTree(nw)
+	if err := c.Install(req, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Installed(req.ID) {
+		t.Fatal("Installed() false after install")
+	}
+	if c.TotalRules() == 0 {
+		t.Fatal("no rules installed")
+	}
+	del, err := c.InjectPacket(req.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(del.Delivered) != 2 || del.Delivered[0] != 1 || del.Delivered[1] != 4 {
+		t.Fatalf("delivered = %v, want [1 4]", del.Delivered)
+	}
+	if del.HopCount != 5 {
+		t.Fatalf("hop count = %d, want 5", del.HopCount)
+	}
+	if err := c.VerifyDelivery(req.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerDoubleInstall(t *testing.T) {
+	nw := lineNetwork(t)
+	c := NewController(nw)
+	req, tr := lineTree(nw)
+	if err := c.Install(req, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install(req, tr); !errors.Is(err, ErrAlreadyInstalled) {
+		t.Fatalf("second install = %v, want ErrAlreadyInstalled", err)
+	}
+}
+
+func TestControllerUninstall(t *testing.T) {
+	nw := lineNetwork(t)
+	c := NewController(nw)
+	req, tr := lineTree(nw)
+	if err := c.Install(req, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Uninstall(req.ID); err != nil {
+		t.Fatal(err)
+	}
+	if c.Installed(req.ID) {
+		t.Fatal("Installed() true after uninstall")
+	}
+	if c.TotalRules() != 0 {
+		t.Fatalf("rules remain after uninstall: %d", c.TotalRules())
+	}
+	if err := c.Uninstall(req.ID); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("second uninstall = %v, want ErrNotInstalled", err)
+	}
+	if _, err := c.InjectPacket(req.ID); !errors.Is(err, ErrNotInstalled) {
+		t.Fatalf("inject after uninstall = %v, want ErrNotInstalled", err)
+	}
+}
+
+func TestControllerRejectsNonServerProcessing(t *testing.T) {
+	nw := lineNetwork(t)
+	c := NewController(nw)
+	req, _ := lineTree(nw)
+	bad := multicast.NewPseudoTree(0, req.Destinations, []graph.NodeID{3}) // 3 has no server
+	e01, _ := nw.Graph().EdgeBetween(0, 1)
+	bad.AddHop(multicast.Hop{From: 0, To: 1, Edge: e01, Processed: false})
+	var ns *NotServerError
+	if err := c.Install(req, bad); !errors.As(err, &ns) {
+		t.Fatalf("install with non-server processing = %v, want NotServerError", err)
+	}
+}
+
+func TestControllerVerifyDetectsMissingDestination(t *testing.T) {
+	nw := lineNetwork(t)
+	c := NewController(nw)
+	req, _ := lineTree(nw)
+	// Tree missing the branch to destination 4.
+	tr := multicast.NewPseudoTree(0, req.Destinations, []graph.NodeID{2})
+	g := nw.Graph()
+	e01, _ := g.EdgeBetween(0, 1)
+	e12, _ := g.EdgeBetween(1, 2)
+	tr.AddHop(multicast.Hop{From: 0, To: 1, Edge: e01, Processed: false})
+	tr.AddHop(multicast.Hop{From: 1, To: 2, Edge: e12, Processed: false})
+	tr.AddHop(multicast.Hop{From: 2, To: 1, Edge: e12, Processed: true})
+	if err := c.Install(req, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyDelivery(req.ID); !errors.Is(err, multicast.ErrUndelivered) {
+		t.Fatalf("verify = %v, want ErrUndelivered", err)
+	}
+}
+
+func TestControllerMultipleRequestsIsolated(t *testing.T) {
+	nw := lineNetwork(t)
+	c := NewController(nw)
+	req1, tr1 := lineTree(nw)
+	req2 := req1.Clone()
+	req2.ID = 8
+	// Request 2: same shape, rebuilt (IDs in matches differ).
+	_, tr2 := lineTree(nw)
+	if err := c.Install(req1, tr1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install(req2, tr2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyDelivery(req1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyDelivery(req2.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Uninstall(req1.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Request 2 must survive request 1's uninstall.
+	if err := c.VerifyDelivery(req2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlowTableActionDedup(t *testing.T) {
+	ft := newFlowTable()
+	m := Match{RequestID: 1, Processed: false}
+	a := Action{Kind: ActionForward, Edge: 3, NextNode: 2}
+	ft.add(m, a)
+	ft.add(m, a)
+	if got := len(ft.Actions(m)); got != 1 {
+		t.Fatalf("actions = %d, want 1 after dedupe", got)
+	}
+	if ft.NumRules() != 1 {
+		t.Fatalf("rules = %d, want 1", ft.NumRules())
+	}
+}
+
+func TestControllerTableAccess(t *testing.T) {
+	nw := lineNetwork(t)
+	c := NewController(nw)
+	req, tr := lineTree(nw)
+	if err := c.Install(req, tr); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 (the server) must hold a process rule for unprocessed
+	// traffic of this request.
+	acts := c.Table(2).Actions(Match{RequestID: req.ID, Processed: false})
+	found := false
+	for _, a := range acts {
+		if a.Kind == ActionProcess {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("server switch lacks a process action")
+	}
+	// Destinations hold deliver rules for processed traffic.
+	for _, d := range tr.Destinations {
+		acts := c.Table(d).Actions(Match{RequestID: req.ID, Processed: true})
+		found := false
+		for _, a := range acts {
+			if a.Kind == ActionDeliver {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("destination %d lacks a deliver action", d)
+		}
+	}
+}
+
+func TestControllerRuleLimit(t *testing.T) {
+	nw := lineNetwork(t)
+	c, err := NewControllerWithRuleLimit(nw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req1, tr1 := lineTree(nw)
+	if err := c.Install(req1, tr1); err != nil {
+		t.Fatal(err)
+	}
+	// Node 2 (the server) already holds 2 rules (unprocessed:
+	// process+forward collapse into one match with two actions, plus
+	// the processed forward match). A second identical session needs
+	// 2 more rules there and must be rejected atomically.
+	req2 := req1.Clone()
+	req2.ID = 99
+	_, tr2 := lineTree(nw)
+	// Rebuild tr2 under request 99's identity: the tree itself is
+	// request-agnostic, matches are keyed at install time.
+	before := c.TotalRules()
+	err = c.Install(req2, tr2)
+	if !errors.Is(err, ErrTableFull) {
+		t.Fatalf("overflow install = %v, want ErrTableFull", err)
+	}
+	if c.TotalRules() != before {
+		t.Fatal("failed install mutated tables")
+	}
+	if c.Installed(req2.ID) {
+		t.Fatal("failed install registered the request")
+	}
+	// After uninstalling the first session the second fits.
+	if err := c.Uninstall(req1.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Install(req2, tr2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.VerifyDelivery(req2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestControllerRuleLimitValidation(t *testing.T) {
+	nw := lineNetwork(t)
+	if _, err := NewControllerWithRuleLimit(nw, 0); err == nil {
+		t.Fatal("zero rule limit accepted")
+	}
+}

@@ -1,0 +1,274 @@
+// Package sdn models the software-defined network substrate: a
+// switch/link graph in which a subset of switches carries NFV servers,
+// per-link bandwidth and per-server computing capacities with residual
+// tracking, atomic allocation/release of request resources, and a
+// controller that compiles pseudo-multicast trees into per-switch
+// forwarding rules and can replay packets over them.
+package sdn
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/topology"
+)
+
+// Config holds the resource parameterisation of the paper's
+// evaluation (§VI.A).
+type Config struct {
+	// BandwidthCapRangeMbps is the uniform range of link capacities
+	// B_e; the paper uses [1000, 10000] Mbps.
+	BandwidthCapRangeMbps [2]float64
+	// ComputeCapRangeMHz is the uniform range of server capacities
+	// C_v; the paper uses [4000, 12000] MHz.
+	ComputeCapRangeMHz [2]float64
+	// LinkUnitCost is the uniform range of c_e, the operational cost
+	// of one Mbps on a link.
+	LinkUnitCost [2]float64
+	// ServerUnitCost is the uniform range of c_v, the operational
+	// cost of one MHz on a server.
+	ServerUnitCost [2]float64
+}
+
+// DefaultConfig returns the paper's resource ranges with unit costs
+// calibrated so computing and bandwidth costs are commensurate (see
+// DESIGN.md §5).
+func DefaultConfig() Config {
+	return Config{
+		BandwidthCapRangeMbps: [2]float64{1000, 10000},
+		ComputeCapRangeMHz:    [2]float64{4000, 12000},
+		LinkUnitCost:          [2]float64{0.5, 2.0},
+		ServerUnitCost:        [2]float64{0.1, 0.5},
+	}
+}
+
+func (c Config) validate() error {
+	ranges := [][2]float64{
+		c.BandwidthCapRangeMbps, c.ComputeCapRangeMHz, c.LinkUnitCost, c.ServerUnitCost,
+	}
+	for _, r := range ranges {
+		if r[0] <= 0 || r[1] < r[0] {
+			return fmt.Errorf("sdn: invalid config range %v", r)
+		}
+	}
+	return nil
+}
+
+// Network is a capacitated SDN: the topology graph, the server-
+// attached switch subset V_S, capacities, residuals and unit costs.
+type Network struct {
+	name    string
+	g       *graph.Graph
+	servers []graph.NodeID
+	isSrv   []bool
+
+	linkCap  []float64 // B_e, indexed by edge ID
+	linkFree []float64 // residual bandwidth
+	linkCost []float64 // c_e
+
+	srvCap  map[graph.NodeID]float64 // C_v
+	srvFree map[graph.NodeID]float64 // residual computing
+	srvCost map[graph.NodeID]float64 // c_v
+
+	linkDown map[graph.EdgeID]bool // failed links (see failure.go)
+	srvDown  map[graph.NodeID]bool // failed servers
+}
+
+// NewNetwork builds a network over topo with the given config, drawing
+// capacities, unit costs and server locations from rng. Deterministic
+// for a fixed rng state.
+func NewNetwork(topo *topology.Topology, cfg Config, rng *rand.Rand) (*Network, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	return NewNetworkWithServers(topo, cfg, topo.PickServers(rng), rng)
+}
+
+// NewNetworkWithServers is NewNetwork with an explicit server node
+// set (used when reproducing fixed placements such as GÉANT's).
+func NewNetworkWithServers(
+	topo *topology.Topology, cfg Config, servers []graph.NodeID, rng *rand.Rand,
+) (*Network, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	g := topo.Graph
+	n := g.NumNodes()
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("sdn: network %q needs at least one server", topo.Name)
+	}
+	isSrv := make([]bool, n)
+	srvs := make([]graph.NodeID, 0, len(servers))
+	for _, v := range servers {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("sdn: %w: server %d with n=%d", graph.ErrNodeOutOfRange, v, n)
+		}
+		if isSrv[v] {
+			continue
+		}
+		isSrv[v] = true
+		srvs = append(srvs, v)
+	}
+	sort.Ints(srvs)
+
+	uniform := func(r [2]float64) float64 { return r[0] + rng.Float64()*(r[1]-r[0]) }
+	m := g.NumEdges()
+	nw := &Network{
+		name:     topo.Name,
+		g:        g.Clone(),
+		servers:  srvs,
+		isSrv:    isSrv,
+		linkCap:  make([]float64, m),
+		linkFree: make([]float64, m),
+		linkCost: make([]float64, m),
+		srvCap:   make(map[graph.NodeID]float64, len(srvs)),
+		srvFree:  make(map[graph.NodeID]float64, len(srvs)),
+		srvCost:  make(map[graph.NodeID]float64, len(srvs)),
+	}
+	for e := 0; e < m; e++ {
+		nw.linkCap[e] = uniform(cfg.BandwidthCapRangeMbps)
+		nw.linkFree[e] = nw.linkCap[e]
+		nw.linkCost[e] = uniform(cfg.LinkUnitCost)
+	}
+	for _, v := range srvs {
+		nw.srvCap[v] = uniform(cfg.ComputeCapRangeMHz)
+		nw.srvFree[v] = nw.srvCap[v]
+		nw.srvCost[v] = uniform(cfg.ServerUnitCost)
+	}
+	return nw, nil
+}
+
+// Name returns the underlying topology name.
+func (nw *Network) Name() string { return nw.name }
+
+// Graph returns the network's link graph. Callers must not mutate it;
+// algorithms that need different weights clone it.
+func (nw *Network) Graph() *graph.Graph { return nw.g }
+
+// NumNodes reports |V|.
+func (nw *Network) NumNodes() int { return nw.g.NumNodes() }
+
+// NumEdges reports |E|.
+func (nw *Network) NumEdges() int { return nw.g.NumEdges() }
+
+// Servers returns a copy of the server-attached switch set V_S,
+// sorted ascending.
+func (nw *Network) Servers() []graph.NodeID {
+	out := make([]graph.NodeID, len(nw.servers))
+	copy(out, nw.servers)
+	return out
+}
+
+// IsServer reports whether switch v has an attached server.
+func (nw *Network) IsServer(v graph.NodeID) bool {
+	return v >= 0 && v < len(nw.isSrv) && nw.isSrv[v]
+}
+
+// BandwidthCap returns B_e.
+func (nw *Network) BandwidthCap(e graph.EdgeID) float64 { return nw.linkCap[e] }
+
+// ResidualBandwidth returns the unallocated bandwidth of link e.
+func (nw *Network) ResidualBandwidth(e graph.EdgeID) float64 { return nw.linkFree[e] }
+
+// LinkUnitCost returns c_e, the cost of one Mbps on link e.
+func (nw *Network) LinkUnitCost(e graph.EdgeID) float64 { return nw.linkCost[e] }
+
+// ComputeCap returns C_v, or 0 when v has no server.
+func (nw *Network) ComputeCap(v graph.NodeID) float64 { return nw.srvCap[v] }
+
+// ResidualCompute returns the unallocated computing capacity at v, or
+// 0 when v has no server.
+func (nw *Network) ResidualCompute(v graph.NodeID) float64 { return nw.srvFree[v] }
+
+// ServerUnitCost returns c_v, the cost of one MHz at server v.
+func (nw *Network) ServerUnitCost(v graph.NodeID) float64 { return nw.srvCost[v] }
+
+// LinkUtilization returns 1 - residual/capacity for link e.
+func (nw *Network) LinkUtilization(e graph.EdgeID) float64 {
+	return 1 - nw.linkFree[e]/nw.linkCap[e]
+}
+
+// ServerUtilization returns 1 - residual/capacity for server v.
+func (nw *Network) ServerUtilization(v graph.NodeID) float64 {
+	if !nw.IsServer(v) {
+		return 0
+	}
+	return 1 - nw.srvFree[v]/nw.srvCap[v]
+}
+
+// Clone returns an independent deep copy of the network including
+// residual state.
+func (nw *Network) Clone() *Network {
+	cp := &Network{
+		name:     nw.name,
+		g:        nw.g.Clone(),
+		servers:  append([]graph.NodeID(nil), nw.servers...),
+		isSrv:    append([]bool(nil), nw.isSrv...),
+		linkCap:  append([]float64(nil), nw.linkCap...),
+		linkFree: append([]float64(nil), nw.linkFree...),
+		linkCost: append([]float64(nil), nw.linkCost...),
+		srvCap:   make(map[graph.NodeID]float64, len(nw.srvCap)),
+		srvFree:  make(map[graph.NodeID]float64, len(nw.srvFree)),
+		srvCost:  make(map[graph.NodeID]float64, len(nw.srvCost)),
+	}
+	for k, v := range nw.srvCap {
+		cp.srvCap[k] = v
+	}
+	for k, v := range nw.srvFree {
+		cp.srvFree[k] = v
+	}
+	for k, v := range nw.srvCost {
+		cp.srvCost[k] = v
+	}
+	if len(nw.linkDown) > 0 {
+		cp.linkDown = make(map[graph.EdgeID]bool, len(nw.linkDown))
+		for k, v := range nw.linkDown {
+			cp.linkDown[k] = v
+		}
+	}
+	if len(nw.srvDown) > 0 {
+		cp.srvDown = make(map[graph.NodeID]bool, len(nw.srvDown))
+		for k, v := range nw.srvDown {
+			cp.srvDown[k] = v
+		}
+	}
+	return cp
+}
+
+// Snapshot captures the residual state of a network for later Restore.
+type Snapshot struct {
+	linkFree []float64
+	srvFree  map[graph.NodeID]float64
+}
+
+// Snapshot returns a copy of the current residual state.
+func (nw *Network) Snapshot() *Snapshot {
+	s := &Snapshot{
+		linkFree: append([]float64(nil), nw.linkFree...),
+		srvFree:  make(map[graph.NodeID]float64, len(nw.srvFree)),
+	}
+	for k, v := range nw.srvFree {
+		s.srvFree[k] = v
+	}
+	return s
+}
+
+// Restore rewinds residual state to a snapshot taken from this
+// network.
+func (nw *Network) Restore(s *Snapshot) error {
+	if len(s.linkFree) != len(nw.linkFree) {
+		return fmt.Errorf("sdn: snapshot of %d links applied to %d links",
+			len(s.linkFree), len(nw.linkFree))
+	}
+	copy(nw.linkFree, s.linkFree)
+	for k := range nw.srvFree {
+		v, ok := s.srvFree[k]
+		if !ok {
+			return fmt.Errorf("sdn: snapshot missing server %d", k)
+		}
+		nw.srvFree[k] = v
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package sdn
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/topology"
+)
+
+func testNet(t testing.TB, n int, seed int64) *Network {
+	t.Helper()
+	topo, err := topology.WaxmanDegree(n, 4, 0.14, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	nw, err := NewNetwork(topo, DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewNetworkRanges(t *testing.T) {
+	nw := testNet(t, 50, 3)
+	cfg := DefaultConfig()
+	for e := 0; e < nw.NumEdges(); e++ {
+		if c := nw.BandwidthCap(e); c < cfg.BandwidthCapRangeMbps[0] || c > cfg.BandwidthCapRangeMbps[1] {
+			t.Fatalf("link %d capacity %v outside range", e, c)
+		}
+		if nw.ResidualBandwidth(e) != nw.BandwidthCap(e) {
+			t.Fatalf("link %d not initially free", e)
+		}
+		if c := nw.LinkUnitCost(e); c < cfg.LinkUnitCost[0] || c > cfg.LinkUnitCost[1] {
+			t.Fatalf("link %d unit cost %v outside range", e, c)
+		}
+		if nw.LinkUtilization(e) != 0 {
+			t.Fatalf("link %d initial utilisation not 0", e)
+		}
+	}
+	servers := nw.Servers()
+	if len(servers) != 5 {
+		t.Fatalf("servers = %d, want 5 (10%% of 50)", len(servers))
+	}
+	for _, v := range servers {
+		if !nw.IsServer(v) {
+			t.Fatalf("IsServer(%d) false for listed server", v)
+		}
+		if c := nw.ComputeCap(v); c < cfg.ComputeCapRangeMHz[0] || c > cfg.ComputeCapRangeMHz[1] {
+			t.Fatalf("server %d capacity %v outside range", v, c)
+		}
+		if nw.ResidualCompute(v) != nw.ComputeCap(v) {
+			t.Fatalf("server %d not initially free", v)
+		}
+		if nw.ServerUtilization(v) != 0 {
+			t.Fatalf("server %d initial utilisation not 0", v)
+		}
+	}
+	if nw.IsServer(-1) || nw.IsServer(nw.NumNodes()) {
+		t.Fatal("IsServer out of range should be false")
+	}
+}
+
+func TestNewNetworkWithServersValidation(t *testing.T) {
+	topo := topology.GEANT()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewNetworkWithServers(topo, DefaultConfig(), nil, rng); err == nil {
+		t.Fatal("empty server set accepted")
+	}
+	if _, err := NewNetworkWithServers(topo, DefaultConfig(), []graph.NodeID{99}, rng); err == nil {
+		t.Fatal("out-of-range server accepted")
+	}
+	// Duplicate servers collapse.
+	nw, err := NewNetworkWithServers(topo, DefaultConfig(), []graph.NodeID{3, 3, 5}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(nw.Servers()); got != 2 {
+		t.Fatalf("servers = %d, want 2 after dedupe", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := DefaultConfig()
+	bad.LinkUnitCost = [2]float64{2, 1}
+	topo := topology.GEANT()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewNetwork(topo, bad, rng); err == nil {
+		t.Fatal("inverted cost range accepted")
+	}
+	bad = DefaultConfig()
+	bad.BandwidthCapRangeMbps = [2]float64{0, 10}
+	if _, err := NewNetwork(topo, bad, rng); err == nil {
+		t.Fatal("zero capacity floor accepted")
+	}
+}
+
+func TestAllocateReleaseRoundtrip(t *testing.T) {
+	nw := testNet(t, 30, 5)
+	v := nw.Servers()[0]
+	alloc := Allocation{
+		Links:   map[graph.EdgeID]float64{0: 100, 1: 250},
+		Servers: map[graph.NodeID]float64{v: 500},
+	}
+	if err := nw.Allocate(alloc); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.ResidualBandwidth(0); got != nw.BandwidthCap(0)-100 {
+		t.Fatalf("link 0 residual = %v", got)
+	}
+	if got := nw.ResidualCompute(v); got != nw.ComputeCap(v)-500 {
+		t.Fatalf("server residual = %v", got)
+	}
+	if nw.LinkUtilization(0) <= 0 || nw.ServerUtilization(v) <= 0 {
+		t.Fatal("utilisation should be positive after allocation")
+	}
+	if err := nw.Release(alloc); err != nil {
+		t.Fatal(err)
+	}
+	if nw.ResidualBandwidth(0) != nw.BandwidthCap(0) {
+		t.Fatal("release did not restore link 0")
+	}
+	if nw.ResidualCompute(v) != nw.ComputeCap(v) {
+		t.Fatal("release did not restore server")
+	}
+}
+
+func TestAllocateAtomicOnFailure(t *testing.T) {
+	nw := testNet(t, 30, 5)
+	v := nw.Servers()[0]
+	alloc := Allocation{
+		Links:   map[graph.EdgeID]float64{0: 10},
+		Servers: map[graph.NodeID]float64{v: nw.ComputeCap(v) + 1},
+	}
+	err := nw.Allocate(alloc)
+	var insuff *InsufficientComputeError
+	if !errors.As(err, &insuff) {
+		t.Fatalf("err = %v, want InsufficientComputeError", err)
+	}
+	if insuff.Node != v {
+		t.Fatalf("error names node %d, want %d", insuff.Node, v)
+	}
+	// The link part must not have been charged.
+	if nw.ResidualBandwidth(0) != nw.BandwidthCap(0) {
+		t.Fatal("failed allocation charged a link")
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	nw := testNet(t, 30, 5)
+	over := nw.BandwidthCap(0) + 1
+	err := nw.Allocate(Allocation{Links: map[graph.EdgeID]float64{0: over}})
+	var bw *InsufficientBandwidthError
+	if !errors.As(err, &bw) {
+		t.Fatalf("err = %v, want InsufficientBandwidthError", err)
+	}
+	if bw.Error() == "" {
+		t.Fatal("empty error message")
+	}
+	// Non-server node.
+	nonServer := graph.NodeID(-1)
+	for v := 0; v < nw.NumNodes(); v++ {
+		if !nw.IsServer(v) {
+			nonServer = v
+			break
+		}
+	}
+	err = nw.Allocate(Allocation{Servers: map[graph.NodeID]float64{nonServer: 1}})
+	var ns *NotServerError
+	if !errors.As(err, &ns) {
+		t.Fatalf("err = %v, want NotServerError", err)
+	}
+	// Negative amounts.
+	if err := nw.Allocate(Allocation{Links: map[graph.EdgeID]float64{0: -5}}); err == nil {
+		t.Fatal("negative bandwidth accepted")
+	}
+	// Edge out of range.
+	if err := nw.Allocate(Allocation{Links: map[graph.EdgeID]float64{9999: 5}}); err == nil {
+		t.Fatal("out-of-range edge accepted")
+	}
+}
+
+func TestReleaseOverflowRejected(t *testing.T) {
+	nw := testNet(t, 30, 5)
+	if err := nw.Release(Allocation{Links: map[graph.EdgeID]float64{0: 10}}); err == nil {
+		t.Fatal("release beyond capacity accepted")
+	}
+	v := nw.Servers()[0]
+	if err := nw.Release(Allocation{Servers: map[graph.NodeID]float64{v: 1}}); err == nil {
+		t.Fatal("server release beyond capacity accepted")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	nw := testNet(t, 30, 5)
+	v := nw.Servers()[0]
+	snap := nw.Snapshot()
+	if err := nw.Allocate(Allocation{
+		Links:   map[graph.EdgeID]float64{0: 100},
+		Servers: map[graph.NodeID]float64{v: 100},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if nw.ResidualBandwidth(0) != nw.BandwidthCap(0) {
+		t.Fatal("restore did not rewind link")
+	}
+	if nw.ResidualCompute(v) != nw.ComputeCap(v) {
+		t.Fatal("restore did not rewind server")
+	}
+	// Restoring a mismatched snapshot errors.
+	other := testNet(t, 40, 6)
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("cross-network restore accepted")
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	nw := testNet(t, 30, 5)
+	cp := nw.Clone()
+	if err := cp.Allocate(Allocation{Links: map[graph.EdgeID]float64{0: 50}}); err != nil {
+		t.Fatal(err)
+	}
+	if nw.ResidualBandwidth(0) != nw.BandwidthCap(0) {
+		t.Fatal("clone allocation affected original")
+	}
+	if cp.Name() != nw.Name() || cp.NumNodes() != nw.NumNodes() {
+		t.Fatal("clone lost identity")
+	}
+}
+
+func TestNetworkDeterminism(t *testing.T) {
+	a := testNet(t, 30, 9)
+	b := testNet(t, 30, 9)
+	for e := 0; e < a.NumEdges(); e++ {
+		if a.BandwidthCap(e) != b.BandwidthCap(e) || a.LinkUnitCost(e) != b.LinkUnitCost(e) {
+			t.Fatalf("link %d differs between equal-seed networks", e)
+		}
+	}
+	as, bs := a.Servers(), b.Servers()
+	for i := range as {
+		if as[i] != bs[i] {
+			t.Fatal("server sets differ between equal-seed networks")
+		}
+	}
+}
+
+func TestPropertyAllocationRoundtrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		topo, err := topology.WaxmanDegree(10+rng.Intn(40), 4, 0.14, seed)
+		if err != nil {
+			return false
+		}
+		nw, err := NewNetwork(topo, DefaultConfig(), rng)
+		if err != nil {
+			return false
+		}
+		// Random feasible allocation.
+		alloc := Allocation{
+			Links:   make(map[graph.EdgeID]float64),
+			Servers: make(map[graph.NodeID]float64),
+		}
+		for e := 0; e < nw.NumEdges(); e++ {
+			if rng.Intn(3) == 0 {
+				alloc.Links[e] = rng.Float64() * nw.ResidualBandwidth(e)
+			}
+		}
+		for _, v := range nw.Servers() {
+			if rng.Intn(2) == 0 {
+				alloc.Servers[v] = rng.Float64() * nw.ResidualCompute(v)
+			}
+		}
+		if err := nw.Allocate(alloc); err != nil {
+			return false
+		}
+		if err := nw.Release(alloc); err != nil {
+			return false
+		}
+		// Floating-point: (cap-x)+x may differ from cap by an ulp.
+		const tol = 1e-6
+		for e := 0; e < nw.NumEdges(); e++ {
+			if d := nw.ResidualBandwidth(e) - nw.BandwidthCap(e); d < -tol || d > tol {
+				return false
+			}
+		}
+		for _, v := range nw.Servers() {
+			if d := nw.ResidualCompute(v) - nw.ComputeCap(v); d < -tol || d > tol {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

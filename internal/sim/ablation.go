@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+)
+
+// AblationK sweeps the server budget K of Appro_Multi on one network
+// size, quantifying the cost/time trade-off behind the paper's choice
+// of K = 3 (DESIGN.md §4).
+func AblationK(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NetworkSizes[len(cfg.NetworkSizes)/2]
+	nw, err := networkFor("waxman", n, cfg.Seed+int64(n))
+	if err != nil {
+		return nil, err
+	}
+	fig := Figure{
+		ID:     "AblationK",
+		Title:  fmt.Sprintf("Appro_Multi cost and time vs server budget K (n = %d)", n),
+		XLabel: "K",
+		YLabel: "avg cost / avg ms",
+	}
+	costS := Series{Label: "operational cost"}
+	timeS := Series{Label: "running time (ms)"}
+	srvS := Series{Label: "avg servers used"}
+	for k := 1; k <= cfg.K; k++ {
+		gen, gerr := multicast.NewGenerator(nw.NumNodes(),
+			multicast.DefaultGeneratorConfig(), cfg.Seed+99)
+		if gerr != nil {
+			return nil, gerr
+		}
+		var cost, ms, servers float64
+		solved := 0
+		for i := 0; i < cfg.Requests; i++ {
+			req, rerr := gen.Next()
+			if rerr != nil {
+				return nil, rerr
+			}
+			start := time.Now()
+			sol, aerr := core.ApproMulti(nw, req, core.Options{K: k})
+			if aerr != nil {
+				continue
+			}
+			ms += float64(time.Since(start).Microseconds()) / 1000.0
+			cost += sol.OperationalCost
+			servers += float64(len(sol.Servers))
+			solved++
+		}
+		if solved == 0 {
+			return nil, fmt.Errorf("sim: ablation K=%d solved nothing", k)
+		}
+		fig.X = append(fig.X, float64(k))
+		costS.Y = append(costS.Y, cost/float64(solved))
+		timeS.Y = append(timeS.Y, ms/float64(solved))
+		srvS.Y = append(srvS.Y, servers/float64(solved))
+	}
+	fig.Series = []Series{costS, timeS, srvS}
+	return []Figure{fig}, nil
+}
+
+// AblationEvaluator compares the default closure-based subset
+// evaluator against the paper-literal explicit auxiliary-graph
+// construction: equal-quality trees, very different running time
+// (DESIGN.md §4).
+func AblationEvaluator(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NetworkSizes[0]
+	nw, err := networkFor("waxman", n, cfg.Seed+int64(n))
+	if err != nil {
+		return nil, err
+	}
+	fig := Figure{
+		ID:     "AblationEvaluator",
+		Title:  fmt.Sprintf("closure evaluator vs explicit auxiliary graphs (n = %d, K = 2)", n),
+		XLabel: "variant(0=closure,1=explicit)",
+		YLabel: "avg cost / avg ms",
+	}
+	costS := Series{Label: "operational cost"}
+	timeS := Series{Label: "running time (ms)"}
+	for vi, explicitAux := range []bool{false, true} {
+		gen, gerr := multicast.NewGenerator(nw.NumNodes(),
+			multicast.DefaultGeneratorConfig(), cfg.Seed+7)
+		if gerr != nil {
+			return nil, gerr
+		}
+		var cost, ms float64
+		solved := 0
+		for i := 0; i < cfg.Requests; i++ {
+			req, rerr := gen.Next()
+			if rerr != nil {
+				return nil, rerr
+			}
+			start := time.Now()
+			sol, aerr := core.ApproMulti(nw, req,
+				core.Options{K: 2, ExplicitAuxiliary: explicitAux})
+			if aerr != nil {
+				continue
+			}
+			ms += float64(time.Since(start).Microseconds()) / 1000.0
+			cost += sol.OperationalCost
+			solved++
+		}
+		if solved == 0 {
+			return nil, fmt.Errorf("sim: evaluator ablation solved nothing")
+		}
+		fig.X = append(fig.X, float64(vi))
+		costS.Y = append(costS.Y, cost/float64(solved))
+		timeS.Y = append(timeS.Y, ms/float64(solved))
+	}
+	fig.Series = []Series{costS, timeS}
+	return []Figure{fig}, nil
+}
+
+// AblationCostModel isolates the effect of the exponential cost model
+// (paper §V.A's argument against linear costs): Online_CP vs the
+// load-oblivious SP variants on one network under sustained load.
+func AblationCostModel(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NetworkSizes[len(cfg.NetworkSizes)/2]
+	fig := Figure{
+		ID: "AblationCostModel",
+		Title: fmt.Sprintf(
+			"admission under sustained load (n = %d, %d requests)", n, 3*cfg.Requests),
+		XLabel: "requests",
+		YLabel: "admitted requests",
+	}
+	requests := 3 * cfg.Requests
+	checkEvery := requests / 6
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	for x := checkEvery; x <= requests; x += checkEvery {
+		fig.X = append(fig.X, float64(x))
+	}
+	for _, name := range onlineSeries {
+		counts, err := onlineRun(name, "waxman", n, requests, cfg.Seed+5)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Label: name}
+		for x := checkEvery; x <= requests; x += checkEvery {
+			s.Y = append(s.Y, float64(counts[x-1]))
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}
+
+// Experiments maps experiment names to their drivers, in the order the
+// CLI lists them.
+var Experiments = []struct {
+	Name string
+	Desc string
+	Run  func(Config) ([]Figure, error)
+}{
+	{"fig5", "Appro_Multi vs one-server baselines on random networks (cost & time)", Fig5},
+	{"fig6", "the same algorithms on GEANT and AS1755", Fig6},
+	{"fig7", "Appro_Multi_Cap under capacity constraints", Fig7},
+	{"fig8", "Online_CP vs SP admissions vs network size", Fig8},
+	{"fig9", "Online_CP vs SP admissions vs arrivals (GEANT, AS1755)", Fig9},
+	{"ablation-k", "Appro_Multi cost/time vs server budget K", AblationK},
+	{"ablation-evaluator", "closure evaluator vs explicit auxiliary graphs", AblationEvaluator},
+	{"ablation-costmodel", "exponential vs load-oblivious admission under load", AblationCostModel},
+	{"ext-churn", "extension: steady-state sessions under arrival/departure churn", ExtChurn},
+	{"ext-stretch", "extension: latency stretch of NFV steering per algorithm", ExtStretch},
+	{"ext-erlang", "extension: acceptance ratio vs offered load (Poisson/loss system)", ExtErlang},
+	{"ext-onlinek", "extension: online admission with K-server chains (open problem)", ExtOnlineK},
+	{"ext-reoptimize", "extension: batch re-placement of admitted sessions", ExtReoptimize},
+	{"ext-optgap", "extension: measured optimality gaps vs exact solutions", ExtOptGap},
+}
+
+// RunExperiment runs one named experiment.
+func RunExperiment(name string, cfg Config) ([]Figure, error) {
+	for _, e := range Experiments {
+		if e.Name == name {
+			return e.Run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("sim: unknown experiment %q", name)
+}

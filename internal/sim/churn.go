@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+)
+
+// churnAdmitter extends onlineAdmitter with departures.
+type churnAdmitter interface {
+	onlineAdmitter
+	Depart(reqID int) (*core.Solution, error)
+	LiveCount() int
+}
+
+func newChurnAdmitter(name string, topoName string, n int, seed int64) (churnAdmitter, error) {
+	nw, err := networkFor(topoName, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	adm, err := newAdmitter(name, nw)
+	if err != nil {
+		return nil, err
+	}
+	ca, ok := adm.(churnAdmitter)
+	if !ok {
+		return nil, fmt.Errorf("sim: %s does not support departures", name)
+	}
+	return ca, nil
+}
+
+// ExtChurn is an extension experiment beyond the paper: sessions have
+// finite lifetimes (each departs a fixed number of arrivals after
+// admission), and the metric is the steady-state number of concurrent
+// live sessions each policy sustains. It shows the online algorithms
+// operating as long-running systems rather than over one monitoring
+// period.
+func ExtChurn(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NetworkSizes[len(cfg.NetworkSizes)/2]
+	arrivals := 6 * cfg.Requests
+	lifetime := cfg.Requests / 2
+	if lifetime < 10 {
+		lifetime = 10
+	}
+	checkEvery := arrivals / 8
+	if checkEvery < 1 {
+		checkEvery = 1
+	}
+	fig := Figure{
+		ID: "ExtChurn",
+		Title: fmt.Sprintf(
+			"live sessions under churn (n = %d, lifetime = %d arrivals)", n, lifetime),
+		XLabel: "arrivals",
+		YLabel: "concurrent live sessions",
+	}
+	for x := checkEvery; x <= arrivals; x += checkEvery {
+		fig.X = append(fig.X, float64(x))
+	}
+	for _, name := range onlineSeries {
+		adm, err := newChurnAdmitter(name, "waxman", n, cfg.Seed+int64(n))
+		if err != nil {
+			return nil, err
+		}
+		gen, err := multicast.NewGenerator(n, multicast.OnlineGeneratorConfig(), cfg.Seed+13)
+		if err != nil {
+			return nil, err
+		}
+		type liveEntry struct {
+			id       int
+			departAt int
+		}
+		var live []liveEntry
+		s := Series{Label: name}
+		for i := 1; i <= arrivals; i++ {
+			keep := live[:0]
+			for _, le := range live {
+				if le.departAt <= i {
+					if _, derr := adm.Depart(le.id); derr != nil {
+						return nil, derr
+					}
+				} else {
+					keep = append(keep, le)
+				}
+			}
+			live = keep
+			req, gerr := gen.Next()
+			if gerr != nil {
+				return nil, gerr
+			}
+			if _, aerr := adm.Admit(req); aerr == nil {
+				live = append(live, liveEntry{id: req.ID, departAt: i + lifetime})
+			} else if !core.IsRejection(aerr) {
+				return nil, aerr
+			}
+			if i%checkEvery == 0 {
+				s.Y = append(s.Y, float64(adm.LiveCount()))
+			}
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}

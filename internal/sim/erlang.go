@@ -1,0 +1,121 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+)
+
+// ExtErlang is an extension experiment beyond the paper: a classic
+// loss-system curve. Sessions arrive as a Poisson process and hold
+// resources for exponential durations; the figure plots the
+// steady-state acceptance ratio of each admission policy against the
+// offered load (in Erlangs). The event loop interleaves arrivals and
+// departures in timestamp order.
+func ExtErlang(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := cfg.NetworkSizes[len(cfg.NetworkSizes)/2]
+	arrivals := 4 * cfg.Requests
+	loads := []float64{10, 20, 40, 80, 160}
+	fig := Figure{
+		ID: "ExtErlang",
+		Title: fmt.Sprintf(
+			"acceptance ratio vs offered load (n = %d, %d Poisson arrivals)", n, arrivals),
+		XLabel: "Erlangs",
+		X:      loads,
+		YLabel: "accepted fraction",
+	}
+	type cell struct{ ratio float64 }
+	results := make([]cell, len(loads)*len(onlineSeries))
+	err := forEachIndex(len(results), func(i int) error {
+		li, ai := i/len(onlineSeries), i%len(onlineSeries)
+		ratio, rerr := erlangRun(onlineSeries[ai], n, loads[li], arrivals, cfg.Seed+int64(li))
+		if rerr != nil {
+			return rerr
+		}
+		results[i] = cell{ratio: ratio}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for ai, name := range onlineSeries {
+		s := Series{Label: name}
+		for li := range loads {
+			s.Y = append(s.Y, results[li*len(onlineSeries)+ai].ratio)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}
+
+// departure is a scheduled session end.
+type departure struct {
+	at    float64
+	reqID int
+}
+
+// departureQueue is a min-heap on departure time.
+type departureQueue []departure
+
+func (q departureQueue) Len() int            { return len(q) }
+func (q departureQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q departureQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *departureQueue) Push(x interface{}) { *q = append(*q, x.(departure)) }
+func (q *departureQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// erlangRun simulates one policy at one offered load and returns the
+// acceptance ratio. The mean holding time is fixed at 1 hour, so the
+// arrival rate equals the offered load.
+func erlangRun(policy string, n int, erlangs float64, arrivals int, seed int64) (float64, error) {
+	nw, err := networkFor("waxman", n, seed)
+	if err != nil {
+		return 0, err
+	}
+	adm, err := newAdmitter(policy, nw)
+	if err != nil {
+		return 0, err
+	}
+	ca, ok := adm.(churnAdmitter)
+	if !ok {
+		return 0, fmt.Errorf("sim: %s does not support departures", policy)
+	}
+	gen, err := multicast.NewPoissonGenerator(n, multicast.OnlineGeneratorConfig(),
+		multicast.PoissonConfig{ArrivalsPerHour: erlangs, MeanHoldingHours: 1}, seed+29)
+	if err != nil {
+		return 0, err
+	}
+	var pending departureQueue
+	heap.Init(&pending)
+	accepted := 0
+	for i := 0; i < arrivals; i++ {
+		tr, gerr := gen.Next()
+		if gerr != nil {
+			return 0, gerr
+		}
+		// Process departures due before this arrival.
+		for pending.Len() > 0 && pending[0].at <= tr.ArrivalHours {
+			d := heap.Pop(&pending).(departure)
+			if _, derr := ca.Depart(d.reqID); derr != nil {
+				return 0, derr
+			}
+		}
+		if _, aerr := ca.Admit(tr.Request); aerr == nil {
+			accepted++
+			heap.Push(&pending, departure{at: tr.DepartureHours, reqID: tr.ID})
+		} else if !core.IsRejection(aerr) {
+			return 0, aerr
+		}
+	}
+	return float64(accepted) / float64(arrivals), nil
+}

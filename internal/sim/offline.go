@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// offlineAlgorithms are the series of Figs. 5-6, in display order.
+var offlineAlgorithms = []string{"Appro_Multi", "Alg_One_Server", "One_Server_Nearest"}
+
+// offlinePoint measures the average operational cost and per-request
+// running time (milliseconds) of the offline algorithms at one sweep
+// point: requests drawn with the given destination ratio, solved
+// independently on an uncapacitated network (paper §VI.B).
+func offlinePoint(
+	nw *sdn.Network, ratio float64, requests, k int, seed int64,
+) (cost, timeMS map[string]float64, err error) {
+	cfg := multicast.DefaultGeneratorConfig()
+	cfg.DestRatio = ratio
+	gen, err := multicast.NewGenerator(nw.NumNodes(), cfg, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	cost = make(map[string]float64, len(offlineAlgorithms))
+	timeMS = make(map[string]float64, len(offlineAlgorithms))
+	solved := 0
+	for i := 0; i < requests; i++ {
+		req, gerr := gen.Next()
+		if gerr != nil {
+			return nil, nil, gerr
+		}
+		type outcome struct {
+			sol *core.Solution
+			dur time.Duration
+		}
+		results := make(map[string]outcome, len(offlineAlgorithms))
+		failed := false
+		for _, alg := range offlineAlgorithms {
+			start := time.Now()
+			var sol *core.Solution
+			var aerr error
+			switch alg {
+			case "Appro_Multi":
+				sol, aerr = core.ApproMulti(nw, req, core.Options{K: k})
+			case "Alg_One_Server":
+				sol, aerr = core.AlgOneServer(nw, req, false)
+			case "One_Server_Nearest":
+				sol, aerr = core.AlgOneServerNearest(nw, req, false)
+			}
+			if aerr != nil {
+				// Skip this request for all algorithms so averages
+				// stay comparable; only reachability failures are
+				// expected here.
+				if errors.Is(aerr, core.ErrUnreachable) ||
+					errors.Is(aerr, core.ErrNoFeasibleServer) {
+					failed = true
+					break
+				}
+				return nil, nil, fmt.Errorf("%s: %w", alg, aerr)
+			}
+			results[alg] = outcome{sol: sol, dur: time.Since(start)}
+		}
+		if failed {
+			continue
+		}
+		solved++
+		for alg, r := range results {
+			cost[alg] += r.sol.OperationalCost
+			timeMS[alg] += float64(r.dur.Microseconds()) / 1000.0
+		}
+	}
+	if solved == 0 {
+		return nil, nil, fmt.Errorf("sim: no request solvable at this point")
+	}
+	for _, alg := range offlineAlgorithms {
+		cost[alg] /= float64(solved)
+		timeMS[alg] /= float64(solved)
+	}
+	return cost, timeMS, nil
+}
+
+// Fig5 reproduces Figure 5: operational cost (panels a-c) and running
+// time (panels d-f) of Appro_Multi vs the one-server baselines on
+// random networks of 50-250 switches, one panel per destination ratio
+// (the first three ratios of cfg.DestRatios).
+func Fig5(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ratios := cfg.DestRatios
+	if len(ratios) > 3 {
+		ratios = ratios[:3]
+	}
+	// All (ratio, size) points are independent; run them in parallel.
+	type point struct {
+		cost, timeMS map[string]float64
+	}
+	sizes := cfg.NetworkSizes
+	points := make([]point, len(ratios)*len(sizes))
+	err := forEachIndex(len(points), func(i int) error {
+		ri, ni := i/len(sizes), i%len(sizes)
+		n := sizes[ni]
+		nw, nerr := networkFor("waxman", n, cfg.Seed+int64(n))
+		if nerr != nil {
+			return nerr
+		}
+		cost, timeMS, perr := offlinePoint(nw, ratios[ri], cfg.Requests, cfg.K,
+			cfg.Seed+int64(1000*ri+n))
+		if perr != nil {
+			return perr
+		}
+		points[i] = point{cost: cost, timeMS: timeMS}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var figs []Figure
+	costFigs := make([]Figure, len(ratios))
+	timeFigs := make([]Figure, len(ratios))
+	for ri, ratio := range ratios {
+		costFigs[ri] = Figure{
+			ID:     fmt.Sprintf("Fig5(%c)", 'a'+ri),
+			Title:  fmt.Sprintf("operational cost vs network size (Dmax/|V| = %.2f)", ratio),
+			XLabel: "n",
+			YLabel: "avg operational cost",
+		}
+		timeFigs[ri] = Figure{
+			ID:     fmt.Sprintf("Fig5(%c)", 'd'+ri),
+			Title:  fmt.Sprintf("running time vs network size (Dmax/|V| = %.2f)", ratio),
+			XLabel: "n",
+			YLabel: "avg running time (ms)",
+		}
+		costSeries := make(map[string]*Series, len(offlineAlgorithms))
+		timeSeries := make(map[string]*Series, len(offlineAlgorithms))
+		for _, alg := range offlineAlgorithms {
+			costSeries[alg] = &Series{Label: alg}
+			timeSeries[alg] = &Series{Label: alg}
+		}
+		for ni, n := range sizes {
+			p := points[ri*len(sizes)+ni]
+			costFigs[ri].X = append(costFigs[ri].X, float64(n))
+			timeFigs[ri].X = append(timeFigs[ri].X, float64(n))
+			for _, alg := range offlineAlgorithms {
+				costSeries[alg].Y = append(costSeries[alg].Y, p.cost[alg])
+				timeSeries[alg].Y = append(timeSeries[alg].Y, p.timeMS[alg])
+			}
+		}
+		for _, alg := range offlineAlgorithms {
+			costFigs[ri].Series = append(costFigs[ri].Series, *costSeries[alg])
+			timeFigs[ri].Series = append(timeFigs[ri].Series, *timeSeries[alg])
+		}
+	}
+	figs = append(figs, costFigs...)
+	figs = append(figs, timeFigs...)
+	return figs, nil
+}
+
+// Fig6 reproduces Figure 6: operational cost and running time of the
+// same algorithms on the real topologies GÉANT and AS1755, sweeping
+// the destination ratio.
+func Fig6(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	topos := []struct{ id, name string }{
+		{"geant", "GEANT"},
+		{"as1755", "AS1755"},
+		{"as4755", "AS4755"},
+	}
+	var costFigs, timeFigs []Figure
+	for ti, tp := range topos {
+		nw, err := networkFor(tp.id, 0, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		costFig := Figure{
+			ID:     fmt.Sprintf("Fig6(%c)", 'a'+ti),
+			Title:  fmt.Sprintf("operational cost vs Dmax/|V| in %s", tp.name),
+			XLabel: "Dmax/|V|",
+			YLabel: "avg operational cost",
+		}
+		timeFig := Figure{
+			ID:     fmt.Sprintf("Fig6(%c)", 'a'+len(topos)+ti),
+			Title:  fmt.Sprintf("running time vs Dmax/|V| in %s", tp.name),
+			XLabel: "Dmax/|V|",
+			YLabel: "avg running time (ms)",
+		}
+		costSeries := make(map[string]*Series, len(offlineAlgorithms))
+		timeSeries := make(map[string]*Series, len(offlineAlgorithms))
+		for _, alg := range offlineAlgorithms {
+			costSeries[alg] = &Series{Label: alg}
+			timeSeries[alg] = &Series{Label: alg}
+		}
+		for ri, ratio := range cfg.DestRatios {
+			cost, timeMS, err := offlinePoint(nw, ratio, cfg.Requests, cfg.K,
+				cfg.Seed+int64(100*ti+ri))
+			if err != nil {
+				return nil, err
+			}
+			costFig.X = append(costFig.X, ratio)
+			timeFig.X = append(timeFig.X, ratio)
+			for _, alg := range offlineAlgorithms {
+				costSeries[alg].Y = append(costSeries[alg].Y, cost[alg])
+				timeSeries[alg].Y = append(timeSeries[alg].Y, timeMS[alg])
+			}
+		}
+		for _, alg := range offlineAlgorithms {
+			costFig.Series = append(costFig.Series, *costSeries[alg])
+			timeFig.Series = append(timeFig.Series, *timeSeries[alg])
+		}
+		costFigs = append(costFigs, costFig)
+		timeFigs = append(timeFigs, timeFig)
+	}
+	// The paper's layout: cost panels first, then running times.
+	return append(costFigs, timeFigs...), nil
+}
+
+// Fig7 reproduces Figure 7: the operational cost and running time of
+// Appro_Multi_Cap under computing and bandwidth capacity constraints,
+// with Dmax/|V| = 0.2, admitting a stream of requests per network
+// size. The uncapacitated Appro_Multi average over the same workload
+// is included for the Fig.7-vs-Fig.5(c) comparison the paper makes.
+func Fig7(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	const ratio = 0.2
+	costFig := Figure{
+		ID:     "Fig7(a)",
+		Title:  "operational cost of Appro_Multi_Cap vs network size (Dmax/|V| = 0.20)",
+		XLabel: "n",
+		YLabel: "avg operational cost",
+	}
+	timeFig := Figure{
+		ID:     "Fig7(b)",
+		Title:  "running time of Appro_Multi_Cap vs network size (Dmax/|V| = 0.20)",
+		XLabel: "n",
+		YLabel: "avg running time (ms)",
+	}
+	capSeries := Series{Label: "Appro_Multi_Cap"}
+	uncapSeries := Series{Label: "Appro_Multi (uncap)"}
+	capTime := Series{Label: "Appro_Multi_Cap"}
+	admitted := Series{Label: "admitted (of requests)"}
+	type point struct {
+		capCost, uncapCost, capMS float64
+		capCount                  int
+	}
+	points := make([]point, len(cfg.NetworkSizes))
+	err := forEachIndex(len(points), func(pi int) error {
+		n := cfg.NetworkSizes[pi]
+		nw, err := networkFor("waxman", n, cfg.Seed+int64(n))
+		if err != nil {
+			return err
+		}
+		gcfg := multicast.DefaultGeneratorConfig()
+		gcfg.DestRatio = ratio
+		gen, err := multicast.NewGenerator(nw.NumNodes(), gcfg, cfg.Seed+int64(n)+7)
+		if err != nil {
+			return err
+		}
+		var (
+			capCost, uncapCost, capMS float64
+			capCount, uncapCount      int
+		)
+		for i := 0; i < cfg.Requests; i++ {
+			req, gerr := gen.Next()
+			if gerr != nil {
+				return gerr
+			}
+			if sol, aerr := core.ApproMulti(nw, req, core.Options{K: cfg.K}); aerr == nil {
+				uncapCost += sol.OperationalCost
+				uncapCount++
+			}
+			start := time.Now()
+			sol, aerr := core.ApproMulti(nw, req, core.Options{K: cfg.K, Capacitated: true})
+			dur := time.Since(start)
+			if aerr != nil {
+				continue
+			}
+			if err := nw.Allocate(core.AllocationFor(req, sol.Tree)); err != nil {
+				continue
+			}
+			capCost += sol.OperationalCost
+			capMS += float64(dur.Microseconds()) / 1000.0
+			capCount++
+		}
+		if capCount == 0 || uncapCount == 0 {
+			return fmt.Errorf("sim: fig7 point n=%d admitted nothing", n)
+		}
+		points[pi] = point{
+			capCost:   capCost / float64(capCount),
+			uncapCost: uncapCost / float64(uncapCount),
+			capMS:     capMS / float64(capCount),
+			capCount:  capCount,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for pi, n := range cfg.NetworkSizes {
+		costFig.X = append(costFig.X, float64(n))
+		timeFig.X = append(timeFig.X, float64(n))
+		capSeries.Y = append(capSeries.Y, points[pi].capCost)
+		uncapSeries.Y = append(uncapSeries.Y, points[pi].uncapCost)
+		capTime.Y = append(capTime.Y, points[pi].capMS)
+		admitted.Y = append(admitted.Y, float64(points[pi].capCount))
+	}
+	costFig.Series = []Series{capSeries, uncapSeries}
+	timeFig.Series = []Series{capTime, admitted}
+	return []Figure{costFig, timeFig}, nil
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// onlineAdmitter abstracts the three online algorithms compared by
+// Figs. 8-9.
+type onlineAdmitter interface {
+	Admit(*multicast.Request) (*core.Solution, error)
+	AdmittedCount() int
+}
+
+// onlineSeries are the figure series in display order: the paper's
+// Online_CP, the SP heuristic as described (residual pruning +
+// re-routing), and the static-routes SP whose behaviour matches the
+// paper's reported SP numbers (see EXPERIMENTS.md).
+var onlineSeries = []string{"Online_CP", "SP", "SP_Static"}
+
+func newAdmitter(name string, nw *sdn.Network) (onlineAdmitter, error) {
+	switch name {
+	case "Online_CP":
+		return core.NewOnlineCP(nw, core.DefaultCostModel(nw.NumNodes()))
+	case "SP":
+		return core.NewOnlineSP(nw), nil
+	case "SP_Static":
+		return core.NewOnlineSPStatic(nw), nil
+	default:
+		return nil, fmt.Errorf("sim: unknown online algorithm %q", name)
+	}
+}
+
+// onlineRun feeds an identical request sequence to one admitter over
+// its own copy of the network and returns the admitted count after
+// every request.
+func onlineRun(name, topoName string, n int, requests int, seed int64) ([]int, error) {
+	nw, err := networkFor(topoName, n, seed)
+	if err != nil {
+		return nil, err
+	}
+	adm, err := newAdmitter(name, nw)
+	if err != nil {
+		return nil, err
+	}
+	gen, err := multicast.NewGenerator(nw.NumNodes(), multicast.OnlineGeneratorConfig(), seed+13)
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, requests)
+	for i := 0; i < requests; i++ {
+		req, gerr := gen.Next()
+		if gerr != nil {
+			return nil, gerr
+		}
+		// Rejections are part of the protocol, not errors of the run.
+		_, _ = adm.Admit(req)
+		counts[i] = adm.AdmittedCount()
+	}
+	return counts, nil
+}
+
+// Fig8 reproduces Figure 8: the number of requests admitted by
+// Online_CP and the SP baselines over a monitoring period of
+// cfg.Requests arrivals (paper: 300), for each random-network size.
+func Fig8(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fig := Figure{
+		ID:     "Fig8(a)",
+		Title:  fmt.Sprintf("admitted requests after %d arrivals vs network size", cfg.Requests),
+		XLabel: "n",
+		YLabel: "admitted requests",
+	}
+	// Every (size, algorithm) run is independent; execute in parallel.
+	finals := make([]float64, len(cfg.NetworkSizes)*len(onlineSeries))
+	err := forEachIndex(len(finals), func(i int) error {
+		ni, ai := i/len(onlineSeries), i%len(onlineSeries)
+		n := cfg.NetworkSizes[ni]
+		counts, rerr := onlineRun(onlineSeries[ai], "waxman", n, cfg.Requests, cfg.Seed+int64(n))
+		if rerr != nil {
+			return rerr
+		}
+		finals[i] = float64(counts[len(counts)-1])
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range cfg.NetworkSizes {
+		fig.X = append(fig.X, float64(n))
+	}
+	for ai, name := range onlineSeries {
+		s := Series{Label: name}
+		for ni := range cfg.NetworkSizes {
+			s.Y = append(s.Y, finals[ni*len(onlineSeries)+ai])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}
+
+// Fig9 reproduces Figure 9: admitted requests vs the number of
+// arrivals (50..cfg.Requests) in GÉANT (panel a) and AS1755 (panel b).
+func Fig9(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Checkpoint every 50 arrivals as in the paper's x-axis, adapting
+	// for short smoke runs.
+	checkEvery := 50
+	if cfg.Requests < checkEvery {
+		checkEvery = cfg.Requests/6 + 1
+	}
+	topos := []struct{ id, name string }{
+		{"geant", "GEANT"},
+		{"as1755", "AS1755"},
+	}
+	var figs []Figure
+	for ti, tp := range topos {
+		fig := Figure{
+			ID:     fmt.Sprintf("Fig9(%c)", 'a'+ti),
+			Title:  fmt.Sprintf("admitted requests vs arrivals in %s", tp.name),
+			XLabel: "requests",
+			YLabel: "admitted requests",
+		}
+		for x := checkEvery; x <= cfg.Requests; x += checkEvery {
+			fig.X = append(fig.X, float64(x))
+		}
+		for _, name := range onlineSeries {
+			counts, err := onlineRun(name, tp.id, 0, cfg.Requests, cfg.Seed+int64(ti))
+			if err != nil {
+				return nil, err
+			}
+			s := Series{Label: name}
+			for x := checkEvery; x <= cfg.Requests; x += checkEvery {
+				s.Y = append(s.Y, float64(counts[x-1]))
+			}
+			fig.Series = append(fig.Series, s)
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}

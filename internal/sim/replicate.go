@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/stats"
+)
+
+// Replicate runs a named experiment reps times with consecutive seeds
+// and aggregates the series point-wise: Y becomes the mean across
+// repetitions and YErr the 95% confidence half-width. All repetitions
+// must produce structurally identical figures (same panels, x-axes
+// and series), which the per-experiment drivers guarantee for a fixed
+// Config shape.
+func Replicate(name string, cfg Config, reps int) ([]Figure, error) {
+	if reps < 1 {
+		return nil, fmt.Errorf("sim: need at least 1 repetition, got %d", reps)
+	}
+	if reps == 1 {
+		return RunExperiment(name, cfg)
+	}
+	runs := make([][]Figure, reps)
+	err := forEachIndex(reps, func(r int) error {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)*1000003 // spread seeds far apart
+		figs, rerr := RunExperiment(name, c)
+		if rerr != nil {
+			return fmt.Errorf("repetition %d: %w", r, rerr)
+		}
+		runs[r] = figs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mergeRuns(runs)
+}
+
+// mergeRuns aggregates structurally identical figure sets.
+func mergeRuns(runs [][]Figure) ([]Figure, error) {
+	base := runs[0]
+	for r, figs := range runs[1:] {
+		if err := sameShape(base, figs); err != nil {
+			return nil, fmt.Errorf("sim: repetition %d: %w", r+1, err)
+		}
+	}
+	out := make([]Figure, len(base))
+	for fi := range base {
+		f := base[fi]
+		merged := Figure{
+			ID:     f.ID,
+			Title:  f.Title,
+			XLabel: f.XLabel,
+			X:      append([]float64(nil), f.X...),
+			YLabel: f.YLabel,
+		}
+		for si := range f.Series {
+			s := Series{
+				Label: f.Series[si].Label,
+				Y:     make([]float64, len(f.X)),
+				YErr:  make([]float64, len(f.X)),
+			}
+			for i := range f.X {
+				sample := make([]float64, 0, len(runs))
+				for _, figs := range runs {
+					sample = append(sample, figs[fi].Series[si].Y[i])
+				}
+				summary, err := stats.Summarize(sample)
+				if err != nil {
+					return nil, err
+				}
+				s.Y[i] = summary.Mean
+				s.YErr[i] = stats.CI95HalfWidth(summary)
+			}
+			merged.Series = append(merged.Series, s)
+		}
+		out[fi] = merged
+	}
+	return out, nil
+}
+
+// sameShape verifies two figure sets are point-wise comparable.
+func sameShape(a, b []Figure) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("figure count %d != %d", len(b), len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			return fmt.Errorf("figure %d: ID %q != %q", i, b[i].ID, a[i].ID)
+		}
+		if len(a[i].X) != len(b[i].X) {
+			return fmt.Errorf("%s: x-axis length %d != %d", a[i].ID, len(b[i].X), len(a[i].X))
+		}
+		if len(a[i].Series) != len(b[i].Series) {
+			return fmt.Errorf("%s: series count %d != %d", a[i].ID, len(b[i].Series), len(a[i].Series))
+		}
+		for si := range a[i].Series {
+			if a[i].Series[si].Label != b[i].Series[si].Label {
+				return fmt.Errorf("%s: series %d label %q != %q",
+					a[i].ID, si, b[i].Series[si].Label, a[i].Series[si].Label)
+			}
+			if len(a[i].Series[si].Y) != len(b[i].Series[si].Y) {
+				return fmt.Errorf("%s/%s: point count differs", a[i].ID, a[i].Series[si].Label)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+// Package sim is the experiment harness that regenerates every table
+// and figure of the paper's evaluation (§VI): workload generation,
+// per-figure parameter sweeps, metric collection (operational cost,
+// running time, admitted requests) and plain-text rendering of the
+// resulting series.
+//
+// Figure index (see DESIGN.md §3):
+//
+//	Fig5 — Appro_Multi vs Alg_One_Server on random networks
+//	       (cost and running time vs network size, one panel per
+//	       destination ratio)
+//	Fig6 — the same algorithms on GÉANT and AS1755 vs the ratio
+//	Fig7 — Appro_Multi_Cap under resource capacity constraints
+//	Fig8 — Online_CP vs SP: admitted requests vs network size
+//	Fig9 — Online_CP vs SP on GÉANT / AS1755 vs number of requests
+//	AblationK, AblationEvaluator, AblationCostModel — design-choice
+//	       sweeps from DESIGN.md §4
+//	ExtChurn, ExtErlang, ExtOnlineK, ExtReoptimize, ExtStretch,
+//	ExtOptGap — extension experiments beyond the paper (DESIGN.md §3)
+//
+// Replicate runs any experiment across several seeds and aggregates
+// mean ± 95% CI per point.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+
+	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/topology"
+)
+
+// forEachIndex runs fn(0..n-1) concurrently, bounded by GOMAXPROCS
+// workers, and returns the first error (by index order). Sweep points
+// are independent — each builds its own seeded network and workload —
+// so parallel execution leaves results bit-identical to sequential
+// runs.
+func forEachIndex(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Config controls an experiment run.
+type Config struct {
+	// Requests is the number of requests averaged per measurement
+	// point (the paper uses 1000 offline and 300 online; the defaults
+	// here are sized so a full run completes in minutes).
+	Requests int
+	// Seed drives all randomness; runs are reproducible per seed.
+	Seed int64
+	// K is the server budget for Appro_Multi (paper default 3).
+	K int
+	// NetworkSizes are the random-network sizes swept by Figs. 5, 7
+	// and 8.
+	NetworkSizes []int
+	// DestRatios are the D_max/|V| panels of Fig. 5 and the x-axis of
+	// Fig. 6.
+	DestRatios []float64
+}
+
+// DefaultConfig returns the evaluation's parameters with request
+// counts sized for an interactive run.
+func DefaultConfig() Config {
+	return Config{
+		Requests:     100,
+		Seed:         42,
+		K:            3,
+		NetworkSizes: []int{50, 100, 150, 200, 250},
+		DestRatios:   []float64{0.05, 0.10, 0.15, 0.20},
+	}
+}
+
+func (c Config) validate() error {
+	if c.Requests < 1 {
+		return fmt.Errorf("sim: need at least 1 request per point, got %d", c.Requests)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("sim: need K >= 1, got %d", c.K)
+	}
+	if len(c.NetworkSizes) == 0 || len(c.DestRatios) == 0 {
+		return fmt.Errorf("sim: empty sweep axes")
+	}
+	return nil
+}
+
+// Series is one labelled curve of a figure. YErr, when non-nil, holds
+// the 95% confidence half-width per point (set by Replicate).
+type Series struct {
+	Label string    `json:"label"`
+	Y     []float64 `json:"y"`
+	YErr  []float64 `json:"yErr,omitempty"`
+}
+
+// Figure is a reproduced figure panel: an x-axis plus one or more
+// series over it.
+type Figure struct {
+	ID     string    `json:"id"`
+	Title  string    `json:"title"`
+	XLabel string    `json:"xLabel"`
+	X      []float64 `json:"x"`
+	YLabel string    `json:"yLabel"`
+	Series []Series  `json:"series"`
+}
+
+// Render formats the figure as an aligned text table.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-10s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %22s", s.Label)
+	}
+	fmt.Fprintf(&b, "    [%s]\n", f.YLabel)
+	for i, x := range f.X {
+		fmt.Fprintf(&b, "%-10.4g", x)
+		for _, s := range f.Series {
+			switch {
+			case i >= len(s.Y):
+				fmt.Fprintf(&b, "  %22s", "-")
+			case i < len(s.YErr):
+				fmt.Fprintf(&b, "  %22s", fmt.Sprintf("%.2f±%.2f", s.Y[i], s.YErr[i]))
+			default:
+				fmt.Fprintf(&b, "  %22.2f", s.Y[i])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// networkFor builds the evaluation network for a named topology:
+// "waxman" (with the given size), "geant", "as1755" or "as4755".
+// Random networks use the GT-ITM-style degree-targeted Waxman model.
+func networkFor(name string, n int, seed int64) (*sdn.Network, error) {
+	var (
+		topo *topology.Topology
+		err  error
+	)
+	switch name {
+	case "waxman":
+		topo, err = topology.WaxmanDegree(n, topology.DefaultAvgDegree, 0.14, seed)
+	case "geant":
+		topo = topology.GEANT()
+	case "as1755":
+		topo = topology.AS1755()
+	case "as4755":
+		topo = topology.AS4755()
+	case "fattree":
+		// Arity chosen so node count is near n: k=8 gives 80 switches.
+		topo, err = topology.FatTree(8, seed)
+	default:
+		return nil, fmt.Errorf("sim: unknown topology %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	return sdn.NewNetwork(topo, sdn.DefaultConfig(), rng)
+}

@@ -1,0 +1,432 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// quickConfig keeps test runs fast while still exercising every
+// driver end to end.
+func quickConfig() Config {
+	return Config{
+		Requests:     8,
+		Seed:         42,
+		K:            2,
+		NetworkSizes: []int{30, 50},
+		DestRatios:   []float64{0.1, 0.2},
+	}
+}
+
+// checkFigure validates the structural invariants of a rendered
+// figure: non-empty axes, aligned series, positive values where
+// required.
+func checkFigure(t *testing.T, f Figure, wantSeries int, positive bool) {
+	t.Helper()
+	if f.ID == "" || f.Title == "" {
+		t.Fatalf("figure missing identity: %+v", f)
+	}
+	if len(f.X) == 0 {
+		t.Fatalf("%s: empty x axis", f.ID)
+	}
+	if len(f.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", f.ID, len(f.Series), wantSeries)
+	}
+	for _, s := range f.Series {
+		if len(s.Y) != len(f.X) {
+			t.Fatalf("%s/%s: %d points for %d x values", f.ID, s.Label, len(s.Y), len(f.X))
+		}
+		if positive {
+			for i, y := range s.Y {
+				if y <= 0 {
+					t.Fatalf("%s/%s: non-positive value %v at x=%v", f.ID, s.Label, y, f.X[i])
+				}
+			}
+		}
+	}
+	r := f.Render()
+	if !strings.Contains(r, f.ID) {
+		t.Fatalf("%s: render missing figure ID:\n%s", f.ID, r)
+	}
+	for _, s := range f.Series {
+		if !strings.Contains(r, s.Label) {
+			t.Fatalf("%s: render missing series %q", f.ID, s.Label)
+		}
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := quickConfig()
+	if err := good.validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.Requests = 0
+	if err := bad.validate(); err == nil {
+		t.Fatal("requests=0 accepted")
+	}
+	bad = good
+	bad.K = 0
+	if err := bad.validate(); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+	bad = good
+	bad.NetworkSizes = nil
+	if err := bad.validate(); err == nil {
+		t.Fatal("empty sizes accepted")
+	}
+}
+
+func TestNetworkFor(t *testing.T) {
+	for _, name := range []string{"waxman", "geant", "as1755", "as4755"} {
+		nw, err := networkFor(name, 40, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if nw.NumNodes() < 2 || len(nw.Servers()) < 1 {
+			t.Fatalf("%s: degenerate network", name)
+		}
+	}
+	if _, err := networkFor("nope", 40, 1); err == nil {
+		t.Fatal("unknown topology accepted")
+	}
+}
+
+func TestFig5Structure(t *testing.T) {
+	figs, err := Fig5(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 ratios -> 2 cost panels + 2 time panels.
+	if len(figs) != 4 {
+		t.Fatalf("fig5 panels = %d, want 4", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f, 3, true)
+	}
+	// Appro_Multi (series 0) never costs more than Alg_One_Server
+	// (series 1) on the cost panels.
+	for _, f := range figs[:2] {
+		for i := range f.X {
+			if f.Series[0].Y[i] > f.Series[1].Y[i]+1e-6 {
+				t.Fatalf("%s: Appro_Multi %v > One_Server %v at x=%v",
+					f.ID, f.Series[0].Y[i], f.Series[1].Y[i], f.X[i])
+			}
+		}
+	}
+}
+
+func TestFig6Structure(t *testing.T) {
+	figs, err := Fig6(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 6 {
+		t.Fatalf("fig6 panels = %d, want 6 (3 topologies x cost+time)", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f, 3, true)
+	}
+}
+
+func TestFig7Structure(t *testing.T) {
+	figs, err := Fig7(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("fig7 panels = %d, want 2", len(figs))
+	}
+	checkFigure(t, figs[0], 2, true)
+	checkFigure(t, figs[1], 2, true)
+}
+
+func TestFig8Structure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 40
+	figs, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("fig8 panels = %d, want 1", len(figs))
+	}
+	checkFigure(t, figs[0], 3, true)
+	for _, s := range figs[0].Series {
+		for i, y := range s.Y {
+			if y > float64(cfg.Requests) {
+				t.Fatalf("%s admitted %v > offered %d at x=%v",
+					s.Label, y, cfg.Requests, figs[0].X[i])
+			}
+		}
+	}
+}
+
+func TestFig9Structure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 100
+	figs, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("fig9 panels = %d, want 2", len(figs))
+	}
+	for _, f := range figs {
+		checkFigure(t, f, 3, true)
+		// Admission counts are non-decreasing in arrivals.
+		for _, s := range f.Series {
+			for i := 1; i < len(s.Y); i++ {
+				if s.Y[i] < s.Y[i-1] {
+					t.Fatalf("%s/%s: admitted count decreased", f.ID, s.Label)
+				}
+			}
+		}
+	}
+}
+
+func TestAblationKStructure(t *testing.T) {
+	figs, err := AblationK(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 3, true)
+	if len(figs[0].X) != 2 { // K = 1..2 under quickConfig
+		t.Fatalf("ablation K points = %d, want 2", len(figs[0].X))
+	}
+}
+
+func TestAblationEvaluatorStructure(t *testing.T) {
+	figs, err := AblationEvaluator(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 2, true)
+}
+
+func TestAblationCostModelStructure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 20
+	figs, err := AblationCostModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 3, true)
+}
+
+func TestRunExperimentDispatch(t *testing.T) {
+	if _, err := RunExperiment("nope", quickConfig()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	cfg := quickConfig()
+	figs, err := RunExperiment("ablation-evaluator", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) == 0 {
+		t.Fatal("no figures returned")
+	}
+	// Every listed experiment must have a non-empty description.
+	for _, e := range Experiments {
+		if e.Name == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("bad experiment entry %+v", e)
+		}
+	}
+}
+
+func TestFigureDeterminism(t *testing.T) {
+	cfg := quickConfig()
+	a, err := Fig8(Config{
+		Requests: 20, Seed: cfg.Seed, K: 1,
+		NetworkSizes: []int{30}, DestRatios: []float64{0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig8(Config{
+		Requests: 20, Seed: cfg.Seed, K: 1,
+		NetworkSizes: []int{30}, DestRatios: []float64{0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range a[0].Series {
+		for i := range a[0].Series[si].Y {
+			if a[0].Series[si].Y[i] != b[0].Series[si].Y[i] {
+				t.Fatal("equal-seed runs differ")
+			}
+		}
+	}
+}
+
+func TestReplicateAggregates(t *testing.T) {
+	cfg := Config{
+		Requests: 10, Seed: 1, K: 1,
+		NetworkSizes: []int{30}, DestRatios: []float64{0.1},
+	}
+	figs, err := Replicate("fig8", cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("panels = %d, want 1", len(figs))
+	}
+	for _, s := range figs[0].Series {
+		if len(s.YErr) != len(s.Y) {
+			t.Fatalf("%s: YErr missing", s.Label)
+		}
+		for i, e := range s.YErr {
+			if e < 0 {
+				t.Fatalf("%s: negative CI at %d", s.Label, i)
+			}
+		}
+	}
+	// Rendering shows the ± form.
+	if r := figs[0].Render(); !strings.Contains(r, "±") {
+		t.Fatalf("render lacks ± markers:\n%s", r)
+	}
+}
+
+func TestReplicateSingleRepPassthrough(t *testing.T) {
+	cfg := Config{
+		Requests: 5, Seed: 1, K: 1,
+		NetworkSizes: []int{30}, DestRatios: []float64{0.1},
+	}
+	a, err := Replicate("ablation-evaluator", cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunExperiment("ablation-evaluator", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Series[0].Y[0] != b[0].Series[0].Y[0] {
+		t.Fatal("single repetition differs from direct run")
+	}
+	if _, err := Replicate("fig8", cfg, 0); err == nil {
+		t.Fatal("0 repetitions accepted")
+	}
+}
+
+func TestExtStretchStructure(t *testing.T) {
+	figs, err := ExtStretch(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 3, true)
+	for _, s := range figs[0].Series {
+		for i, y := range s.Y {
+			if y < 1-1e-9 {
+				t.Fatalf("%s: stretch %v < 1 at x=%v", s.Label, y, figs[0].X[i])
+			}
+		}
+	}
+}
+
+func TestExtChurnStructure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 30
+	figs, err := ExtChurn(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 3, true)
+}
+
+func TestExtErlangStructure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 15
+	figs, err := ExtErlang(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 3, true)
+	for _, s := range figs[0].Series {
+		for i, y := range s.Y {
+			if y > 1+1e-9 {
+				t.Fatalf("%s: acceptance ratio %v > 1 at x=%v", s.Label, y, figs[0].X[i])
+			}
+		}
+	}
+}
+
+func TestExtOnlineKStructure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 30
+	figs, err := ExtOnlineK(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 2, true)
+	if len(figs[0].X) != cfg.K {
+		t.Fatalf("K points = %d, want %d", len(figs[0].X), cfg.K)
+	}
+}
+
+func TestExtReoptimizeStructure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 40
+	figs, err := ExtReoptimize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 3, false)
+	before, after := figs[0].Series[0], figs[0].Series[1]
+	for i := range before.Y {
+		if after.Y[i] > before.Y[i]+1e-6 {
+			t.Fatalf("policy %v: cost rose after reoptimize", figs[0].X[i])
+		}
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	cfg := DefaultConfig()
+	if err := cfg.validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.K != 3 || cfg.Requests < 1 {
+		t.Fatalf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestSameShapeMismatches(t *testing.T) {
+	base := []Figure{{
+		ID: "A", X: []float64{1}, Series: []Series{{Label: "s", Y: []float64{1}}},
+	}}
+	cases := [][]Figure{
+		{},
+		{{ID: "B", X: []float64{1}, Series: []Series{{Label: "s", Y: []float64{1}}}}},
+		{{ID: "A", X: []float64{1, 2}, Series: []Series{{Label: "s", Y: []float64{1}}}}},
+		{{ID: "A", X: []float64{1}, Series: nil}},
+		{{ID: "A", X: []float64{1}, Series: []Series{{Label: "t", Y: []float64{1}}}}},
+		{{ID: "A", X: []float64{1}, Series: []Series{{Label: "s", Y: []float64{1, 2}}}}},
+	}
+	for i, c := range cases {
+		if err := sameShape(base, c); err == nil {
+			t.Fatalf("case %d: mismatch accepted", i)
+		}
+	}
+	if err := sameShape(base, base); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExtOptGapStructure(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Requests = 4
+	figs, err := ExtOptGap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkFigure(t, figs[0], 4, true)
+	// All ratios respect the theory bounds: KMB <= 2, Appro_Multi <= 2.
+	for _, s := range figs[0].Series {
+		for i, y := range s.Y {
+			if y < 1-1e-9 {
+				t.Fatalf("%s: ratio %v < 1 at x=%v", s.Label, y, figs[0].X[i])
+			}
+			if y > 2+1e-9 {
+				t.Fatalf("%s: ratio %v exceeds the 2x bound at x=%v", s.Label, y, figs[0].X[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+)
+
+// ExtStretch is an extension experiment beyond the paper: the latency
+// price of NFV steering. For each algorithm it reports the average
+// *stretch* — worst-destination delivery hops (including the service
+// chain detour and pseudo-multicast back-tracking) divided by the
+// plain shortest-path distance — across network sizes.
+func ExtStretch(cfg Config) ([]Figure, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	fig := Figure{
+		ID:     "ExtStretch",
+		Title:  "latency stretch of NFV steering vs network size",
+		XLabel: "n",
+		YLabel: "avg worst-destination stretch",
+	}
+	type point map[string]float64
+	points := make([]point, len(cfg.NetworkSizes))
+	err := forEachIndex(len(points), func(pi int) error {
+		n := cfg.NetworkSizes[pi]
+		nw, err := networkFor("waxman", n, cfg.Seed+int64(n))
+		if err != nil {
+			return err
+		}
+		gen, err := multicast.NewGenerator(nw.NumNodes(),
+			multicast.DefaultGeneratorConfig(), cfg.Seed+int64(n)+3)
+		if err != nil {
+			return err
+		}
+		sums := map[string]float64{}
+		counts := map[string]int{}
+		for i := 0; i < cfg.Requests; i++ {
+			req, gerr := gen.Next()
+			if gerr != nil {
+				return gerr
+			}
+			for _, alg := range offlineAlgorithms {
+				var sol *core.Solution
+				var aerr error
+				switch alg {
+				case "Appro_Multi":
+					sol, aerr = core.ApproMulti(nw, req, core.Options{K: cfg.K})
+				case "Alg_One_Server":
+					sol, aerr = core.AlgOneServer(nw, req, false)
+				case "One_Server_Nearest":
+					sol, aerr = core.AlgOneServerNearest(nw, req, false)
+				}
+				if aerr != nil {
+					continue
+				}
+				stretch, serr := sol.Tree.Stretch(nw.Graph())
+				if serr != nil {
+					return serr
+				}
+				sums[alg] += stretch
+				counts[alg]++
+			}
+		}
+		p := point{}
+		for _, alg := range offlineAlgorithms {
+			if counts[alg] == 0 {
+				return fmt.Errorf("sim: stretch point n=%d solved nothing for %s", n, alg)
+			}
+			p[alg] = sums[alg] / float64(counts[alg])
+		}
+		points[pi] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range cfg.NetworkSizes {
+		fig.X = append(fig.X, float64(n))
+	}
+	for _, alg := range offlineAlgorithms {
+		s := Series{Label: alg}
+		for pi := range cfg.NetworkSizes {
+			s.Y = append(s.Y, points[pi][alg])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return []Figure{fig}, nil
+}

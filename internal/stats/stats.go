@@ -1,0 +1,132 @@
+// Package stats provides the small statistical toolkit used by the
+// experiment harness: streaming mean/variance (Welford), summaries,
+// percentiles and normal-approximation confidence intervals.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned when a statistic of an empty sample is
+// requested.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Accumulator computes streaming mean and variance with Welford's
+// algorithm. The zero value is ready to use.
+type Accumulator struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	delta := x - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (x - a.mean)
+}
+
+// N reports the number of observations.
+func (a *Accumulator) N() int { return a.n }
+
+// Mean reports the sample mean (0 for an empty sample).
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Variance reports the unbiased sample variance (0 for n < 2).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (a *Accumulator) Stddev() float64 { return math.Sqrt(a.Variance()) }
+
+// Min reports the smallest observation (0 for an empty sample).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max reports the largest observation (0 for an empty sample).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Summary is a fixed snapshot of a sample's statistics.
+type Summary struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Stddev float64 `json:"stddev"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) (Summary, error) {
+	if len(xs) == 0 {
+		return Summary{}, ErrEmpty
+	}
+	var acc Accumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return Summary{
+		N:      acc.N(),
+		Mean:   acc.Mean(),
+		Stddev: acc.Stddev(),
+		Min:    acc.Min(),
+		Max:    acc.Max(),
+	}, nil
+}
+
+// String renders the summary as "mean ± stddev [min, max] (n=N)".
+func (s Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.3g [%.4g, %.4g] (n=%d)", s.Mean, s.Stddev, s.Min, s.Max, s.N)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %v outside [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// CI95HalfWidth returns the half-width of a 95% confidence interval
+// for the mean under the normal approximation (1.96·s/√n). For n < 2
+// it returns 0.
+func CI95HalfWidth(s Summary) float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.Stddev / math.Sqrt(float64(s.N))
+}

@@ -1,0 +1,180 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorKnownValues(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 {
+		t.Fatalf("N = %d, want 8", a.N())
+	}
+	if math.Abs(a.Mean()-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", a.Mean())
+	}
+	// Population variance of this classic sample is 4; unbiased
+	// sample variance is 32/7.
+	if math.Abs(a.Variance()-32.0/7.0) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", a.Variance(), 32.0/7.0)
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorSmallSamples(t *testing.T) {
+	var a Accumulator
+	if a.Variance() != 0 || a.Stddev() != 0 || a.Mean() != 0 {
+		t.Fatal("zero-value accumulator should report zeros")
+	}
+	a.Add(3)
+	if a.Variance() != 0 {
+		t.Fatalf("variance of single sample = %v, want 0", a.Variance())
+	}
+	if a.Mean() != 3 || a.Min() != 3 || a.Max() != 3 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 3 || s.Mean != 2 || s.Min != 1 || s.Max != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if s.String() == "" {
+		t.Fatal("empty String()")
+	}
+	if _, err := Summarize(nil); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("empty summarize = %v, want ErrEmpty", err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 15},
+		{100, 50},
+		{50, 35},
+		{25, 20},
+	}
+	for _, tt := range tests {
+		got, err := Percentile(xs, tt.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tt.want) > 1e-9 {
+			t.Fatalf("P%v = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Fatal("empty percentile accepted")
+	}
+	if _, err := Percentile(xs, -1); err == nil {
+		t.Fatal("negative percentile accepted")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Fatal("percentile > 100 accepted")
+	}
+	one, err := Percentile([]float64{7}, 90)
+	if err != nil || one != 7 {
+		t.Fatalf("single-sample percentile = (%v, %v)", one, err)
+	}
+	// Input must not be mutated (sorted copy).
+	orig := []float64{3, 1, 2}
+	if _, err := Percentile(orig, 50); err != nil {
+		t.Fatal(err)
+	}
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestCI95(t *testing.T) {
+	s, err := Summarize([]float64{10, 10, 10, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := CI95HalfWidth(s); got != 0 {
+		t.Fatalf("CI of constant sample = %v, want 0", got)
+	}
+	s2 := Summary{N: 1, Stddev: 5}
+	if CI95HalfWidth(s2) != 0 {
+		t.Fatal("CI of single sample should be 0")
+	}
+	s3 := Summary{N: 100, Stddev: 10}
+	want := 1.96 * 10 / 10
+	if math.Abs(CI95HalfWidth(s3)-want) > 1e-12 {
+		t.Fatalf("CI = %v, want %v", CI95HalfWidth(s3), want)
+	}
+}
+
+func TestPropertyAccumulatorMatchesTwoPass(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(200)
+		xs := make([]float64, n)
+		var acc Accumulator
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*50 + 10
+			acc.Add(xs[i])
+		}
+		// Two-pass reference.
+		var sum float64
+		for _, x := range xs {
+			sum += x
+		}
+		mean := sum / float64(n)
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		variance := ss / float64(n-1)
+		return math.Abs(acc.Mean()-mean) < 1e-9*(1+math.Abs(mean)) &&
+			math.Abs(acc.Variance()-variance) < 1e-6*(1+variance)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 10 {
+			v, err := Percentile(xs, p)
+			if err != nil || v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		s, err := Summarize(xs)
+		if err != nil {
+			return false
+		}
+		p0, _ := Percentile(xs, 0)
+		p100, _ := Percentile(xs, 100)
+		return p0 == s.Min && p100 == s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package topology
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/graph"
+)
+
+// FatTree generates a k-ary fat-tree — the canonical data-centre
+// fabric (Al-Fares et al., SIGCOMM 2008) behind the paper's "system
+// monitoring in data centers" motivation. For even k >= 2 it builds
+//
+//	(k/2)^2 core switches,
+//	k pods of k/2 aggregation + k/2 edge switches each,
+//
+// with every edge switch linked to every aggregation switch of its
+// pod, and aggregation switch j of every pod linked to core switches
+// [j*k/2, (j+1)*k/2). Hosts are not modelled: multicast endpoints
+// attach at edge switches. Node order: cores, then per pod
+// aggregation then edge. NFV servers are recommended at one
+// aggregation switch per pod (k servers).
+func FatTree(k int, seed int64) (*Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity %d must be even and >= 2", k)
+	}
+	half := k / 2
+	cores := half * half
+	perPod := k // half aggregation + half edge
+	total := cores + k*perPod
+	g := graph.New(total)
+
+	coreID := func(i int) graph.NodeID { return i }
+	aggID := func(pod, j int) graph.NodeID { return cores + pod*perPod + j }
+	edgeID := func(pod, j int) graph.NodeID { return cores + pod*perPod + half + j }
+
+	names := make([]string, total)
+	for i := 0; i < cores; i++ {
+		names[coreID(i)] = fmt.Sprintf("core%02d", i)
+	}
+	for pod := 0; pod < k; pod++ {
+		for j := 0; j < half; j++ {
+			names[aggID(pod, j)] = fmt.Sprintf("pod%02d-agg%d", pod, j)
+			names[edgeID(pod, j)] = fmt.Sprintf("pod%02d-edge%d", pod, j)
+		}
+	}
+
+	for pod := 0; pod < k; pod++ {
+		// Pod mesh: every edge switch to every aggregation switch.
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				g.MustAddEdge(edgeID(pod, e), aggID(pod, a), 1)
+			}
+		}
+		// Uplinks: aggregation j to its core group.
+		for a := 0; a < half; a++ {
+			for c := a * half; c < (a+1)*half; c++ {
+				g.MustAddEdge(aggID(pod, a), coreID(c), 1)
+			}
+		}
+	}
+
+	_ = seed // structure is fully determined by k; kept for API symmetry
+	t := &Topology{
+		Name:      fmt.Sprintf("fattree-%d", k),
+		Graph:     g,
+		NodeNames: names,
+		Servers:   k, // one NFV pod-local server per pod (at agg 0)
+	}
+	return t, t.Validate()
+}
+
+// FatTreeServers returns the recommended server placement for a
+// fat-tree built by FatTree(k): aggregation switch 0 of every pod,
+// giving each pod a local NFV site.
+func FatTreeServers(k int) ([]graph.NodeID, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fat-tree arity %d must be even and >= 2", k)
+	}
+	half := k / 2
+	cores := half * half
+	out := make([]graph.NodeID, 0, k)
+	for pod := 0; pod < k; pod++ {
+		out = append(out, cores+pod*k)
+	}
+	return out, nil
+}

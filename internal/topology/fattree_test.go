@@ -1,0 +1,93 @@
+package topology
+
+import (
+	"testing"
+
+	"nfvmcast/internal/graph"
+)
+
+func TestFatTreeStructure(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		topo, err := FatTree(k, 0)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		half := k / 2
+		wantNodes := half*half + k*k
+		if topo.NumNodes() != wantNodes {
+			t.Fatalf("k=%d: nodes = %d, want %d", k, topo.NumNodes(), wantNodes)
+		}
+		// Links: per pod (k/2)^2 mesh + (k/2)^2 uplinks.
+		wantEdges := k * (half*half + half*half)
+		if topo.NumEdges() != wantEdges {
+			t.Fatalf("k=%d: edges = %d, want %d", k, topo.NumEdges(), wantEdges)
+		}
+		if !graph.IsConnected(topo.Graph) {
+			t.Fatalf("k=%d: disconnected", k)
+		}
+		if topo.Servers != k {
+			t.Fatalf("k=%d: servers = %d, want %d", k, topo.Servers, k)
+		}
+		// A fat-tree has no bridges for k >= 4 (full redundancy).
+		if k >= 4 {
+			if bridges := graph.Bridges(topo.Graph); len(bridges) != 0 {
+				t.Fatalf("k=%d: unexpected bridges %v", k, bridges)
+			}
+		}
+	}
+}
+
+func TestFatTreeValidation(t *testing.T) {
+	for _, k := range []int{0, 1, 3, -2} {
+		if _, err := FatTree(k, 0); err == nil {
+			t.Fatalf("k=%d accepted", k)
+		}
+		if _, err := FatTreeServers(k); err == nil {
+			t.Fatalf("servers for k=%d accepted", k)
+		}
+	}
+}
+
+func TestFatTreeServersArePodLocalAggs(t *testing.T) {
+	const k = 4
+	topo, err := FatTree(k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers, err := FatTreeServers(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(servers) != k {
+		t.Fatalf("%d servers, want %d", len(servers), k)
+	}
+	seen := make(map[graph.NodeID]bool)
+	for i, v := range servers {
+		if v < 0 || v >= topo.NumNodes() || seen[v] {
+			t.Fatalf("bad or duplicate server %d", v)
+		}
+		seen[v] = true
+		wantName := "agg0"
+		if got := topo.NodeNames[v]; len(got) < 4 || got[len(got)-4:] != wantName {
+			t.Fatalf("server %d is %q, want a pod-local %s", i, got, wantName)
+		}
+	}
+}
+
+func TestFatTreeDiameter(t *testing.T) {
+	// Any two edge switches are at most 4 hops apart (edge-agg-core-
+	// agg-edge).
+	topo, err := FatTree(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := graph.Dijkstra(topo.Graph, topo.NumNodes()-1) // an edge switch
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < topo.NumNodes(); v++ {
+		if sp.Dist[v] > 4 {
+			t.Fatalf("distance to %d is %v, want <= 4", v, sp.Dist[v])
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package topology
+
+import "nfvmcast/internal/graph"
+
+// geantNodes are the 40 GÉANT points of presence (2017-era map,
+// transcribed approximately from the public topology poster — see
+// DESIGN.md §5). Index in this slice is the node ID.
+var geantNodes = []string{
+	"Amsterdam",  // 0
+	"Athens",     // 1
+	"Belgrade",   // 2
+	"Bratislava", // 3
+	"Brussels",   // 4
+	"Bucharest",  // 5
+	"Budapest",   // 6
+	"Chisinau",   // 7
+	"Copenhagen", // 8
+	"Dublin",     // 9
+	"Frankfurt",  // 10
+	"Geneva",     // 11
+	"Hamburg",    // 12
+	"Helsinki",   // 13
+	"Kaunas",     // 14
+	"Lisbon",     // 15
+	"Ljubljana",  // 16
+	"London",     // 17
+	"Luxembourg", // 18
+	"Madrid",     // 19
+	"Malta",      // 20
+	"Marseille",  // 21
+	"Milan",      // 22
+	"Nicosia",    // 23
+	"Oslo",       // 24
+	"Paris",      // 25
+	"Podgorica",  // 26
+	"Prague",     // 27
+	"Riga",       // 28
+	"Rome",       // 29
+	"Sofia",      // 30
+	"Stockholm",  // 31
+	"Tallinn",    // 32
+	"Tirana",     // 33
+	"Vienna",     // 34
+	"Vilnius",    // 35
+	"Warsaw",     // 36
+	"Zagreb",     // 37
+	"Zurich",     // 38
+	"Tartu",      // 39
+}
+
+// geantLinks is the GÉANT backbone link list over geantNodes indices.
+// Link lengths are uniform: the evaluation's costs come from per-link
+// unit prices assigned by the SDN layer, not from geography.
+var geantLinks = [][2]int{
+	{0, 17}, {0, 4}, {0, 10}, {0, 12}, {0, 8}, {0, 9}, // Amsterdam
+	{17, 25}, {17, 9}, {17, 10}, {17, 15}, // London
+	{25, 11}, {25, 19}, {25, 4}, {25, 21}, // Paris
+	{4, 18},                                          // Brussels–Luxembourg
+	{18, 10},                                         // Luxembourg–Frankfurt
+	{10, 11}, {10, 27}, {10, 12}, {10, 34}, {10, 36}, // Frankfurt
+	{12, 8},          // Hamburg–Copenhagen
+	{8, 24}, {8, 31}, // Copenhagen–Oslo/Stockholm
+	{24, 31},           // Oslo–Stockholm
+	{31, 13},           // Stockholm–Helsinki
+	{13, 32},           // Helsinki–Tallinn
+	{32, 28}, {32, 39}, // Tallinn–Riga/Tartu
+	{39, 28},                             // Tartu–Riga
+	{28, 14},                             // Riga–Kaunas
+	{14, 35},                             // Kaunas–Vilnius
+	{35, 36},                             // Vilnius–Warsaw
+	{36, 27},                             // Warsaw–Prague
+	{27, 34},                             // Prague–Vienna
+	{34, 3}, {34, 6}, {34, 37}, {34, 22}, // Vienna
+	{3, 6},                  // Bratislava–Budapest
+	{6, 37}, {6, 2}, {6, 5}, // Budapest
+	{37, 16}, {37, 2}, // Zagreb–Ljubljana/Belgrade
+	{16, 22},                               // Ljubljana–Milan
+	{22, 11}, {22, 38}, {22, 21}, {22, 29}, // Milan
+	{11, 38},                     // Geneva–Zurich
+	{21, 19}, {21, 20}, {21, 23}, // Marseille–Madrid/Malta/Nicosia
+	{19, 15},          // Madrid–Lisbon
+	{29, 20}, {29, 1}, // Rome–Malta/Athens
+	{1, 30}, {1, 23}, {1, 33}, // Athens–Sofia/Nicosia/Tirana
+	{30, 5}, {30, 2}, // Sofia–Bucharest/Belgrade
+	{5, 7},   // Bucharest–Chisinau
+	{7, 30},  // Chisinau–Sofia (secondary homing)
+	{2, 26},  // Belgrade–Podgorica
+	{26, 33}, // Podgorica–Tirana
+}
+
+// geantServers is the number of server-attached switches in GÉANT,
+// matching the consolidated-middlebox setup of [7] (paper §VI.A).
+const geantServers = 9
+
+// GEANT returns the embedded GÉANT topology: 40 PoPs, 66 links,
+// 9 recommended server locations.
+func GEANT() *Topology {
+	g := graph.New(len(geantNodes))
+	for _, l := range geantLinks {
+		g.MustAddEdge(l[0], l[1], 1)
+	}
+	names := make([]string, len(geantNodes))
+	copy(names, geantNodes)
+	return &Topology{
+		Name:      "GEANT",
+		Graph:     g,
+		NodeNames: names,
+		Servers:   geantServers,
+	}
+}

@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nfvmcast/internal/graph"
+)
+
+// The Rocketfuel ISP maps used by the paper (AS1755 "Ebone" and AS4755
+// "VSNL") cannot be redistributed here, so we build deterministic
+// synthetic graphs at the published PoP-level scale: same node and link
+// counts, geography-biased short links as measured ISP PoP meshes have.
+// The experiment series depend only on size and density (DESIGN.md §5).
+const (
+	as1755Nodes = 87
+	as1755Links = 161
+	as1755Seed  = 1755
+
+	as4755Nodes = 41
+	as4755Links = 68
+	as4755Seed  = 4755
+)
+
+// AS1755 returns the synthetic Ebone (Europe) ISP topology:
+// 87 PoPs / 161 links.
+func AS1755() *Topology { return mustSyntheticISP("AS1755", as1755Nodes, as1755Links, as1755Seed) }
+
+// AS4755 returns the synthetic VSNL (India) ISP topology:
+// 41 PoPs / 68 links.
+func AS4755() *Topology { return mustSyntheticISP("AS4755", as4755Nodes, as4755Links, as4755Seed) }
+
+func mustSyntheticISP(name string, nodes, links int, seed int64) *Topology {
+	t, err := SyntheticISP(name, nodes, links, seed)
+	if err != nil {
+		// Construction with the fixed built-in parameters cannot fail;
+		// reaching this is a programming error.
+		panic(err)
+	}
+	return t
+}
+
+// SyntheticISP builds a deterministic connected ISP-like PoP graph
+// with exactly the requested node and link counts: a geography-biased
+// random spanning tree plus the shortest remaining candidate links
+// (with light randomisation) until the link budget is met.
+func SyntheticISP(name string, nodes, links int, seed int64) (*Topology, error) {
+	if nodes < 2 {
+		return nil, ErrTooSmall
+	}
+	if links < nodes-1 || links > nodes*(nodes-1)/2 {
+		return nil, fmt.Errorf("topology: %q needs links in [%d,%d], got %d",
+			name, nodes-1, nodes*(nodes-1)/2, links)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, nodes)
+	ys := make([]float64, nodes)
+	for i := range xs {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(u, v int) float64 {
+		return math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+	}
+
+	g := graph.New(nodes)
+	used := make(map[[2]int]bool, links)
+	addEdge := func(u, v int) {
+		if u > v {
+			u, v = v, u
+		}
+		used[[2]int{u, v}] = true
+		g.MustAddEdge(u, v, dist(u, v))
+	}
+
+	// Random-order nearest-attachment spanning tree: node i attaches
+	// to the nearest already-placed node, which yields the low-stretch
+	// backbone shape of measured PoP maps.
+	order := rng.Perm(nodes)
+	for i := 1; i < nodes; i++ {
+		v := order[i]
+		best, bestD := order[0], math.Inf(1)
+		for j := 0; j < i; j++ {
+			if d := dist(v, order[j]); d < bestD {
+				best, bestD = order[j], d
+			}
+		}
+		addEdge(v, best)
+	}
+
+	// Remaining budget: prefer short candidate links with a random
+	// tie-break so meshes stay local but not planar-perfect.
+	type cand struct {
+		u, v int
+		key  float64
+	}
+	cands := make([]cand, 0, nodes*(nodes-1)/2-len(used))
+	for u := 0; u < nodes; u++ {
+		for v := u + 1; v < nodes; v++ {
+			if used[[2]int{u, v}] {
+				continue
+			}
+			cands = append(cands, cand{u: u, v: v, key: dist(u, v) * (0.5 + rng.Float64())})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].key < cands[j].key })
+	for i := 0; g.NumEdges() < links && i < len(cands); i++ {
+		addEdge(cands[i].u, cands[i].v)
+	}
+
+	names := make([]string, nodes)
+	for i := range names {
+		names[i] = fmt.Sprintf("%s-pop%02d", name, i)
+	}
+	t := &Topology{
+		Name:      name,
+		Graph:     g,
+		NodeNames: names,
+		Servers:   defaultServers(nodes),
+	}
+	return t, t.Validate()
+}

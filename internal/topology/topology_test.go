@@ -1,0 +1,287 @@
+package topology
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nfvmcast/internal/graph"
+)
+
+func TestWaxmanBasics(t *testing.T) {
+	topo, err := Waxman(60, DefaultWaxman(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 60 {
+		t.Fatalf("nodes = %d, want 60", topo.NumNodes())
+	}
+	if !graph.IsConnected(topo.Graph) {
+		t.Fatal("waxman topology not connected")
+	}
+	if topo.Servers != 6 {
+		t.Fatalf("servers = %d, want 6 (10%%)", topo.Servers)
+	}
+}
+
+func TestWaxmanDeterminism(t *testing.T) {
+	a, err := Waxman(40, DefaultWaxman(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Waxman(40, DefaultWaxman(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	ae, be := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("edge %d differs: %+v vs %+v", i, ae[i], be[i])
+		}
+	}
+	c, err := Waxman(40, DefaultWaxman(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumEdges() == a.NumEdges() {
+		same := true
+		ce := c.Graph.Edges()
+		for i := range ae {
+			if ae[i] != ce[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical topologies")
+		}
+	}
+}
+
+func TestWaxmanValidation(t *testing.T) {
+	if _, err := Waxman(1, DefaultWaxman(), 1); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("Waxman(1) = %v, want ErrTooSmall", err)
+	}
+	if _, err := Waxman(10, WaxmanParams{Alpha: 0, Beta: 0.5}, 1); err == nil {
+		t.Fatal("alpha=0 accepted")
+	}
+	if _, err := Waxman(10, WaxmanParams{Alpha: 0.5, Beta: 1.5}, 1); err == nil {
+		t.Fatal("beta>1 accepted")
+	}
+}
+
+func TestWaxmanDegreeTargets(t *testing.T) {
+	for _, n := range []int{50, 100, 250} {
+		topo, err := WaxmanDegree(n, DefaultAvgDegree, 0.14, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		avg := 2 * float64(topo.NumEdges()) / float64(n)
+		// connectComponents may add a few extra edges; allow slack.
+		if avg < DefaultAvgDegree*0.6 || avg > DefaultAvgDegree*1.6 {
+			t.Fatalf("n=%d: avg degree %.2f too far from target %v", n, avg, DefaultAvgDegree)
+		}
+		if !graph.IsConnected(topo.Graph) {
+			t.Fatalf("n=%d: disconnected", n)
+		}
+	}
+}
+
+func TestWaxmanDegreeValidation(t *testing.T) {
+	if _, err := WaxmanDegree(1, 4, 0.14, 1); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("WaxmanDegree(1) = %v, want ErrTooSmall", err)
+	}
+	if _, err := WaxmanDegree(10, 0, 0.14, 1); err == nil {
+		t.Fatal("degree 0 accepted")
+	}
+	if _, err := WaxmanDegree(10, 100, 0.14, 1); err == nil {
+		t.Fatal("degree > n-1 accepted")
+	}
+	if _, err := WaxmanDegree(10, 4, 0, 1); err == nil {
+		t.Fatal("beta 0 accepted")
+	}
+}
+
+func TestTransitStub(t *testing.T) {
+	p := DefaultTransitStub(100)
+	topo, err := TransitStub(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.TransitNodes * (1 + p.StubsPerTransit*p.StubSize)
+	if topo.NumNodes() != want {
+		t.Fatalf("nodes = %d, want %d", topo.NumNodes(), want)
+	}
+	if !graph.IsConnected(topo.Graph) {
+		t.Fatal("transit-stub disconnected")
+	}
+}
+
+func TestTransitStubValidation(t *testing.T) {
+	if _, err := TransitStub(TransitStubParams{TransitNodes: 1}, 1); err == nil {
+		t.Fatal("1 transit node accepted")
+	}
+	if _, err := TransitStub(TransitStubParams{
+		TransitNodes: 3, StubsPerTransit: 1, StubSize: 2, IntraEdgeProb: 2,
+	}, 1); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+func TestGEANT(t *testing.T) {
+	topo := GEANT()
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.NumNodes() != 40 {
+		t.Fatalf("GEANT nodes = %d, want 40", topo.NumNodes())
+	}
+	if topo.NumEdges() != 66 {
+		t.Fatalf("GEANT links = %d, want 66", topo.NumEdges())
+	}
+	if topo.Servers != 9 {
+		t.Fatalf("GEANT servers = %d, want 9", topo.Servers)
+	}
+	if len(topo.NodeNames) != 40 {
+		t.Fatalf("GEANT names = %d, want 40", len(topo.NodeNames))
+	}
+	seen := make(map[string]bool)
+	for _, name := range topo.NodeNames {
+		if name == "" || seen[name] {
+			t.Fatalf("bad or duplicate node name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestRocketfuelScales(t *testing.T) {
+	tests := []struct {
+		topo  *Topology
+		nodes int
+		links int
+	}{
+		{AS1755(), 87, 161},
+		{AS4755(), 41, 68},
+	}
+	for _, tt := range tests {
+		if err := tt.topo.Validate(); err != nil {
+			t.Fatalf("%s: %v", tt.topo.Name, err)
+		}
+		if tt.topo.NumNodes() != tt.nodes {
+			t.Fatalf("%s nodes = %d, want %d", tt.topo.Name, tt.topo.NumNodes(), tt.nodes)
+		}
+		if tt.topo.NumEdges() != tt.links {
+			t.Fatalf("%s links = %d, want %d", tt.topo.Name, tt.topo.NumEdges(), tt.links)
+		}
+	}
+}
+
+func TestRocketfuelDeterminism(t *testing.T) {
+	a, b := AS1755(), AS1755()
+	ae, be := a.Graph.Edges(), b.Graph.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatalf("AS1755 not deterministic at edge %d", i)
+		}
+	}
+}
+
+func TestSyntheticISPValidation(t *testing.T) {
+	if _, err := SyntheticISP("x", 1, 0, 1); !errors.Is(err, ErrTooSmall) {
+		t.Fatalf("1-node ISP = %v, want ErrTooSmall", err)
+	}
+	if _, err := SyntheticISP("x", 10, 8, 1); err == nil {
+		t.Fatal("links < n-1 accepted")
+	}
+	if _, err := SyntheticISP("x", 10, 50, 1); err == nil {
+		t.Fatal("links > complete accepted")
+	}
+}
+
+func TestPickServersDeterministicAndDistinct(t *testing.T) {
+	topo := GEANT()
+	a := topo.PickServers(rand.New(rand.NewSource(5)))
+	b := topo.PickServers(rand.New(rand.NewSource(5)))
+	if len(a) != topo.Servers {
+		t.Fatalf("picked %d servers, want %d", len(a), topo.Servers)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("PickServers not deterministic for equal rng state")
+		}
+	}
+	seen := make(map[graph.NodeID]bool)
+	for _, v := range a {
+		if v < 0 || v >= topo.NumNodes() || seen[v] {
+			t.Fatalf("bad or duplicate server %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestValidateRejectsBadTopologies(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1, 1)
+	// Disconnected.
+	topo := &Topology{Name: "bad", Graph: g, Servers: 1}
+	if err := topo.Validate(); !errors.Is(err, graph.ErrDisconnected) {
+		t.Fatalf("disconnected accepted: %v", err)
+	}
+	// Bad server count.
+	g2 := graph.New(2)
+	g2.MustAddEdge(0, 1, 1)
+	topo2 := &Topology{Name: "bad2", Graph: g2, Servers: 0}
+	if err := topo2.Validate(); err == nil {
+		t.Fatal("0 servers accepted")
+	}
+	topo2.Servers = 5
+	if err := topo2.Validate(); err == nil {
+		t.Fatal("too many servers accepted")
+	}
+	// Name count mismatch.
+	topo3 := &Topology{Name: "bad3", Graph: g2, Servers: 1, NodeNames: []string{"a"}}
+	if err := topo3.Validate(); err == nil {
+		t.Fatal("name count mismatch accepted")
+	}
+}
+
+func TestPropertyWaxmanAlwaysConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(80)
+		deg := 2 + 2*rng.Float64()
+		if deg > float64(n-1) {
+			deg = float64(n - 1)
+		}
+		topo, err := WaxmanDegree(n, deg, 0.05+0.3*rng.Float64(), seed)
+		if err != nil {
+			return false
+		}
+		return graph.IsConnected(topo.Graph) && topo.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertySyntheticISPExactCounts(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		maxLinks := n * (n - 1) / 2
+		links := n - 1 + rng.Intn(maxLinks-(n-1)+1)
+		topo, err := SyntheticISP("t", n, links, seed)
+		if err != nil {
+			return false
+		}
+		return topo.NumNodes() == n && topo.NumEdges() == links &&
+			graph.IsConnected(topo.Graph)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

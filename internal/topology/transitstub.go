@@ -1,0 +1,109 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nfvmcast/internal/graph"
+)
+
+// TransitStubParams configures the two-level GT-ITM transit-stub
+// hierarchy: a transit backbone of TransitNodes routers, each of which
+// anchors StubsPerTransit stub domains of StubSize nodes.
+type TransitStubParams struct {
+	// TransitNodes is the size of the transit (backbone) domain.
+	TransitNodes int
+	// StubsPerTransit is the number of stub domains per transit node.
+	StubsPerTransit int
+	// StubSize is the number of nodes in each stub domain.
+	StubSize int
+	// IntraEdgeProb is the probability of an extra intra-domain edge
+	// beyond the ring that guarantees connectivity.
+	IntraEdgeProb float64
+}
+
+// DefaultTransitStub sizes a hierarchy of roughly n nodes.
+func DefaultTransitStub(n int) TransitStubParams {
+	t := 4
+	spt := 2
+	ss := (n - t) / (t * spt)
+	if ss < 1 {
+		ss = 1
+	}
+	return TransitStubParams{
+		TransitNodes:    t,
+		StubsPerTransit: spt,
+		StubSize:        ss,
+		IntraEdgeProb:   0.3,
+	}
+}
+
+// TransitStub generates a connected two-level transit-stub topology
+// with the given parameters and seed. Total node count is
+// TransitNodes * (1 + StubsPerTransit*StubSize).
+func TransitStub(p TransitStubParams, seed int64) (*Topology, error) {
+	if p.TransitNodes < 2 || p.StubsPerTransit < 1 || p.StubSize < 1 {
+		return nil, fmt.Errorf("topology: invalid transit-stub params %+v", p)
+	}
+	if p.IntraEdgeProb < 0 || p.IntraEdgeProb > 1 {
+		return nil, fmt.Errorf("topology: invalid intra-edge probability %v", p.IntraEdgeProb)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	total := p.TransitNodes * (1 + p.StubsPerTransit*p.StubSize)
+	g := graph.New(total)
+
+	// Transit domain: a ring plus random chords. Transit links are
+	// long-haul (weight 2), stub links short-haul (weight 1).
+	const (
+		transitWeight = 2.0
+		stubWeight    = 1.0
+	)
+	transit := make([]graph.NodeID, p.TransitNodes)
+	for i := range transit {
+		transit[i] = i
+	}
+	for i := 0; i < p.TransitNodes; i++ {
+		g.MustAddEdge(transit[i], transit[(i+1)%p.TransitNodes], transitWeight)
+	}
+	for i := 0; i < p.TransitNodes; i++ {
+		for j := i + 2; j < p.TransitNodes; j++ {
+			if (i != 0 || j != p.TransitNodes-1) && rng.Float64() < p.IntraEdgeProb {
+				g.MustAddEdge(transit[i], transit[j], transitWeight)
+			}
+		}
+	}
+
+	// Stub domains: each a ring (or single node) homed on its transit
+	// router, plus random chords.
+	next := p.TransitNodes
+	for _, tr := range transit {
+		for s := 0; s < p.StubsPerTransit; s++ {
+			stub := make([]graph.NodeID, p.StubSize)
+			for i := range stub {
+				stub[i] = next
+				next++
+			}
+			for i := 0; i < p.StubSize && p.StubSize > 1; i++ {
+				if i+1 < p.StubSize {
+					g.MustAddEdge(stub[i], stub[i+1], stubWeight)
+				}
+			}
+			for i := 0; i < p.StubSize; i++ {
+				for j := i + 2; j < p.StubSize; j++ {
+					if rng.Float64() < p.IntraEdgeProb {
+						g.MustAddEdge(stub[i], stub[j], stubWeight)
+					}
+				}
+			}
+			// Home link from a random stub node to the transit router.
+			g.MustAddEdge(stub[rng.Intn(p.StubSize)], tr, stubWeight)
+		}
+	}
+
+	t := &Topology{
+		Name:    fmt.Sprintf("transit-stub-%d", total),
+		Graph:   g,
+		Servers: defaultServers(total),
+	}
+	return t, t.Validate()
+}

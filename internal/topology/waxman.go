@@ -1,0 +1,129 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nfvmcast/internal/graph"
+)
+
+// WaxmanParams configures the Waxman random-graph model used by GT-ITM
+// for flat random topologies: nodes are scattered uniformly on the unit
+// square and each pair (u,v) is linked with probability
+//
+//	P(u,v) = Alpha * exp(-d(u,v) / (Beta * L))
+//
+// where d is Euclidean distance and L the maximum possible distance.
+type WaxmanParams struct {
+	// Alpha scales the overall edge probability (0 < Alpha <= 1).
+	Alpha float64
+	// Beta controls the relative likelihood of long links (0 < Beta <= 1).
+	Beta float64
+}
+
+// DefaultWaxman is the parameterisation used for the paper's random
+// networks: moderately dense graphs with average degree around 4-6 at
+// n=50..250, matching GT-ITM defaults.
+func DefaultWaxman() WaxmanParams { return WaxmanParams{Alpha: 0.4, Beta: 0.14} }
+
+// DefaultAvgDegree is the target average degree for evaluation
+// networks: GT-ITM flat random graphs at the paper's scale have sparse
+// meshes of roughly this degree.
+const DefaultAvgDegree = 4.0
+
+// WaxmanDegree generates a connected Waxman topology over n nodes
+// whose expected average degree is avgDegree regardless of n: the raw
+// Waxman acceptance probabilities are rescaled so the expected edge
+// count is n*avgDegree/2. This mirrors how GT-ITM configurations are
+// tuned per network size. Deterministic per seed.
+func WaxmanDegree(n int, avgDegree float64, beta float64, seed int64) (*Topology, error) {
+	if n < 2 {
+		return nil, ErrTooSmall
+	}
+	if avgDegree <= 0 || avgDegree > float64(n-1) {
+		return nil, fmt.Errorf("topology: invalid target degree %v for n=%d", avgDegree, n)
+	}
+	if beta <= 0 || beta > 1 {
+		return nil, fmt.Errorf("topology: invalid waxman beta %v", beta)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(u, v graph.NodeID) float64 {
+		return math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+	}
+	const maxDist = math.Sqrt2
+	// Rescale acceptance so the expected edge count hits the target.
+	var rawSum float64
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			rawSum += math.Exp(-dist(u, v) / (beta * maxDist))
+		}
+	}
+	targetEdges := float64(n) * avgDegree / 2
+	scale := targetEdges / rawSum
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			p := scale * math.Exp(-dist(u, v)/(beta*maxDist))
+			if p > 1 {
+				p = 1
+			}
+			if rng.Float64() < p {
+				g.MustAddEdge(u, v, dist(u, v))
+			}
+		}
+	}
+	connectComponents(g, rng, dist)
+	t := &Topology{
+		Name:    fmt.Sprintf("waxman-%d", n),
+		Graph:   g,
+		Servers: defaultServers(n),
+	}
+	return t, t.Validate()
+}
+
+// Waxman generates a connected Waxman random topology over n nodes
+// with the given parameters and seed. Determinism: identical inputs
+// produce identical topologies.
+func Waxman(n int, p WaxmanParams, seed int64) (*Topology, error) {
+	if n < 2 {
+		return nil, ErrTooSmall
+	}
+	if p.Alpha <= 0 || p.Alpha > 1 || p.Beta <= 0 || p.Beta > 1 {
+		return nil, fmt.Errorf("topology: invalid waxman params %+v", p)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	dist := func(u, v graph.NodeID) float64 {
+		dx, dy := xs[u]-xs[v], ys[u]-ys[v]
+		return math.Hypot(dx, dy)
+	}
+	const maxDist = math.Sqrt2 // diagonal of the unit square
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := dist(u, v)
+			if rng.Float64() < p.Alpha*math.Exp(-d/(p.Beta*maxDist)) {
+				g.MustAddEdge(u, v, d)
+			}
+		}
+	}
+	connectComponents(g, rng, dist)
+	t := &Topology{
+		Name:    fmt.Sprintf("waxman-%d", n),
+		Graph:   g,
+		Servers: defaultServers(n),
+	}
+	return t, t.Validate()
+}

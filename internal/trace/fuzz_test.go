@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadWorkload ensures arbitrary input never panics the decoder
+// and that anything it accepts decodes into valid requests.
+func FuzzReadWorkload(f *testing.F) {
+	f.Add(`{"version":1,"nodes":5,"requests":[]}`)
+	f.Add(`{"version":1,"nodes":5,"requests":[{"id":1,"source":0,` +
+		`"destinations":[1],"bandwidthMbps":10,"chain":["NAT"]}]}`)
+	f.Add(`{"version":99}`)
+	f.Add(`not json at all`)
+	f.Add(`{"version":1,"nodes":-3,"requests":[{"id":1,"source":9,` +
+		`"destinations":[1,1],"bandwidthMbps":-5,"chain":["Bogus"]}]}`)
+	f.Fuzz(func(t *testing.T, data string) {
+		w, err := ReadWorkload(strings.NewReader(data))
+		if err != nil {
+			return // malformed input is fine; panics are not
+		}
+		reqs, err := w.Decode()
+		if err != nil {
+			return
+		}
+		for i, r := range reqs {
+			if err := r.Validate(w.Nodes); err != nil {
+				t.Fatalf("decoded request %d invalid: %v", i, err)
+			}
+		}
+	})
+}

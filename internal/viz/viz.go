@@ -1,0 +1,128 @@
+// Package viz renders topologies and pseudo-multicast trees as
+// Graphviz DOT for inspection and documentation: switches, servers,
+// sources, destinations and the two traffic stages (unprocessed vs
+// processed) are styled distinctly, so `dot -Tsvg` produces a readable
+// picture of any solution.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/topology"
+)
+
+// nodeName resolves a display label.
+func nodeName(names []string, v graph.NodeID) string {
+	if v >= 0 && v < len(names) && names[v] != "" {
+		return names[v]
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// quote escapes a DOT identifier.
+func quote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}
+
+// WriteTopologyDOT renders a topology as an undirected DOT graph.
+// Server switches (the first topo.Servers nodes of servers, when
+// provided) are drawn as filled boxes.
+func WriteTopologyDOT(w io.Writer, topo *topology.Topology, servers []graph.NodeID) error {
+	if topo == nil || topo.Graph == nil {
+		return fmt.Errorf("viz: nil topology")
+	}
+	isServer := make(map[graph.NodeID]bool, len(servers))
+	for _, v := range servers {
+		isServer[v] = true
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %s {\n", quote(topo.Name))
+	b.WriteString("  layout=neato;\n  overlap=false;\n  node [shape=circle, fontsize=10];\n")
+	for v := 0; v < topo.Graph.NumNodes(); v++ {
+		attrs := ""
+		if isServer[v] {
+			attrs = ` [shape=box, style=filled, fillcolor=lightblue]`
+		}
+		fmt.Fprintf(&b, "  %s%s;\n", quote(nodeName(topo.NodeNames, v)), attrs)
+	}
+	for _, e := range topo.Graph.Edges() {
+		fmt.Fprintf(&b, "  %s -- %s [label=\"%.2g\"];\n",
+			quote(nodeName(topo.NodeNames, e.U)), quote(nodeName(topo.NodeNames, e.V)), e.W)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteTreeDOT renders a pseudo-multicast tree as a directed DOT
+// graph over the host network: unprocessed hops are dashed, processed
+// hops solid; the source is a house, servers are filled boxes,
+// destinations are double circles.
+func WriteTreeDOT(
+	w io.Writer, nw *sdn.Network, names []string, tree *multicast.PseudoTree,
+) error {
+	if nw == nil || tree == nil {
+		return fmt.Errorf("viz: nil network or tree")
+	}
+	var b strings.Builder
+	b.WriteString("digraph pseudomulticast {\n")
+	b.WriteString("  rankdir=LR;\n  node [shape=circle, fontsize=10];\n")
+
+	role := make(map[graph.NodeID]string)
+	for _, v := range tree.UsedNodes() {
+		role[v] = "switch"
+	}
+	for _, d := range tree.Destinations {
+		role[d] = "destination"
+	}
+	for _, s := range tree.Servers {
+		role[s] = "server"
+	}
+	role[tree.Source] = "source"
+
+	nodes := make([]graph.NodeID, 0, len(role))
+	for v := range role {
+		nodes = append(nodes, v)
+	}
+	sort.Ints(nodes)
+	for _, v := range nodes {
+		var attrs string
+		switch role[v] {
+		case "source":
+			attrs = ` [shape=house, style=filled, fillcolor=palegreen]`
+		case "server":
+			attrs = ` [shape=box, style=filled, fillcolor=lightblue]`
+		case "destination":
+			attrs = ` [shape=doublecircle]`
+		}
+		fmt.Fprintf(&b, "  %s%s;\n", quote(nodeName(names, v)), attrs)
+	}
+
+	hops := tree.Hops()
+	sort.Slice(hops, func(i, j int) bool {
+		if hops[i].Processed != hops[j].Processed {
+			return !hops[i].Processed
+		}
+		if hops[i].From != hops[j].From {
+			return hops[i].From < hops[j].From
+		}
+		return hops[i].To < hops[j].To
+	})
+	for _, h := range hops {
+		style := "dashed, color=gray40"
+		if h.Processed {
+			style = "solid, color=blue"
+		}
+		fmt.Fprintf(&b, "  %s -> %s [style=\"%s\"];\n",
+			quote(nodeName(names, h.From)), quote(nodeName(names, h.To)), style)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,101 @@
+package viz
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/nfv"
+	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/topology"
+)
+
+func TestWriteTopologyDOT(t *testing.T) {
+	topo := topology.GEANT()
+	var b strings.Builder
+	if err := WriteTopologyDOT(&b, topo, []graph.NodeID{17, 25}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`graph "GEANT" {`,
+		`"London" [shape=box`,
+		`"Paris" [shape=box`,
+		`"Amsterdam" -- "London"`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out[:400])
+		}
+	}
+	if err := WriteTopologyDOT(&b, nil, nil); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+}
+
+func TestWriteTreeDOT(t *testing.T) {
+	topo, err := topology.WaxmanDegree(30, 4, 0.14, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	nw, err := sdn.NewNetwork(topo, sdn.DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := &multicast.Request{
+		ID:            1,
+		Source:        0,
+		Destinations:  []graph.NodeID{5, 9},
+		BandwidthMbps: 100,
+		Chain:         nfv.MustChain(nfv.NAT),
+	}
+	sol, err := core.ApproMulti(nw, req, core.Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteTreeDOT(&b, nw, nil, sol.Tree); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"digraph pseudomulticast {",
+		`"v0" [shape=house`, // the source
+		"doublecircle",      // destinations
+		"shape=box",         // server
+		"->",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tree DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Both stages appear.
+	if !strings.Contains(out, "dashed") || !strings.Contains(out, "solid") {
+		t.Fatalf("tree DOT missing stage styling:\n%s", out)
+	}
+	if err := WriteTreeDOT(&b, nil, nil, nil); err == nil {
+		t.Fatal("nil inputs accepted")
+	}
+}
+
+func TestQuoteEscapes(t *testing.T) {
+	if got := quote(`a"b`); got != `"a\"b"` {
+		t.Fatalf("quote = %s", got)
+	}
+}
+
+func TestNodeNameFallback(t *testing.T) {
+	if got := nodeName(nil, 3); got != "v3" {
+		t.Fatalf("nodeName = %q, want v3", got)
+	}
+	if got := nodeName([]string{"x"}, 0); got != "x" {
+		t.Fatalf("nodeName = %q, want x", got)
+	}
+	if got := nodeName([]string{""}, 0); got != "v0" {
+		t.Fatalf("nodeName = %q, want v0 (empty label)", got)
+	}
+}

@@ -1,0 +1,244 @@
+// Package nfvmcast is a library for NFV-enabled multicasting in
+// software-defined networks, reproducing "Approximation and Online
+// Algorithms for NFV-Enabled Multicasting in SDNs" (Xu, Liang, Huang,
+// Jia, Guo, Galis — ICDCS 2017).
+//
+// It provides:
+//
+//   - ApproMulti — the paper's 2K-approximation for minimum-cost
+//     NFV-enabled multicast trees (Appro_Multi / Appro_Multi_Cap);
+//   - NewOnlineCP — the O(log |V|)-competitive online admission
+//     algorithm with its exponential resource-cost model (Online_CP);
+//   - the evaluation baselines AlgOneServer, AlgOneServerNearest,
+//     NewOnlineSP and NewOnlineSPStatic;
+//   - the substrates everything runs on: a weighted-graph library,
+//     GT-ITM-style topology generators plus embedded GÉANT and
+//     ISP-scale topologies, an NFV service-chain model, and a
+//     capacitated SDN with per-switch flow tables and a packet-replay
+//     verifier.
+//
+// Quickstart:
+//
+//	topo, _ := nfvmcast.WaxmanDegree(100, nfvmcast.DefaultAvgDegree, 0.14, 42)
+//	rng := rand.New(rand.NewSource(1))
+//	nw, _ := nfvmcast.NewNetwork(topo, nfvmcast.DefaultNetworkConfig(), rng)
+//	req := &nfvmcast.Request{
+//		ID: 1, Source: 0, Destinations: []int{5, 9},
+//		BandwidthMbps: 100,
+//		Chain:         nfvmcast.MustChain(nfvmcast.NAT, nfvmcast.Firewall),
+//	}
+//	sol, _ := nfvmcast.ApproMulti(nw, req, nfvmcast.DefaultOptions())
+//	fmt.Println(sol.OperationalCost)
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the
+// reproduced evaluation.
+package nfvmcast
+
+import (
+	"io"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/nfv"
+	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/topology"
+	"nfvmcast/internal/viz"
+)
+
+// Graph substrate.
+type (
+	// Graph is an undirected weighted graph (see internal/graph).
+	Graph = graph.Graph
+	// NodeID identifies a graph node.
+	NodeID = graph.NodeID
+	// EdgeID identifies a graph edge.
+	EdgeID = graph.EdgeID
+	// Edge is an undirected weighted edge.
+	Edge = graph.Edge
+	// ShortestPaths is a single-source shortest-path result.
+	ShortestPaths = graph.ShortestPaths
+	// SteinerTree is an approximate Steiner tree.
+	SteinerTree = graph.SteinerTree
+	// RootedTree is a rooted tree view with LCA queries.
+	RootedTree = graph.RootedTree
+)
+
+// NewGraph returns an empty graph over n nodes.
+func NewGraph(n int) *Graph { return graph.New(n) }
+
+// Dijkstra computes single-source shortest paths.
+func Dijkstra(g *Graph, src NodeID) (*ShortestPaths, error) { return graph.Dijkstra(g, src) }
+
+// SteinerKMB computes a 2-approximate Steiner tree over terminals
+// (Kou–Markowsky–Berman).
+func SteinerKMB(g *Graph, terminals []NodeID) (*SteinerTree, error) {
+	return graph.SteinerKMB(g, terminals)
+}
+
+// Bridges returns the cut edges of g (Tarjan, O(n+m)).
+func Bridges(g *Graph) []EdgeID { return graph.Bridges(g) }
+
+// SteinerExact computes an exact minimum Steiner tree by the
+// Dreyfus–Wagner dynamic program (exponential in the terminal count;
+// small instances only).
+func SteinerExact(g *Graph, terminals []NodeID) (*SteinerTree, error) {
+	return graph.SteinerExact(g, terminals)
+}
+
+// Topologies.
+type (
+	// Topology is a named network structure.
+	Topology = topology.Topology
+	// WaxmanParams parameterises the Waxman random-graph model.
+	WaxmanParams = topology.WaxmanParams
+	// TransitStubParams parameterises the transit-stub hierarchy.
+	TransitStubParams = topology.TransitStubParams
+)
+
+// DefaultAvgDegree is the evaluation networks' target average degree.
+const DefaultAvgDegree = topology.DefaultAvgDegree
+
+// Topology constructors (see internal/topology).
+var (
+	Waxman         = topology.Waxman
+	WaxmanDegree   = topology.WaxmanDegree
+	TransitStub    = topology.TransitStub
+	FatTree        = topology.FatTree
+	FatTreeServers = topology.FatTreeServers
+	GEANT          = topology.GEANT
+	AS1755         = topology.AS1755
+	AS4755         = topology.AS4755
+	SyntheticISP   = topology.SyntheticISP
+)
+
+// NFV model.
+type (
+	// Function is a virtualised network-function type.
+	Function = nfv.Function
+	// Chain is an ordered service chain SC_k.
+	Chain = nfv.Chain
+)
+
+// The five network-function types of the paper's evaluation.
+const (
+	Firewall     = nfv.Firewall
+	Proxy        = nfv.Proxy
+	NAT          = nfv.NAT
+	IDS          = nfv.IDS
+	LoadBalancer = nfv.LoadBalancer
+)
+
+// Chain constructors.
+var (
+	NewChain    = nfv.NewChain
+	MustChain   = nfv.MustChain
+	RandomChain = nfv.RandomChain
+)
+
+// Requests and routing trees.
+type (
+	// Request is an NFV-enabled multicast request r_k.
+	Request = multicast.Request
+	// PseudoTree is the routing graph realising a request.
+	PseudoTree = multicast.PseudoTree
+	// Hop is one directed link traversal of a pseudo tree.
+	Hop = multicast.Hop
+	// Generator draws random request workloads.
+	Generator = multicast.Generator
+	// GeneratorConfig parameterises a workload.
+	GeneratorConfig = multicast.GeneratorConfig
+)
+
+// Workload constructors (paper §VI.A parameters).
+var (
+	NewGenerator           = multicast.NewGenerator
+	DefaultGeneratorConfig = multicast.DefaultGeneratorConfig
+	OnlineGeneratorConfig  = multicast.OnlineGeneratorConfig
+)
+
+// SDN substrate.
+type (
+	// Network is a capacitated SDN.
+	Network = sdn.Network
+	// NetworkConfig holds resource capacity and cost ranges.
+	NetworkConfig = sdn.Config
+	// Allocation is a request's resource bundle.
+	Allocation = sdn.Allocation
+	// Controller compiles trees into per-switch flow tables.
+	Controller = sdn.Controller
+	// FlowTable is one switch's rule set.
+	FlowTable = sdn.FlowTable
+	// Delivery is the outcome of a packet replay.
+	Delivery = sdn.Delivery
+)
+
+// Network constructors (paper §VI.A resource ranges).
+var (
+	NewNetwork                 = sdn.NewNetwork
+	NewNetworkWithServers      = sdn.NewNetworkWithServers
+	DefaultNetworkConfig       = sdn.DefaultConfig
+	NewController              = sdn.NewController
+	NewControllerWithRuleLimit = sdn.NewControllerWithRuleLimit
+)
+
+// Core algorithms (the paper's contribution).
+type (
+	// Solution is an algorithm's answer for one request.
+	Solution = core.Solution
+	// Options configures ApproMulti.
+	Options = core.Options
+	// CostModel is the online exponential resource-pricing model.
+	CostModel = core.CostModel
+	// OnlineCP is the paper's online admission algorithm.
+	OnlineCP = core.OnlineCP
+	// OnlineSP is the online baseline heuristic.
+	OnlineSP = core.OnlineSP
+	// OnlineSPStatic is the congestion-oblivious SP variant.
+	OnlineSPStatic = core.OnlineSPStatic
+	// OnlineCPK is the K-server online extension.
+	OnlineCPK = core.OnlineCPK
+)
+
+// Algorithm entry points.
+var (
+	ApproMulti          = core.ApproMulti
+	AlgOneServer        = core.AlgOneServer
+	AlgOneServerNearest = core.AlgOneServerNearest
+	NewOnlineCP         = core.NewOnlineCP
+	NewOnlineCPK        = core.NewOnlineCPK
+	NewOnlineSP         = core.NewOnlineSP
+	NewOnlineSPStatic   = core.NewOnlineSPStatic
+	DefaultOptions      = core.DefaultOptions
+	DefaultCostModel    = core.DefaultCostModel
+	Reoptimize          = core.Reoptimize
+	OperationalCost     = core.OperationalCost
+	AllocationFor       = core.AllocationFor
+	IsRejection         = core.IsRejection
+)
+
+// WriteTopologyDOT renders a topology as Graphviz DOT (servers drawn
+// as filled boxes).
+func WriteTopologyDOT(w io.Writer, topo *Topology, servers []NodeID) error {
+	return viz.WriteTopologyDOT(w, topo, servers)
+}
+
+// WriteTreeDOT renders a pseudo-multicast tree as Graphviz DOT
+// (unprocessed hops dashed, processed solid).
+func WriteTreeDOT(w io.Writer, nw *Network, names []string, tree *PseudoTree) error {
+	return viz.WriteTreeDOT(w, nw, names, tree)
+}
+
+// Sentinel errors re-exported for errors.Is matching.
+var (
+	ErrRejected         = core.ErrRejected
+	ErrNoFeasibleServer = core.ErrNoFeasibleServer
+	ErrUnreachable      = core.ErrUnreachable
+	ErrDelayBound       = core.ErrDelayBound
+	ErrUnknownRequest   = core.ErrUnknownRequest
+	ErrUndelivered      = multicast.ErrUndelivered
+	ErrDisconnected     = graph.ErrDisconnected
+	ErrTableFull        = sdn.ErrTableFull
+	ErrLinkDown         = sdn.ErrLinkDown
+	ErrServerDown       = sdn.ErrServerDown
+)
