@@ -8,6 +8,7 @@ package nfvmcast
 // `go run ./cmd/nfvsim -experiment all`.
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -237,6 +238,52 @@ func BenchmarkFig9AS1755OnlineCP(b *testing.B) {
 	}, error) {
 		return core.NewOnlineCP(nw, core.DefaultCostModel(nw.NumNodes()))
 	})
+}
+
+// --- Parallel subset evaluation (DESIGN.md §8) ---
+
+// BenchmarkApproMultiParallel measures Options.Workers scaling of the
+// candidate-evaluation pool on the GÉANT / K=3 workload. Before
+// timing, every sub-benchmark asserts the parallel solution is
+// identical to the sequential reference, so a speedup can never come
+// from solving a different problem. The recorded baseline lives in
+// results/BENCH_appromulti.json; regenerate it with
+//
+//	go test -run '^$' -bench BenchmarkApproMultiParallel -benchtime 2s .
+func BenchmarkApproMultiParallel(b *testing.B) {
+	nw := benchNetwork(b, "geant", 0, 42)
+	reqs := benchRequests(b, nw.NumNodes(), 0.15, 16, 7)
+	refs := make([]*core.Solution, len(reqs))
+	for i, r := range reqs {
+		ref, err := core.ApproMulti(nw, r, core.Options{K: 3, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs[i] = ref
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i, r := range reqs {
+				sol, err := core.ApproMulti(nw, r, core.Options{K: 3, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.OperationalCost != refs[i].OperationalCost ||
+					sol.SelectionCost != refs[i].SelectionCost {
+					b.Fatalf("request %d: workers=%d solution (%v, %v) differs from sequential (%v, %v)",
+						i, workers, sol.OperationalCost, sol.SelectionCost,
+						refs[i].OperationalCost, refs[i].SelectionCost)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ApproMulti(nw, reqs[i%len(reqs)], core.Options{K: 3, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // --- Ablations (DESIGN.md §4) ---

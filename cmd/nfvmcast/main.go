@@ -42,6 +42,7 @@ func run(args []string) error {
 		bw        = fs.Float64("bw", 100, "bandwidth demand in Mbps")
 		chainFlag = fs.String("chain", "NAT,Firewall", "comma-separated service chain")
 		k         = fs.Int("k", 3, "server budget K")
+		workers   = fs.Int("workers", -1, "concurrent subset evaluations for appro (-1 = all CPUs, 0/1 = sequential)")
 		algorithm = fs.String("algorithm", "appro", "appro | oneserver | nearest")
 		dotPath   = fs.String("dot", "", "write the routing graph as Graphviz DOT to this file")
 	)
@@ -82,7 +83,7 @@ func run(args []string) error {
 	var sol *nfvmcast.Solution
 	switch *algorithm {
 	case "appro":
-		sol, err = nfvmcast.ApproMulti(nw, req, nfvmcast.Options{K: *k})
+		sol, err = nfvmcast.ApproMulti(nw, req, nfvmcast.Options{K: *k, Workers: *workers})
 	case "oneserver":
 		sol, err = nfvmcast.AlgOneServer(nw, req, false)
 	case "nearest":

@@ -38,6 +38,7 @@ func run(args []string) error {
 		requests   = fs.Int("requests", 0, "requests per measurement point (default per-experiment)")
 		seed       = fs.Int64("seed", 42, "random seed")
 		k          = fs.Int("k", 3, "server budget K for Appro_Multi")
+		workers    = fs.Int("workers", 0, "subset-evaluation goroutines per Appro_Multi solve (0 = sequential; the harness already parallelises across sweep points)")
 		quick      = fs.Bool("quick", false, "smaller sweeps for a fast smoke run")
 		jsonDir    = fs.String("json", "", "also write results as JSON into this directory")
 		reps       = fs.Int("reps", 1, "repetitions per experiment (mean ± 95% CI when > 1)")
@@ -57,6 +58,7 @@ func run(args []string) error {
 	cfg := sim.DefaultConfig()
 	cfg.Seed = *seed
 	cfg.K = *k
+	cfg.Workers = *workers
 	if *quick {
 		cfg.Requests = 20
 		cfg.NetworkSizes = []int{50, 100, 150}

@@ -5,6 +5,7 @@ import (
 
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/parallel"
 	"nfvmcast/internal/sdn"
 )
 
@@ -33,6 +34,15 @@ type Options struct {
 	// candidate satisfies the bound, ApproMulti returns
 	// ErrDelayBound.
 	MaxDeliveryHops int
+	// Workers bounds the number of goroutines evaluating candidate
+	// server subsets concurrently. 0 and 1 evaluate on the calling
+	// goroutine (the safe default inside callers that already fan out
+	// at a higher level, such as internal/sim); negative values use
+	// one worker per CPU. The solution is byte-identical for every
+	// setting: candidates are merged under a deterministic
+	// (implementation cost, enumeration index) rule, so a parallel run
+	// returns exactly the sequential solution (see DESIGN.md §8).
+	Workers int
 }
 
 // DefaultOptions returns the evaluation defaults (K = 3).
@@ -88,7 +98,7 @@ func ApproMulti(nw *sdn.Network, req *multicast.Request, opts Options) (*Solutio
 		spSrv[v] = sp
 	}
 
-	// Evaluate every subset by the implementation cost of its
+	// Evaluate every candidate by the implementation cost of its
 	// decomposed pseudo-multicast tree. The auxiliary Steiner tree
 	// cost c(T_k^i) (which the 2K analysis bounds) prices each
 	// source-to-server path separately, but the realised routing
@@ -97,18 +107,124 @@ func ApproMulti(nw *sdn.Network, req *multicast.Request, opts Options) (*Solutio
 	// (§III.C: minimise the implementation cost). SelectionCost keeps
 	// the winning subset's auxiliary value for the theory-facing
 	// bound.
-	var (
-		bestOp   = graph.Infinity
-		bestAux  float64
-		bestTree *multicast.PseudoTree
-		ev       *closureEvaluator
-	)
-	ev, err = newClosureEvaluator(w, req, spSrv)
+	ev, err := newClosureEvaluator(w, req, spSrv)
 	if err != nil {
 		return nil, err
 	}
-	sawDelayViolation := false
-	consider := func(servers []graph.NodeID, realEdges []graph.EdgeID, auxCost float64) {
+	best, sawDelayViolation := evaluateCandidates(
+		nw, w, req, spSrc, omega, ev, opts, collectCandidates(reachSrv, opts.K))
+	if best.tree == nil {
+		if sawDelayViolation {
+			return nil, fmt.Errorf("%w: no tree within %d hops", ErrDelayBound, opts.MaxDeliveryHops)
+		}
+		return nil, ErrUnreachable
+	}
+	return &Solution{
+		Request:         req,
+		Tree:            best.tree,
+		Servers:         best.tree.Servers,
+		OperationalCost: best.op,
+		SelectionCost:   best.aux,
+	}, nil
+}
+
+// candidate is one point of Appro_Multi's search space: a server
+// subset evaluated through the virtual-source construction, or a
+// single server evaluated through the rooted construction (route to
+// the server first, then distribute over a KMB tree rooted there).
+// Rooted candidates are valid pseudo-multicast trees — taking the
+// minimum preserves the 2K bound — and cover the cases where the
+// virtual-source closure's ω-offset steers KMB to a worse topology.
+type candidate struct {
+	servers []graph.NodeID
+	rooted  bool
+}
+
+// collectCandidates materialises the candidate stream in its
+// deterministic evaluation order: every subset of size <= k in
+// forEachSubset order (sizes ascending, lexicographic within a size),
+// then one rooted candidate per reachable server. The index in the
+// returned slice is the tie-break between equal-cost candidates, so
+// this order is load-bearing for reproducibility.
+func collectCandidates(reachSrv []graph.NodeID, k int) []candidate {
+	cands := make([]candidate, 0, countSubsets(len(reachSrv), k)+len(reachSrv))
+	forEachSubset(reachSrv, k, func(subset []graph.NodeID) bool {
+		cands = append(cands, candidate{servers: append([]graph.NodeID(nil), subset...)})
+		return true
+	})
+	for _, v := range reachSrv {
+		cands = append(cands, candidate{servers: []graph.NodeID{v}, rooted: true})
+	}
+	return cands
+}
+
+// bestCandidate is one reduction slot of the candidate evaluation: the
+// cheapest tree seen so far plus the enumeration index it came from.
+type bestCandidate struct {
+	op, aux float64
+	tree    *multicast.PseudoTree
+	idx     int
+}
+
+// evaluateCandidates scores every candidate and reduces them to the
+// minimum-implementation-cost tree.
+//
+// Concurrency model: each worker owns a strided share of the candidate
+// indices (idx ≡ worker mod W) and a private bestCandidate slot, so
+// cheap size-1 subsets and expensive size-K subsets interleave evenly
+// across workers and no candidate is ever touched by two goroutines.
+// All shared inputs — the network, the work graph, the precomputed
+// Dijkstra trees and the closure evaluator — are read-only after
+// construction (see the closureEvaluator and sdn.Network docs), so
+// workers need no locking. The final merge picks the lowest
+// (implementation cost, enumeration index) pair; because a sequential
+// scan keeps the first strict improvement, that rule reproduces the
+// Workers=1 result exactly, making parallel runs byte-identical to
+// sequential ones. The delay-violation flags fold into the same
+// race-free per-worker slots.
+func evaluateCandidates(
+	nw *sdn.Network,
+	w *workGraph,
+	req *multicast.Request,
+	spSrc *graph.ShortestPaths,
+	omega map[graph.NodeID]float64,
+	ev *closureEvaluator,
+	opts Options,
+	cands []candidate,
+) (best bestCandidate, sawDelayViolation bool) {
+	workers := parallel.Degree(opts.Workers)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	locals := make([]bestCandidate, workers)
+	sawDelay := make([]bool, workers)
+	for i := range locals {
+		locals[i] = bestCandidate{op: graph.Infinity, idx: -1}
+	}
+	eval := func(idx int, local *bestCandidate, delayed *bool) {
+		c := cands[idx]
+		var (
+			servers   []graph.NodeID
+			realEdges []graph.EdgeID
+			auxCost   float64
+			cerr      error
+		)
+		switch {
+		case c.rooted:
+			var treeCost float64
+			realEdges, treeCost, cerr = ev.steinerRooted(c.servers[0])
+			servers, auxCost = c.servers, omega[c.servers[0]]+treeCost
+		case opts.ExplicitAuxiliary:
+			servers, realEdges, auxCost, cerr = buildSubsetTreeExplicitCost(w, req, c.servers, omega)
+		default:
+			servers, realEdges, auxCost, cerr = ev.steiner(c.servers, omega)
+		}
+		if cerr != nil {
+			return // infeasible candidate, e.g. a destination unreachable through it
+		}
 		tree, derr := decompose(w, req, spSrc, servers, realEdges)
 		if derr != nil {
 			return
@@ -119,53 +235,36 @@ func ApproMulti(nw *sdn.Network, req *multicast.Request, opts Options) (*Solutio
 				return
 			}
 			if depth > opts.MaxDeliveryHops {
-				sawDelayViolation = true
+				*delayed = true
 				return
 			}
 		}
-		if op := OperationalCost(nw, req, tree); op < bestOp {
-			bestOp, bestAux, bestTree = op, auxCost, tree
+		// Strict < plus increasing idx per worker keeps the
+		// lowest-index minimum in each slot.
+		if op := OperationalCost(nw, req, tree); op < local.op {
+			*local = bestCandidate{op: op, aux: auxCost, tree: tree, idx: idx}
 		}
 	}
-	forEachSubset(reachSrv, opts.K, func(subset []graph.NodeID) bool {
-		if opts.ExplicitAuxiliary {
-			servers, realEdges, auxCost, xerr := buildSubsetTreeExplicitCost(w, req, subset, omega)
-			if xerr == nil {
-				consider(servers, realEdges, auxCost)
-			}
-			return true
+	// eval never fails (infeasible candidates are skipped), so the
+	// pool cannot return an error.
+	_ = parallel.ForEachIndex(workers, workers, func(wi int) error {
+		for idx := wi; idx < len(cands); idx += workers {
+			eval(idx, &locals[wi], &sawDelay[wi])
 		}
-		servers, realEdges, auxCost, cerr := ev.steiner(subset, omega)
-		if cerr == nil {
-			consider(servers, realEdges, auxCost)
-		}
-		return true
+		return nil
 	})
-	// Single-server rooted candidates: route to the server, then
-	// distribute over a KMB tree rooted there. These are valid
-	// pseudo-multicast trees (so taking the minimum preserves the 2K
-	// bound) and they cover the cases where the virtual-source
-	// closure's ω-offset steers KMB to a worse topology.
-	for _, v := range reachSrv {
-		realEdges, treeCost, rerr := ev.steinerRooted(v)
-		if rerr != nil {
+	best = bestCandidate{op: graph.Infinity, idx: -1}
+	for i := range locals {
+		sawDelayViolation = sawDelayViolation || sawDelay[i]
+		lb := locals[i]
+		if lb.tree == nil {
 			continue
 		}
-		consider([]graph.NodeID{v}, realEdges, omega[v]+treeCost)
-	}
-	if bestTree == nil {
-		if sawDelayViolation {
-			return nil, fmt.Errorf("%w: no tree within %d hops", ErrDelayBound, opts.MaxDeliveryHops)
+		if lb.op < best.op || (lb.op == best.op && lb.idx < best.idx) {
+			best = lb
 		}
-		return nil, ErrUnreachable
 	}
-	return &Solution{
-		Request:         req,
-		Tree:            bestTree,
-		Servers:         bestTree.Servers,
-		OperationalCost: bestOp,
-		SelectionCost:   bestAux,
-	}, nil
+	return best, sawDelayViolation
 }
 
 // decompose converts an auxiliary Steiner tree — given as the used

@@ -13,6 +13,14 @@ import (
 // nodes are subset-independent, so one Dijkstra per destination and
 // per server (done once per request) lets every subset be evaluated
 // through the KMB metric closure in O(|D_k|^2 + |D_k|*|subset|).
+//
+// Thread safety: a closureEvaluator is read-only after
+// newClosureEvaluator returns. steiner and steinerRooted build all
+// mutable state (closure graphs, MSTs, union maps, the pruning temp
+// graph) locally per call and only read the precomputed ShortestPaths,
+// so one evaluator may be shared by any number of goroutines — this is
+// what Appro_Multi's parallel candidate evaluation relies on, and the
+// -race stress tests in parallel_test.go pin it down.
 type closureEvaluator struct {
 	w     *workGraph
 	req   *multicast.Request

@@ -9,6 +9,10 @@ import (
 // workGraph is a (possibly filtered) re-weighted view of the network
 // graph an algorithm runs on. Its edge IDs are local; toHost maps them
 // back to network edge IDs for pricing and allocation.
+//
+// Thread safety: a workGraph is immutable after buildWorkGraph
+// returns (explicit-auxiliary evaluation clones g before mutating),
+// so it may be read from any number of goroutines concurrently.
 type workGraph struct {
 	g       *graph.Graph
 	toHost  []graph.EdgeID

@@ -1,0 +1,67 @@
+// Package parallel provides the bounded worker-pool primitives shared
+// by the algorithm core (candidate evaluation in Appro_Multi) and the
+// experiment harness (sweep-point fan-out in internal/sim).
+//
+// The helpers here are deliberately tiny: callers keep per-slot state
+// in slices indexed by the loop variable, so no synchronisation beyond
+// the pool's own WaitGroup is ever needed and results are independent
+// of scheduling order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Degree normalises a worker-count knob: n >= 1 is used verbatim,
+// n == 0 requests sequential execution (degree 1), and n < 0 requests
+// one worker per available CPU (runtime.GOMAXPROCS).
+func Degree(n int) int {
+	switch {
+	case n < 0:
+		return runtime.GOMAXPROCS(0)
+	case n == 0:
+		return 1
+	default:
+		return n
+	}
+}
+
+// ForEachIndex runs fn(0..n-1) concurrently, bounded by workers
+// goroutines, and returns the first error in index order. Every index
+// runs even when an earlier one fails, so per-slot side effects (slot
+// i of a results slice) are complete on return. workers <= 1 (after
+// clamping to n) runs everything on the calling goroutine.
+func ForEachIndex(workers, n int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var first error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	sem := make(chan struct{}, workers)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

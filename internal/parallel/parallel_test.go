@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDegree(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1},
+		{1, 1},
+		{7, 7},
+		{-1, runtime.GOMAXPROCS(0)},
+		{-99, runtime.GOMAXPROCS(0)},
+	}
+	for _, tt := range tests {
+		if got := Degree(tt.in); got != tt.want {
+			t.Fatalf("Degree(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestForEachIndexVisitsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 16} {
+		const n = 100
+		counts := make([]int32, n)
+		err := ForEachIndex(workers, n, func(i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachIndexZeroItems(t *testing.T) {
+	called := false
+	if err := ForEachIndex(4, 0, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called with n=0")
+	}
+}
+
+func TestForEachIndexBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 64
+	var inFlight, peak int32
+	err := ForEachIndex(workers, n, func(i int) error {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			old := atomic.LoadInt32(&peak)
+			if cur <= old || atomic.CompareAndSwapInt32(&peak, old, cur) {
+				break
+			}
+		}
+		atomic.AddInt32(&inFlight, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt32(&peak); p > workers {
+		t.Fatalf("observed %d concurrent calls, bound is %d", p, workers)
+	}
+}
+
+func TestForEachIndexFirstErrorByIndexOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	for _, workers := range []int{1, 4} {
+		ran := make([]bool, 10)
+		err := ForEachIndex(workers, 10, func(i int) error {
+			ran[i] = true
+			switch i {
+			case 3:
+				return errA
+			case 7:
+				return errB
+			}
+			return nil
+		})
+		if err != errA {
+			t.Fatalf("workers=%d: err = %v, want first-by-index %v", workers, err, errA)
+		}
+		// Every index still runs so per-slot side effects are complete.
+		for i, r := range ran {
+			if !r {
+				t.Fatalf("workers=%d: index %d skipped after failure", workers, i)
+			}
+		}
+	}
+}

@@ -58,6 +58,15 @@ func (c Config) validate() error {
 
 // Network is a capacitated SDN: the topology graph, the server-
 // attached switch subset V_S, capacities, residuals and unit costs.
+//
+// Thread safety: all read accessors (Graph, Servers, capacities,
+// residuals, unit costs, failure state) are pure lookups with no
+// internal caching, so any number of goroutines may read one Network
+// concurrently — core.ApproMulti's parallel candidate evaluation and
+// concurrent solves over a shared network depend on this. Mutators
+// (Allocate, Release, Restore, the failure injectors) are NOT safe to
+// run concurrently with readers or each other; callers that interleave
+// solving and allocation must serialise the mutations externally.
 type Network struct {
 	name    string
 	g       *graph.Graph

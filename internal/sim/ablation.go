@@ -43,7 +43,7 @@ func AblationK(cfg Config) ([]Figure, error) {
 				return nil, rerr
 			}
 			start := time.Now()
-			sol, aerr := core.ApproMulti(nw, req, core.Options{K: k})
+			sol, aerr := core.ApproMulti(nw, req, core.Options{K: k, Workers: cfg.Workers})
 			if aerr != nil {
 				continue
 			}
@@ -100,7 +100,7 @@ func AblationEvaluator(cfg Config) ([]Figure, error) {
 			}
 			start := time.Now()
 			sol, aerr := core.ApproMulti(nw, req,
-				core.Options{K: 2, ExplicitAuxiliary: explicitAux})
+				core.Options{K: 2, ExplicitAuxiliary: explicitAux, Workers: cfg.Workers})
 			if aerr != nil {
 				continue
 			}

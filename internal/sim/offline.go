@@ -18,7 +18,7 @@ var offlineAlgorithms = []string{"Appro_Multi", "Alg_One_Server", "One_Server_Ne
 // point: requests drawn with the given destination ratio, solved
 // independently on an uncapacitated network (paper §VI.B).
 func offlinePoint(
-	nw *sdn.Network, ratio float64, requests, k int, seed int64,
+	nw *sdn.Network, ratio float64, requests, k, workers int, seed int64,
 ) (cost, timeMS map[string]float64, err error) {
 	cfg := multicast.DefaultGeneratorConfig()
 	cfg.DestRatio = ratio
@@ -46,7 +46,7 @@ func offlinePoint(
 			var aerr error
 			switch alg {
 			case "Appro_Multi":
-				sol, aerr = core.ApproMulti(nw, req, core.Options{K: k})
+				sol, aerr = core.ApproMulti(nw, req, core.Options{K: k, Workers: workers})
 			case "Alg_One_Server":
 				sol, aerr = core.AlgOneServer(nw, req, false)
 			case "One_Server_Nearest":
@@ -109,7 +109,7 @@ func Fig5(cfg Config) ([]Figure, error) {
 		if nerr != nil {
 			return nerr
 		}
-		cost, timeMS, perr := offlinePoint(nw, ratios[ri], cfg.Requests, cfg.K,
+		cost, timeMS, perr := offlinePoint(nw, ratios[ri], cfg.Requests, cfg.K, cfg.Workers,
 			cfg.Seed+int64(1000*ri+n))
 		if perr != nil {
 			return perr
@@ -199,7 +199,7 @@ func Fig6(cfg Config) ([]Figure, error) {
 			timeSeries[alg] = &Series{Label: alg}
 		}
 		for ri, ratio := range cfg.DestRatios {
-			cost, timeMS, err := offlinePoint(nw, ratio, cfg.Requests, cfg.K,
+			cost, timeMS, err := offlinePoint(nw, ratio, cfg.Requests, cfg.K, cfg.Workers,
 				cfg.Seed+int64(100*ti+ri))
 			if err != nil {
 				return nil, err
@@ -274,12 +274,13 @@ func Fig7(cfg Config) ([]Figure, error) {
 			if gerr != nil {
 				return gerr
 			}
-			if sol, aerr := core.ApproMulti(nw, req, core.Options{K: cfg.K}); aerr == nil {
+			if sol, aerr := core.ApproMulti(nw, req, core.Options{K: cfg.K, Workers: cfg.Workers}); aerr == nil {
 				uncapCost += sol.OperationalCost
 				uncapCount++
 			}
 			start := time.Now()
-			sol, aerr := core.ApproMulti(nw, req, core.Options{K: cfg.K, Capacitated: true})
+			sol, aerr := core.ApproMulti(nw, req,
+				core.Options{K: cfg.K, Capacitated: true, Workers: cfg.Workers})
 			dur := time.Since(start)
 			if aerr != nil {
 				continue

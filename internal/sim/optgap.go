@@ -98,7 +98,7 @@ func ExtOptGap(cfg Config) ([]Figure, error) {
 			if !ok || optAux <= 0 {
 				continue
 			}
-			sol, err := core.ApproMulti(nw, req, core.Options{K: k})
+			sol, err := core.ApproMulti(nw, req, core.Options{K: k, Workers: cfg.Workers})
 			if err != nil {
 				continue
 			}

@@ -25,43 +25,20 @@ package sim
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
 	"strings"
-	"sync"
 
+	"nfvmcast/internal/parallel"
 	"nfvmcast/internal/sdn"
 	"nfvmcast/internal/topology"
 )
 
 // forEachIndex runs fn(0..n-1) concurrently, bounded by GOMAXPROCS
-// workers, and returns the first error (by index order). Sweep points
-// are independent — each builds its own seeded network and workload —
-// so parallel execution leaves results bit-identical to sequential
-// runs.
+// workers (the shared internal/parallel pool), and returns the first
+// error (by index order). Sweep points are independent — each builds
+// its own seeded network and workload — so parallel execution leaves
+// results bit-identical to sequential runs.
 func forEachIndex(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	sem := make(chan struct{}, workers)
-	errs := make([]error, n)
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			errs[i] = fn(i)
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return parallel.ForEachIndex(parallel.Degree(-1), n, fn)
 }
 
 // Config controls an experiment run.
@@ -80,6 +57,13 @@ type Config struct {
 	// DestRatios are the D_max/|V| panels of Fig. 5 and the x-axis of
 	// Fig. 6.
 	DestRatios []float64
+	// Workers is passed through to core.Options.Workers for every
+	// Appro_Multi solve. The default 0 keeps the per-solve evaluation
+	// sequential, which is right for the harness: forEachIndex already
+	// saturates the CPUs across sweep points, and nesting a per-CPU
+	// pool inside each solve would only oversubscribe. Set it > 1 (or
+	// negative for per-CPU) when measuring single solves.
+	Workers int
 }
 
 // DefaultConfig returns the evaluation's parameters with request

@@ -47,7 +47,7 @@ func ExtStretch(cfg Config) ([]Figure, error) {
 				var aerr error
 				switch alg {
 				case "Appro_Multi":
-					sol, aerr = core.ApproMulti(nw, req, core.Options{K: cfg.K})
+					sol, aerr = core.ApproMulti(nw, req, core.Options{K: cfg.K, Workers: cfg.Workers})
 				case "Alg_One_Server":
 					sol, aerr = core.AlgOneServer(nw, req, false)
 				case "One_Server_Nearest":
