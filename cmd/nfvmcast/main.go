@@ -4,7 +4,7 @@
 // Usage:
 //
 //	nfvmcast -topology geant -source 17 -dest 1,5,30 -bw 100 \
-//	         -chain NAT,Firewall,IDS -k 3 [-algorithm appro|oneserver|nearest]
+//	         -chain NAT,Firewall,IDS -k 3 [-algorithm appro|oneserver|nearest|onlinecp]
 //	nfvmcast -topology waxman -nodes 100 -seed 7 -source 0 -dest 10,20,30
 //
 // Output lists the serving node(s), the operational cost, and every
@@ -43,7 +43,7 @@ func run(args []string) error {
 		chainFlag = fs.String("chain", "NAT,Firewall", "comma-separated service chain")
 		k         = fs.Int("k", 3, "server budget K")
 		workers   = fs.Int("workers", -1, "concurrent subset evaluations for appro (-1 = all CPUs, 0/1 = sequential)")
-		algorithm = fs.String("algorithm", "appro", "appro | oneserver | nearest")
+		algorithm = fs.String("algorithm", "appro", "appro | oneserver | nearest | onlinecp")
 		dotPath   = fs.String("dot", "", "write the routing graph as Graphviz DOT to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -80,6 +80,10 @@ func run(args []string) error {
 		Chain:         chain,
 	}
 
+	// Admission via the engine allocates resources as part of Admit;
+	// the other algorithms only plan, so the verification step below
+	// allocates manually for them.
+	allocated := false
 	var sol *nfvmcast.Solution
 	switch *algorithm {
 	case "appro":
@@ -88,6 +92,16 @@ func run(args []string) error {
 		sol, err = nfvmcast.AlgOneServer(nw, req, false)
 	case "nearest":
 		sol, err = nfvmcast.AlgOneServerNearest(nw, req, false)
+	case "onlinecp":
+		var planner *nfvmcast.CPPlanner
+		planner, err = nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+		if err != nil {
+			return err
+		}
+		eng := nfvmcast.NewEngine(nw, planner, nfvmcast.EngineOptions{})
+		defer eng.Close()
+		sol, err = eng.Admit(req)
+		allocated = err == nil
 	default:
 		return fmt.Errorf("unknown algorithm %q", *algorithm)
 	}
@@ -143,8 +157,10 @@ func run(args []string) error {
 	}
 
 	// Verify end to end on a controller.
-	if err := nw.Allocate(nfvmcast.AllocationFor(req, sol.Tree)); err != nil {
-		return fmt.Errorf("allocate: %w", err)
+	if !allocated {
+		if err := nw.Allocate(nfvmcast.AllocationFor(req, sol.Tree)); err != nil {
+			return fmt.Errorf("allocate: %w", err)
+		}
 	}
 	ctrl := nfvmcast.NewController(nw)
 	if err := ctrl.Install(req, sol.Tree); err != nil {

@@ -38,10 +38,14 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cp, err := nfvmcast.NewOnlineCP(nw, nfvmcast.DefaultCostModel(networkSize))
+	// Admission runs through the engine; failure injection and repair
+	// go through its Update hatch so they never race a commit.
+	planner, err := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(networkSize))
 	if err != nil {
 		return err
 	}
+	cp := nfvmcast.NewEngine(nw, planner, nfvmcast.EngineOptions{})
+	defer cp.Close()
 	ctrl := nfvmcast.NewController(nw)
 
 	// Phase 1: admit sessions and install their flow rules.
@@ -86,7 +90,9 @@ func run() error {
 		return fmt.Errorf("every link is a bridge; nothing sensible to fail")
 	}
 	he := nw.Graph().Edge(hot)
-	if err := nw.SetLinkUp(hot, false); err != nil {
+	if err := cp.Update(func(nw *nfvmcast.Network) error {
+		return nw.SetLinkUp(hot, false)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("\n*** link %d (%d—%d, %.0f%% utilised) FAILED ***\n\n", hot, he.U, he.V, 100*hotUtil)
@@ -130,7 +136,9 @@ func run() error {
 	fmt.Printf("post-failure: %d live sessions, %d flow rules\n", len(live), ctrl.TotalRules())
 
 	// Phase 4: repair.
-	if err := nw.SetLinkUp(hot, true); err != nil {
+	if err := cp.Update(func(nw *nfvmcast.Network) error {
+		return nw.SetLinkUp(hot, true)
+	}); err != nil {
 		return err
 	}
 	fmt.Printf("\nlink repaired; %d links down\n", len(nw.DownLinks()))

@@ -40,10 +40,14 @@ func run() error {
 	fmt.Printf("GÉANT: %d PoPs, %d links; NFV servers in %v\n\n",
 		nw.NumNodes(), nw.NumEdges(), serverCities)
 
-	cp, err := nfvmcast.NewOnlineCP(nw, nfvmcast.DefaultCostModel(nw.NumNodes()))
+	// Online_CP behind the admission engine: Admit both decides and
+	// allocates; the controller then just installs the returned tree.
+	planner, err := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
 	if err != nil {
 		return err
 	}
+	cp := nfvmcast.NewEngine(nw, planner, nfvmcast.EngineOptions{})
+	defer cp.Close()
 	ctrl := nfvmcast.NewController(nw)
 
 	gen, err := nfvmcast.NewGenerator(nw.NumNodes(), nfvmcast.OnlineGeneratorConfig(), 99)

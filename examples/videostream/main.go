@@ -70,12 +70,20 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	cp, err := nfvmcast.NewOnlineCP(nwCP, nfvmcast.DefaultCostModel(networkSize))
+	// Each policy runs behind an admission engine owning its replica.
+	// Sequential mode (zero workers) keeps decisions identical to the
+	// direct admitters; a provider ingesting concurrent channel-setup
+	// calls would raise EngineOptions.Workers instead.
+	cpPlanner, err := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(networkSize))
 	if err != nil {
 		return err
 	}
-	sp := nfvmcast.NewOnlineSP(nwSP)
-	static := nfvmcast.NewOnlineSPStatic(nwStatic)
+	cp := nfvmcast.NewEngine(nwCP, cpPlanner, nfvmcast.EngineOptions{})
+	defer cp.Close()
+	sp := nfvmcast.NewEngine(nwSP, nfvmcast.NewSPPlanner(), nfvmcast.EngineOptions{})
+	defer sp.Close()
+	static := nfvmcast.NewEngine(nwStatic, nfvmcast.NewSPStaticPlanner(), nfvmcast.EngineOptions{})
+	defer static.Close()
 
 	rng := rand.New(rand.NewSource(seed + 2))
 	fmt.Printf("admitting %d channel requests on a %d-switch backbone\n\n",

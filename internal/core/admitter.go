@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// Admitter is the shared commit half of online admission: it binds a
+// Planner to the network it admits onto and owns the whole admit/
+// depart lifecycle — plan, allocate, record the live session, count
+// the decision. OnlineCP, OnlineSP, OnlineSPStatic and OnlineCPK are
+// thin wrappers that pair it with their planner; the admission engine
+// (internal/engine) drives the same machinery with planning moved onto
+// snapshots.
+//
+// An Admitter is not safe for concurrent use: exactly one goroutine
+// may call its methods at a time (the engine's single writer, or a
+// plain sequential driver).
+type Admitter struct {
+	nw      *sdn.Network
+	planner Planner
+	lives   *liveTable
+
+	admitted []*Solution
+	rejected int
+}
+
+// NewAdmitter returns an admitter committing planner's proposals onto
+// nw.
+func NewAdmitter(nw *sdn.Network, planner Planner) *Admitter {
+	return &Admitter{nw: nw, planner: planner, lives: newLiveTable(nw)}
+}
+
+// Network returns the network this admitter allocates on.
+func (a *Admitter) Network() *sdn.Network { return a.nw }
+
+// Planner returns the planning half of the algorithm.
+func (a *Admitter) Planner() Planner { return a.planner }
+
+// Admit decides request req: on admission it returns the realised
+// solution (already allocated on the network); on rejection it
+// returns ErrRejected (wrapped with the reason) and leaves the network
+// untouched.
+func (a *Admitter) Admit(req *multicast.Request) (*Solution, error) {
+	sol, err := a.planner.Plan(a.nw, req)
+	if err != nil {
+		a.rejected++
+		return nil, err
+	}
+	sol, err = a.Commit(req, sol)
+	if err != nil {
+		// Planners only propose trees that fit the residual view; a
+		// commit failure here means per-link aggregation of
+		// back-tracking traffic exceeded a residual, so reject.
+		a.rejected++
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	return sol, nil
+}
+
+// Commit validates a planned solution against the network's current
+// residuals by allocating it; on success the session is recorded live.
+// It does not count a failure as a rejection — callers that re-plan on
+// commit conflicts (the engine's optimistic-concurrency path) decide
+// that via CountRejection.
+func (a *Admitter) Commit(req *multicast.Request, sol *Solution) (*Solution, error) {
+	alloc := AllocationFor(req, sol.Tree)
+	if err := a.nw.Allocate(alloc); err != nil {
+		return nil, err
+	}
+	a.lives.record(req, sol, alloc)
+	a.admitted = append(a.admitted, sol)
+	return sol, nil
+}
+
+// CountRejection records a rejection decided outside Admit (the
+// engine's snapshot-planning path, where plan and commit are separate
+// steps).
+func (a *Admitter) CountRejection() { a.rejected++ }
+
+// Depart releases the resources of an admitted request (the session
+// ended). It returns the solution that had realised the request so
+// callers can also uninstall its flow rules.
+func (a *Admitter) Depart(reqID int) (*Solution, error) {
+	return a.lives.depart(reqID)
+}
+
+// Replace records that an admitted request is now realised by sol
+// (its ID must match a live session) — used after Reoptimize, which
+// re-places sessions directly on the network. A later Depart then
+// releases the new allocation.
+func (a *Admitter) Replace(reqID int, sol *Solution) error {
+	return a.lives.replace(reqID, sol)
+}
+
+// LiveCount reports how many admitted requests currently hold
+// resources.
+func (a *Admitter) LiveCount() int { return a.lives.live() }
+
+// Admitted returns the solutions admitted so far (shared slice copy).
+func (a *Admitter) Admitted() []*Solution {
+	out := make([]*Solution, len(a.admitted))
+	copy(out, a.admitted)
+	return out
+}
+
+// AdmittedCount reports |S(k)|.
+func (a *Admitter) AdmittedCount() int { return len(a.admitted) }
+
+// RejectedCount reports how many requests were rejected.
+func (a *Admitter) RejectedCount() int { return a.rejected }

@@ -10,15 +10,19 @@ import (
 // Departure support: multicast sessions end (conferences finish,
 // streams stop) and their resources return to the pool. The paper
 // models a fixed monitoring period without departures; this extension
-// makes the online admitters usable as long-running systems. Each
-// admitter tracks its live allocations by request ID and Depart
-// releases them atomically.
+// makes the online admitters usable as long-running systems. The
+// shared Admitter (the commit layer every online algorithm and the
+// engine run through) tracks live allocations by request ID in a
+// liveTable, and its Depart releases them atomically — so departures
+// and re-optimisation behave uniformly across planners instead of each
+// admitter carrying its own bookkeeping.
 
 // ErrUnknownRequest is returned when departing a request that is not
 // currently admitted.
 var ErrUnknownRequest = fmt.Errorf("core: request not admitted")
 
-// liveTable tracks admitted requests' allocations for departure.
+// liveTable tracks admitted requests' allocations for departure. It is
+// owned by the Admitter; nothing else mutates it.
 type liveTable struct {
 	nw    *sdn.Network
 	byID  map[int]sdn.Allocation
@@ -68,86 +72,4 @@ func (l *liveTable) replace(reqID int, sol *Solution) error {
 	l.byID[reqID] = AllocationFor(sol.Request, sol.Tree)
 	l.solBy[reqID] = sol
 	return nil
-}
-
-// Depart releases the resources of an admitted request (the session
-// ended). It returns the solution that had realised the request so
-// callers can also uninstall its flow rules.
-func (o *OnlineCP) Depart(reqID int) (*Solution, error) {
-	if o.lives == nil {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
-	}
-	return o.lives.depart(reqID)
-}
-
-// Replace records that an admitted request is now realised by sol
-// (its ID must match a live session) — used after Reoptimize, which
-// re-places sessions directly on the network. A later Depart then
-// releases the new allocation.
-func (o *OnlineCP) Replace(reqID int, sol *Solution) error {
-	if o.lives == nil {
-		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
-	}
-	return o.lives.replace(reqID, sol)
-}
-
-// LiveCount reports how many admitted requests currently hold
-// resources.
-func (o *OnlineCP) LiveCount() int {
-	if o.lives == nil {
-		return 0
-	}
-	return o.lives.live()
-}
-
-// Depart releases the resources of an admitted request.
-func (o *OnlineSP) Depart(reqID int) (*Solution, error) {
-	if o.lives == nil {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
-	}
-	return o.lives.depart(reqID)
-}
-
-// Replace records a re-placed solution for a live session (see
-// OnlineCP.Replace).
-func (o *OnlineSP) Replace(reqID int, sol *Solution) error {
-	if o.lives == nil {
-		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
-	}
-	return o.lives.replace(reqID, sol)
-}
-
-// LiveCount reports how many admitted requests currently hold
-// resources.
-func (o *OnlineSP) LiveCount() int {
-	if o.lives == nil {
-		return 0
-	}
-	return o.lives.live()
-}
-
-// Depart releases the resources of an admitted request.
-func (o *OnlineSPStatic) Depart(reqID int) (*Solution, error) {
-	if o.lives == nil {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
-	}
-	return o.lives.depart(reqID)
-}
-
-// Replace records a re-placed solution for a live session (see
-// OnlineCP.Replace).
-func (o *OnlineSPStatic) Replace(reqID int, sol *Solution) error {
-	if o.lives == nil {
-		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
-	}
-	return o.lives.replace(reqID, sol)
-}
-
-// LiveCount reports how many admitted requests currently hold
-// resources.
-func (o *OnlineSPStatic) LiveCount() int {
-	if o.lives == nil {
-		return 0
-	}
-	return o.lives.live()
 }

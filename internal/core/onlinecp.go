@@ -14,51 +14,43 @@ import (
 // NFV-enabled multicast requests with K = 1 under the exponential cost
 // model, with competitive ratio O(log |V|). Construct one per request
 // sequence and feed arrivals to Admit; admitted requests' resources
-// are allocated on the network immediately.
+// are allocated on the network immediately. It pairs the pure
+// CPPlanner with the shared Admitter commit machinery.
 type OnlineCP struct {
-	nw    *sdn.Network
-	model CostModel
-	lives *liveTable
-
-	admitted []*Solution
-	rejected int
+	*Admitter
 }
 
 // NewOnlineCP returns an admitter over nw with the given cost model.
 func NewOnlineCP(nw *sdn.Network, model CostModel) (*OnlineCP, error) {
+	p, err := NewCPPlanner(model)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineCP{Admitter: NewAdmitter(nw, p)}, nil
+}
+
+// CPPlanner is the pure planning half of Online_CP: the cheapest
+// feasible pseudo-multicast tree for a request under the exponential
+// weights and the admission thresholds, with no side effects on the
+// network view it plans against.
+type CPPlanner struct {
+	model CostModel
+}
+
+// NewCPPlanner returns an Online_CP planner with the given cost model.
+func NewCPPlanner(model CostModel) (*CPPlanner, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	return &OnlineCP{nw: nw, model: model, lives: newLiveTable(nw)}, nil
+	return &CPPlanner{model: model}, nil
 }
 
-// Admit decides request r: on admission it returns the realised
-// solution (already allocated on the network); on rejection it
-// returns ErrRejected (wrapped with the reason) and leaves the network
-// untouched.
-func (o *OnlineCP) Admit(req *multicast.Request) (*Solution, error) {
-	sol, err := o.plan(req)
-	if err != nil {
-		o.rejected++
-		return nil, err
-	}
-	alloc := AllocationFor(req, sol.Tree)
-	if err := o.nw.Allocate(alloc); err != nil {
-		// plan() only proposes trees that fit the residual network;
-		// an allocation failure here means per-link aggregation of
-		// back-tracking traffic exceeded a residual, so reject.
-		o.rejected++
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
-	}
-	o.lives.record(req, sol, alloc)
-	o.admitted = append(o.admitted, sol)
-	return sol, nil
-}
+// Name identifies the algorithm.
+func (p *CPPlanner) Name() string { return "Online_CP" }
 
-// plan computes the cheapest feasible pseudo-multicast tree for req
+// Plan computes the cheapest feasible pseudo-multicast tree for req
 // under the exponential weights and the admission thresholds.
-func (o *OnlineCP) plan(req *multicast.Request) (*Solution, error) {
-	nw := o.nw
+func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
 	if err := validateInput(nw, req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
@@ -73,7 +65,7 @@ func (o *OnlineCP) plan(req *multicast.Request) (*Solution, error) {
 	// pre-allocation weights.
 	w := buildWorkGraph(nw, req, true, func(e graph.EdgeID) float64 {
 		utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
-		return math.Pow(o.model.Beta, utilAfter) - 1
+		return math.Pow(p.model.Beta, utilAfter) - 1
 	})
 	if len(w.servers) == 0 {
 		return nil, fmt.Errorf("%w: no server with %0.f MHz free",
@@ -88,7 +80,7 @@ func (o *OnlineCP) plan(req *multicast.Request) (*Solution, error) {
 	for _, v := range w.servers {
 		// Threshold (a): overloaded servers are not considered
 		// (Algorithm 2, step 7).
-		if o.model.ServerWeight(nw, v) >= o.model.SigmaV {
+		if p.model.ServerWeight(nw, v) >= p.model.SigmaV {
 			continue
 		}
 		terminals := append([]graph.NodeID{req.Source, v}, req.Destinations...)
@@ -106,7 +98,7 @@ func (o *OnlineCP) plan(req *multicast.Request) (*Solution, error) {
 		// network fills.)
 		overloaded := false
 		for _, e := range st.EdgeIDs {
-			if o.model.LinkWeight(nw, w.hostEdge(e)) >= o.model.SigmaE {
+			if p.model.LinkWeight(nw, w.hostEdge(e)) >= p.model.SigmaE {
 				overloaded = true
 				break
 			}
@@ -114,7 +106,7 @@ func (o *OnlineCP) plan(req *multicast.Request) (*Solution, error) {
 		if overloaded {
 			continue
 		}
-		tree, retCost, err := o.realize(w, req, v, st)
+		tree, retCost, err := p.realize(nw, w, req, v, st)
 		if err != nil {
 			continue
 		}
@@ -123,9 +115,9 @@ func (o *OnlineCP) plan(req *multicast.Request) (*Solution, error) {
 		// exponential costs.
 		var cT float64
 		for _, e := range st.EdgeIDs {
-			cT += o.model.LinkCost(nw, w.hostEdge(e))
+			cT += p.model.LinkCost(nw, w.hostEdge(e))
 		}
-		sel := cT + o.model.ServerCost(nw, v) + retCost
+		sel := cT + p.model.ServerCost(nw, v) + retCost
 		if sel < bestSelection {
 			bestSelection, bestTree, bestServer = sel, tree, v
 		}
@@ -148,8 +140,8 @@ func (o *OnlineCP) plan(req *multicast.Request) (*Solution, error) {
 // from v to u = LCA(v, d_1, ..., d_m) for the remaining destinations.
 // It returns the tree plus the absolute exponential cost of the
 // back-tracking path c(p_{v,u}).
-func (o *OnlineCP) realize(
-	w *workGraph, req *multicast.Request, v graph.NodeID, st *graph.SteinerTree,
+func (p *CPPlanner) realize(
+	nw *sdn.Network, w *workGraph, req *multicast.Request, v graph.NodeID, st *graph.SteinerTree,
 ) (*multicast.PseudoTree, float64, error) {
 	rt, err := graph.NewRootedTree(w.g, st.EdgeIDs, req.Source)
 	if err != nil {
@@ -182,7 +174,7 @@ func (o *OnlineCP) realize(
 		return nil, 0, err
 	}
 	for _, e := range edges {
-		retCost += o.model.LinkCost(o.nw, w.hostEdge(e))
+		retCost += p.model.LinkCost(nw, w.hostEdge(e))
 	}
 	for _, d := range req.Destinations {
 		start := u
@@ -199,19 +191,6 @@ func (o *OnlineCP) realize(
 	}
 	return tree, retCost, nil
 }
-
-// Admitted returns the solutions admitted so far (shared slice copy).
-func (o *OnlineCP) Admitted() []*Solution {
-	out := make([]*Solution, len(o.admitted))
-	copy(out, o.admitted)
-	return out
-}
-
-// AdmittedCount reports |S(k)|.
-func (o *OnlineCP) AdmittedCount() int { return len(o.admitted) }
-
-// RejectedCount reports how many requests were rejected.
-func (o *OnlineCP) RejectedCount() int { return o.rejected }
 
 // IsRejection reports whether err represents an admission-policy
 // rejection (as opposed to an input error).

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
@@ -20,46 +21,41 @@ import (
 // competitive-ratio claim is made; the harness measures it
 // empirically (ext-onlinek).
 type OnlineCPK struct {
-	nw    *sdn.Network
-	model CostModel
-	k     int
-	lives *liveTable
-
-	admitted []*Solution
-	rejected int
+	*Admitter
 }
 
 // NewOnlineCPK returns a K-server online admitter over nw.
 func NewOnlineCPK(nw *sdn.Network, model CostModel, k int) (*OnlineCPK, error) {
+	p, err := NewCPKPlanner(model, k)
+	if err != nil {
+		return nil, err
+	}
+	return &OnlineCPK{Admitter: NewAdmitter(nw, p)}, nil
+}
+
+// CPKPlanner is the pure planning half of OnlineCPK.
+type CPKPlanner struct {
+	model CostModel
+	k     int
+}
+
+// NewCPKPlanner returns a K-server online planner.
+func NewCPKPlanner(model CostModel, k int) (*CPKPlanner, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
 	if k < 1 {
 		return nil, fmt.Errorf("core: invalid K=%d (need K >= 1)", k)
 	}
-	return &OnlineCPK{nw: nw, model: model, k: k, lives: newLiveTable(nw)}, nil
+	return &CPKPlanner{model: model, k: k}, nil
 }
 
-// Admit decides request r, allocating resources on admission and
-// returning ErrRejected otherwise.
-func (o *OnlineCPK) Admit(req *multicast.Request) (*Solution, error) {
-	sol, err := o.plan(req)
-	if err != nil {
-		o.rejected++
-		return nil, err
-	}
-	alloc := AllocationFor(req, sol.Tree)
-	if err := o.nw.Allocate(alloc); err != nil {
-		o.rejected++
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
-	}
-	o.lives.record(req, sol, alloc)
-	o.admitted = append(o.admitted, sol)
-	return sol, nil
-}
+// Name identifies the algorithm.
+func (p *CPKPlanner) Name() string { return "Online_CPK" }
 
-func (o *OnlineCPK) plan(req *multicast.Request) (*Solution, error) {
-	nw := o.nw
+// Plan proposes the cheapest admissible tree over server subsets of
+// size <= K under the exponential cost model's thresholds.
+func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
 	if err := validateInput(nw, req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
@@ -67,7 +63,7 @@ func (o *OnlineCPK) plan(req *multicast.Request) (*Solution, error) {
 	// same pricing Online_CP uses for tree construction).
 	w := buildWorkGraph(nw, req, true, func(e graph.EdgeID) float64 {
 		utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
-		return math.Pow(o.model.Beta, utilAfter) - 1
+		return math.Pow(p.model.Beta, utilAfter) - 1
 	})
 	if len(w.servers) == 0 {
 		return nil, fmt.Errorf("%w: no server with enough free computing", ErrRejected)
@@ -84,8 +80,8 @@ func (o *OnlineCPK) plan(req *multicast.Request) (*Solution, error) {
 		if !spSrc.Reachable(v) {
 			continue
 		}
-		wv := o.model.ServerWeight(nw, v)
-		if wv >= o.model.SigmaV {
+		wv := p.model.ServerWeight(nw, v)
+		if wv >= p.model.SigmaV {
 			continue
 		}
 		sp, derr := graph.Dijkstra(w.g, v)
@@ -125,23 +121,31 @@ func (o *OnlineCPK) plan(req *multicast.Request) (*Solution, error) {
 			return
 		}
 		// Threshold (b): every tree link under σ_e (pre-allocation
-		// weights, as in Online_CP).
+		// weights, as in Online_CP). Sum in sorted edge order: float
+		// addition is order-dependent, and a map-ordered sum would make
+		// near-tie subset selection non-deterministic run to run.
+		loads := tree.LinkLoads()
+		treeEdges := make([]graph.EdgeID, 0, len(loads))
+		for e := range loads {
+			treeEdges = append(treeEdges, e)
+		}
+		sort.Ints(treeEdges)
 		sel := 0.0
-		for e, uses := range tree.LinkLoads() {
-			we := o.model.LinkWeight(nw, e)
-			if we >= o.model.SigmaE {
+		for _, e := range treeEdges {
+			we := p.model.LinkWeight(nw, e)
+			if we >= p.model.SigmaE {
 				return
 			}
-			sel += float64(uses) * hostWeight[e]
+			sel += float64(loads[e]) * hostWeight[e]
 		}
 		for _, v := range servers {
-			sel += o.model.ServerWeight(nw, v)
+			sel += p.model.ServerWeight(nw, v)
 		}
 		if sel < bestSel {
 			bestSel, bestTree = sel, tree
 		}
 	}
-	forEachSubset(candidates, o.k, func(subset []graph.NodeID) bool {
+	forEachSubset(candidates, p.k, func(subset []graph.NodeID) bool {
 		if servers, realEdges, _, cerr := ev.steiner(subset, omega); cerr == nil {
 			consider(servers, realEdges)
 		}
@@ -163,42 +167,3 @@ func (o *OnlineCPK) plan(req *multicast.Request) (*Solution, error) {
 		SelectionCost:   bestSel,
 	}, nil
 }
-
-// Depart releases the resources of an admitted request.
-func (o *OnlineCPK) Depart(reqID int) (*Solution, error) {
-	if o.lives == nil {
-		return nil, fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
-	}
-	return o.lives.depart(reqID)
-}
-
-// Replace records a re-placed solution for a live session (see
-// OnlineCP.Replace).
-func (o *OnlineCPK) Replace(reqID int, sol *Solution) error {
-	if o.lives == nil {
-		return fmt.Errorf("%w: %d", ErrUnknownRequest, reqID)
-	}
-	return o.lives.replace(reqID, sol)
-}
-
-// LiveCount reports how many admitted requests currently hold
-// resources.
-func (o *OnlineCPK) LiveCount() int {
-	if o.lives == nil {
-		return 0
-	}
-	return o.lives.live()
-}
-
-// Admitted returns the solutions admitted so far.
-func (o *OnlineCPK) Admitted() []*Solution {
-	out := make([]*Solution, len(o.admitted))
-	copy(out, o.admitted)
-	return out
-}
-
-// AdmittedCount reports the number of admitted requests.
-func (o *OnlineCPK) AdmittedCount() int { return len(o.admitted) }
-
-// RejectedCount reports how many requests were rejected.
-func (o *OnlineCPK) RejectedCount() int { return o.rejected }

@@ -173,7 +173,8 @@ func TestPropertyOnlineCPWithinFourTimesOptimal(t *testing.T) {
 		}
 		// Pre-load the network with a few admissions so weights are
 		// non-trivial.
-		cp, err := NewOnlineCP(nw, DefaultCostModel(nw.NumNodes()))
+		model := DefaultCostModel(nw.NumNodes())
+		cp, err := NewOnlineCP(nw, model)
 		if err != nil {
 			return false
 		}
@@ -189,7 +190,7 @@ func TestPropertyOnlineCPWithinFourTimesOptimal(t *testing.T) {
 			}
 			_, _ = cp.Admit(r)
 		}
-		sol, err := cp.plan(req)
+		sol, err := cp.Planner().Plan(nw, req)
 		if err != nil {
 			return true // rejection is allowed; nothing to verify
 		}
@@ -197,7 +198,7 @@ func TestPropertyOnlineCPWithinFourTimesOptimal(t *testing.T) {
 		// Rebuild the marginal-weight graph plan() used.
 		w := buildWorkGraph(nw, req, true, func(e graph.EdgeID) float64 {
 			utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
-			return math.Pow(cp.model.Beta, utilAfter) - 1
+			return math.Pow(model.Beta, utilAfter) - 1
 		})
 		terminals := append([]graph.NodeID{req.Source, v}, req.Destinations...)
 		opt, oerr := graph.SteinerExactWeight(w.g, terminals)
@@ -214,7 +215,7 @@ func TestPropertyOnlineCPWithinFourTimesOptimal(t *testing.T) {
 		for e, uses := range sol.Tree.LinkLoads() {
 			treeWeight += float64(uses) * hostWeight[e]
 		}
-		wv := cp.model.ServerWeight(nw, v)
+		wv := model.ServerWeight(nw, v)
 		return treeWeight+wv <= 4*(opt+wv)+1e-6
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
@@ -17,50 +18,58 @@ import (
 // Online_CP it ignores resource utilisation, so it piles load onto
 // already-busy links.
 type OnlineSP struct {
-	nw       *sdn.Network
-	lives    *liveTable
-	admitted []*Solution
-	rejected int
+	*Admitter
 }
 
 // NewOnlineSP returns an SP admitter over nw.
 func NewOnlineSP(nw *sdn.Network) *OnlineSP {
-	return &OnlineSP{nw: nw, lives: newLiveTable(nw)}
+	return &OnlineSP{Admitter: NewAdmitter(nw, NewSPPlanner())}
 }
 
-// Admit decides request r, allocating resources on admission and
-// returning ErrRejected otherwise.
-func (o *OnlineSP) Admit(req *multicast.Request) (*Solution, error) {
-	sol, err := o.plan(req)
-	if err != nil {
-		o.rejected++
-		return nil, err
-	}
-	alloc := AllocationFor(req, sol.Tree)
-	if err := o.nw.Allocate(alloc); err != nil {
-		o.rejected++
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
-	}
-	o.lives.record(req, sol, alloc)
-	o.admitted = append(o.admitted, sol)
-	return sol, nil
-}
+// SPPlanner is the pure planning half of the adaptive SP baseline.
+type SPPlanner struct{}
 
-func (o *OnlineSP) plan(req *multicast.Request) (*Solution, error) {
-	nw := o.nw
+// NewSPPlanner returns an adaptive-SP planner.
+func NewSPPlanner() *SPPlanner { return &SPPlanner{} }
+
+// Name identifies the algorithm.
+func (p *SPPlanner) Name() string { return "SP" }
+
+// Plan proposes the cheapest shortest-path combination on the residual
+// network with uniform link weights.
+func (p *SPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
 	if err := validateInput(nw, req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
-	// Residual network with uniform link weights.
+	// Residual network with uniform link weights. The work graph is
+	// request-specific (residual pruning), so the SP-tree cache lives
+	// for this plan only — it still dedupes the source tree when the
+	// source doubles as a candidate server.
 	w := buildWorkGraph(nw, req, true, func(graph.EdgeID) float64 { return 1 })
 	if len(w.servers) == 0 {
 		return nil, fmt.Errorf("%w: no server with enough free computing", ErrRejected)
 	}
-	spSrc, err := graph.Dijkstra(w.g, req.Source)
+	sol, err := planSP(nw, req, w, newSPCache(w.g), nil)
 	if err != nil {
 		return nil, err
 	}
+	return sol, nil
+}
 
+// planSP is the shortest-path server selection shared by the adaptive
+// and static SP planners: pick the server minimising (distance from
+// the source) + (hop count of the SP tree restricted to destination
+// paths), then realise the pseudo tree from the cached SP trees.
+// eligible, when non-nil, filters candidate servers beyond the work
+// graph's own pruning.
+func planSP(
+	nw *sdn.Network, req *multicast.Request, w *workGraph, sp *spCache,
+	eligible func(graph.NodeID) bool,
+) (*Solution, error) {
+	spSrc, err := sp.from(req.Source)
+	if err != nil {
+		return nil, err
+	}
 	var (
 		bestCost   = graph.Infinity
 		bestServer = graph.NodeID(-1)
@@ -70,7 +79,10 @@ func (o *OnlineSP) plan(req *multicast.Request) (*Solution, error) {
 		if !spSrc.Reachable(v) {
 			continue
 		}
-		spV, derr := graph.Dijkstra(w.g, v)
+		if eligible != nil && !eligible(v) {
+			continue
+		}
+		spV, derr := sp.from(v)
 		if derr != nil {
 			return nil, derr
 		}
@@ -129,19 +141,6 @@ func (o *OnlineSP) plan(req *multicast.Request) (*Solution, error) {
 	}, nil
 }
 
-// Admitted returns the solutions admitted so far.
-func (o *OnlineSP) Admitted() []*Solution {
-	out := make([]*Solution, len(o.admitted))
-	copy(out, o.admitted)
-	return out
-}
-
-// AdmittedCount reports the number of admitted requests.
-func (o *OnlineSP) AdmittedCount() int { return len(o.admitted) }
-
-// RejectedCount reports how many requests were rejected.
-func (o *OnlineSP) RejectedCount() int { return o.rejected }
-
 // OnlineSPStatic is a congestion-oblivious variant of SP that models
 // static shortest-path multicast routing (fixed routes, as in plain
 // IP multicast over static routing tables): trees are always computed
@@ -151,126 +150,75 @@ func (o *OnlineSP) RejectedCount() int { return o.rejected }
 // Online_CP's advantage comes from load awareness: against this
 // baseline the admission gap of the paper's Figs. 8-9 opens fully.
 type OnlineSPStatic struct {
-	nw       *sdn.Network
-	lives    *liveTable
-	admitted []*Solution
-	rejected int
+	*Admitter
 }
 
 // NewOnlineSPStatic returns a static-routes SP admitter over nw.
 func NewOnlineSPStatic(nw *sdn.Network) *OnlineSPStatic {
-	return &OnlineSPStatic{nw: nw, lives: newLiveTable(nw)}
+	return &OnlineSPStatic{Admitter: NewAdmitter(nw, NewSPStaticPlanner())}
 }
 
-// Admit decides request r: the fixed shortest-path tree either fits
-// the residual network and is allocated, or the request is rejected.
-func (o *OnlineSPStatic) Admit(req *multicast.Request) (*Solution, error) {
-	sol, err := o.plan(req)
-	if err != nil {
-		o.rejected++
-		return nil, err
-	}
-	alloc := AllocationFor(req, sol.Tree)
-	if err := o.nw.Allocate(alloc); err != nil {
-		o.rejected++
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
-	}
-	o.lives.record(req, sol, alloc)
-	o.admitted = append(o.admitted, sol)
-	return sol, nil
+// SPStaticPlanner is the pure planning half of the static-routes SP
+// baseline. Because its work graph is the pristine topology with
+// uniform weights — independent of residual load and of the request —
+// the planner memoizes that graph and its shortest-path trees across
+// Plan calls, keyed on the network's StructureVersion; only failure
+// injection (which changes the usable topology) invalidates the cache.
+// Residual snapshots (engine views) share one logical topology with
+// the live network, so the cache also carries across them.
+//
+// A planner instance serves one logical network and its clones; do not
+// share it across unrelated networks.
+type SPStaticPlanner struct {
+	mu      sync.Mutex
+	nodes   int
+	edges   int
+	version uint64
+	w       *workGraph
+	sp      *spCache
 }
 
-func (o *OnlineSPStatic) plan(req *multicast.Request) (*Solution, error) {
-	nw := o.nw
+// NewSPStaticPlanner returns a static-routes SP planner.
+func NewSPStaticPlanner() *SPStaticPlanner { return &SPStaticPlanner{} }
+
+// Name identifies the algorithm.
+func (p *SPStaticPlanner) Name() string { return "SP_Static" }
+
+// view returns the memoized pristine work graph and SP-tree cache,
+// rebuilding both when the network's usable structure changed.
+func (p *SPStaticPlanner) view(nw *sdn.Network, req *multicast.Request) (*workGraph, *spCache) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.w == nil || p.nodes != nw.NumNodes() || p.edges != nw.NumEdges() ||
+		p.version != nw.StructureVersion() {
+		// Pristine topology with uniform weights: no residual
+		// filtering, so the view is identical for every request at
+		// this structure version.
+		p.w = buildWorkGraph(nw, req, false, func(graph.EdgeID) float64 { return 1 })
+		p.sp = newSPCache(p.w.g)
+		p.nodes, p.edges, p.version = nw.NumNodes(), nw.NumEdges(), nw.StructureVersion()
+	}
+	return p.w, p.sp
+}
+
+// Plan proposes the fixed shortest-path tree for req on the pristine
+// topology; the commit step decides whether it still fits the residual
+// capacities. Static routing still will not place the VM on a server
+// that cannot host it.
+func (p *SPStaticPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
 	if err := validateInput(nw, req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
 	}
-	// Pristine topology with uniform weights: no residual filtering.
-	w := buildWorkGraph(nw, req, false, func(graph.EdgeID) float64 { return 1 })
-	spSrc, err := graph.Dijkstra(w.g, req.Source)
-	if err != nil {
-		return nil, err
-	}
+	w, sp := p.view(nw, req)
 	demand := req.ComputeDemandMHz()
-	var (
-		bestCost   = graph.Infinity
-		bestServer = graph.NodeID(-1)
-		bestSP     *graph.ShortestPaths
-	)
-	for _, v := range w.servers {
-		if !spSrc.Reachable(v) {
-			continue
+	sol, err := planSP(nw, req, w, sp, func(v graph.NodeID) bool {
+		return nw.ResidualCompute(v) >= demand
+	})
+	if err != nil {
+		if IsRejection(err) {
+			return nil, fmt.Errorf("%w: no feasible server on static routes", ErrRejected)
 		}
-		// Static routing still will not place the VM on a server that
-		// cannot host it.
-		if nw.ResidualCompute(v) < demand {
-			continue
-		}
-		spV, derr := graph.Dijkstra(w.g, v)
-		if derr != nil {
-			return nil, derr
-		}
-		cost := spSrc.Dist[v]
-		counted := make(map[graph.EdgeID]struct{})
-		feasible := true
-		for _, d := range req.Destinations {
-			if !spV.Reachable(d) {
-				feasible = false
-				break
-			}
-			_, edges, _ := spV.PathTo(d)
-			for _, e := range edges {
-				if _, ok := counted[e]; !ok {
-					counted[e] = struct{}{}
-					cost++
-				}
-			}
-		}
-		if !feasible {
-			continue
-		}
-		if cost < bestCost {
-			bestCost, bestServer, bestSP = cost, v, spV
-		}
-	}
-	if bestServer == -1 {
-		return nil, fmt.Errorf("%w: no feasible server on static routes", ErrRejected)
-	}
-	tree := multicast.NewPseudoTree(req.Source, req.Destinations, []graph.NodeID{bestServer})
-	nodes, edges, ok := spSrc.PathTo(bestServer)
-	if !ok {
-		return nil, fmt.Errorf("%w: server %d", ErrUnreachable, bestServer)
-	}
-	if err := w.addHostPath(tree, nodes, edges, false); err != nil {
 		return nil, err
 	}
-	for _, d := range req.Destinations {
-		nodes, edges, ok = bestSP.PathTo(d)
-		if !ok {
-			return nil, fmt.Errorf("%w: destination %d", ErrUnreachable, d)
-		}
-		if err := w.addHostPath(tree, nodes, edges, true); err != nil {
-			return nil, err
-		}
-	}
-	return &Solution{
-		Request:         req,
-		Tree:            tree,
-		Servers:         []graph.NodeID{bestServer},
-		OperationalCost: OperationalCost(nw, req, tree),
-		SelectionCost:   bestCost,
-	}, nil
+	return sol, nil
 }
-
-// Admitted returns the solutions admitted so far.
-func (o *OnlineSPStatic) Admitted() []*Solution {
-	out := make([]*Solution, len(o.admitted))
-	copy(out, o.admitted)
-	return out
-}
-
-// AdmittedCount reports the number of admitted requests.
-func (o *OnlineSPStatic) AdmittedCount() int { return len(o.admitted) }
-
-// RejectedCount reports how many requests were rejected.
-func (o *OnlineSPStatic) RejectedCount() int { return o.rejected }

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"sync"
+
+	"nfvmcast/internal/graph"
+)
+
+// spCache memoizes single-source shortest-path trees per root over one
+// immutable work graph, so evaluation paths that revisit a root (the
+// source doubling as a candidate server, engine re-plans, and the
+// static planner's cross-request reuse) share one Dijkstra instead of
+// recomputing it. graph.ShortestPaths is immutable after construction,
+// so cached trees may be shared freely.
+//
+// The cache is safe for concurrent use. A miss computes outside the
+// lock: two goroutines may duplicate a Dijkstra, but both results are
+// identical (Dijkstra is deterministic on a fixed graph), so whichever
+// store wins is correct.
+type spCache struct {
+	g *graph.Graph
+
+	mu     sync.Mutex
+	byRoot map[graph.NodeID]*graph.ShortestPaths
+}
+
+func newSPCache(g *graph.Graph) *spCache {
+	return &spCache{g: g, byRoot: make(map[graph.NodeID]*graph.ShortestPaths)}
+}
+
+// from returns the shortest-path tree rooted at v, computing and
+// memoizing it on first use.
+func (c *spCache) from(v graph.NodeID) (*graph.ShortestPaths, error) {
+	c.mu.Lock()
+	sp, ok := c.byRoot[v]
+	c.mu.Unlock()
+	if ok {
+		return sp, nil
+	}
+	sp, err := graph.Dijkstra(c.g, v)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.byRoot[v] = sp
+	c.mu.Unlock()
+	return sp, nil
+}

@@ -1,0 +1,253 @@
+// Package engine provides a single-writer admission engine over a
+// capacitated SDN. The engine owns the sdn.Network: every mutation —
+// allocation on admit, release on depart, maintenance such as failure
+// injection — executes on one writer goroutine, so mutators never race
+// readers (the constraint DESIGN.md §8 puts on sdn.Network). Planning,
+// the expensive part of admission (Dijkstras + KMB per request), does
+// not run on the writer: concurrent Admit calls plan on their own
+// goroutines against residual snapshots and only re-enter the writer
+// to commit, where the plan is validated against the live residuals
+// (optimistic concurrency: a plan invalidated by a concurrent commit
+// is re-planned once against fresh residuals, then rejected).
+//
+// In sequential mode (Options.Workers <= 1) plan and commit execute as
+// one atomic step on the writer, so admit/reject decisions, trees and
+// costs are byte-identical to driving a core.Admitter — or the
+// original per-algorithm admitters — directly; the determinism oracle
+// in engine_test.go pins this. A sequentially-driven engine (one
+// in-flight Admit at a time) produces the same decisions at any worker
+// count, because a snapshot taken with no in-flight commits equals the
+// live residual state.
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/parallel"
+	"nfvmcast/internal/sdn"
+)
+
+// ErrClosed is returned by every operation submitted after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds how many Admit calls may plan concurrently.
+	// 0 or 1 selects sequential mode: plan and commit run as one
+	// atomic writer step, reproducing the direct admitters exactly.
+	// n > 1 allows n concurrent planners against residual snapshots;
+	// negative requests one planner slot per CPU.
+	Workers int
+}
+
+// Engine is a single-writer admission engine: one goroutine owns the
+// network and the admission bookkeeping (the shared core.Admitter
+// commit layer), while planning fans out across callers. All methods
+// are safe for concurrent use.
+type Engine struct {
+	adm        *core.Admitter
+	sequential bool
+	planSlots  chan struct{}
+
+	ops       chan func()
+	quit      chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// New returns an engine owning nw that admits with planner's policy.
+// The caller must not mutate nw after handing it over; reads (metrics,
+// rendering) remain safe whenever no Admit/Depart/Update is in flight,
+// or from inside Update.
+func New(nw *sdn.Network, planner core.Planner, opts Options) *Engine {
+	workers := parallel.Degree(opts.Workers)
+	e := &Engine{
+		adm:        core.NewAdmitter(nw, planner),
+		sequential: workers <= 1,
+		planSlots:  make(chan struct{}, workers),
+		ops:        make(chan func()),
+		quit:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	go e.writer()
+	return e
+}
+
+// writer is the single goroutine through which every mutation of the
+// network and the admission bookkeeping flows.
+func (e *Engine) writer() {
+	defer close(e.done)
+	for {
+		select {
+		case f := <-e.ops:
+			f()
+		case <-e.quit:
+			return
+		}
+	}
+}
+
+// Close stops the writer goroutine and waits for it to exit. Admits
+// already committed stay allocated; operations submitted after (or
+// racing) Close return ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+	<-e.done
+}
+
+// exec runs f on the writer goroutine and waits for it to finish.
+func (e *Engine) exec(f func()) error {
+	ran := make(chan struct{})
+	select {
+	case e.ops <- func() { f(); close(ran) }:
+		<-ran
+		return nil
+	case <-e.quit:
+		return ErrClosed
+	}
+}
+
+// Admit decides request req under the engine's admission policy: on
+// admission it returns the realised solution (already allocated); on
+// rejection it returns an error satisfying core.IsRejection and leaves
+// the network untouched. Any number of goroutines may call Admit
+// concurrently; with Workers > 1 their planning overlaps.
+func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
+	if e.sequential {
+		var sol *core.Solution
+		var err error
+		if xerr := e.exec(func() { sol, err = e.adm.Admit(req) }); xerr != nil {
+			return nil, xerr
+		}
+		return sol, err
+	}
+
+	e.planSlots <- struct{}{}
+	defer func() { <-e.planSlots }()
+
+	// Plan against a residual snapshot, commit against the live state.
+	sol, err := e.planOnSnapshot(req)
+	if err != nil {
+		return nil, e.reject(err)
+	}
+	committed, cerr := e.tryCommit(req, sol)
+	if cerr == nil || errors.Is(cerr, ErrClosed) {
+		return committed, cerr
+	}
+	// Optimistic-concurrency miss: a concurrent commit moved the
+	// residuals under our plan. Re-plan once against fresh residuals,
+	// then give up.
+	sol, err = e.planOnSnapshot(req)
+	if err != nil {
+		return nil, e.reject(err)
+	}
+	committed, cerr = e.tryCommit(req, sol)
+	if cerr == nil || errors.Is(cerr, ErrClosed) {
+		return committed, cerr
+	}
+	return nil, e.reject(fmt.Errorf("%w: %v", core.ErrRejected, cerr))
+}
+
+// planOnSnapshot clones the live residual state on the writer and
+// plans against the clone on the calling goroutine.
+func (e *Engine) planOnSnapshot(req *multicast.Request) (*core.Solution, error) {
+	var view *sdn.Network
+	if xerr := e.exec(func() { view = e.adm.Network().Clone() }); xerr != nil {
+		return nil, xerr
+	}
+	return e.adm.Planner().Plan(view, req)
+}
+
+// tryCommit validates sol against the live residuals on the writer.
+// The error is nil on success, ErrClosed, or the allocation violation.
+func (e *Engine) tryCommit(req *multicast.Request, sol *core.Solution) (*core.Solution, error) {
+	var out *core.Solution
+	var cerr error
+	if xerr := e.exec(func() { out, cerr = e.adm.Commit(req, sol) }); xerr != nil {
+		return nil, xerr
+	}
+	return out, cerr
+}
+
+// reject counts the rejection on the writer and returns err for
+// chaining. ErrClosed is passed through uncounted.
+func (e *Engine) reject(err error) error {
+	if errors.Is(err, ErrClosed) {
+		return err
+	}
+	if xerr := e.exec(e.adm.CountRejection); xerr != nil {
+		return xerr
+	}
+	return err
+}
+
+// Depart releases the resources of an admitted request (the session
+// ended), returning the solution that had realised it so callers can
+// also uninstall its flow rules.
+func (e *Engine) Depart(reqID int) (*core.Solution, error) {
+	var sol *core.Solution
+	var err error
+	if xerr := e.exec(func() { sol, err = e.adm.Depart(reqID) }); xerr != nil {
+		return nil, xerr
+	}
+	return sol, err
+}
+
+// Replace records that an admitted request is now realised by sol (see
+// core.Admitter.Replace); run the re-placement itself inside Update.
+func (e *Engine) Replace(reqID int, sol *core.Solution) error {
+	var err error
+	if xerr := e.exec(func() { err = e.adm.Replace(reqID, sol) }); xerr != nil {
+		return xerr
+	}
+	return err
+}
+
+// Update runs f against the engine's network on the writer goroutine —
+// the hatch for maintenance that must not race in-flight commits:
+// failure injection, re-optimisation passes, metric snapshots.
+func (e *Engine) Update(f func(nw *sdn.Network) error) error {
+	var err error
+	if xerr := e.exec(func() { err = f(e.adm.Network()) }); xerr != nil {
+		return xerr
+	}
+	return err
+}
+
+// Planner returns the engine's planning policy.
+func (e *Engine) Planner() core.Planner { return e.adm.Planner() }
+
+// Admitted returns the solutions admitted so far.
+func (e *Engine) Admitted() []*core.Solution {
+	var out []*core.Solution
+	if xerr := e.exec(func() { out = e.adm.Admitted() }); xerr != nil {
+		return nil
+	}
+	return out
+}
+
+// AdmittedCount reports the number of admitted requests.
+func (e *Engine) AdmittedCount() int {
+	var n int
+	_ = e.exec(func() { n = e.adm.AdmittedCount() })
+	return n
+}
+
+// RejectedCount reports how many requests were rejected.
+func (e *Engine) RejectedCount() int {
+	var n int
+	_ = e.exec(func() { n = e.adm.RejectedCount() })
+	return n
+}
+
+// LiveCount reports how many admitted requests currently hold
+// resources.
+func (e *Engine) LiveCount() int {
+	var n int
+	_ = e.exec(func() { n = e.adm.LiveCount() })
+	return n
+}

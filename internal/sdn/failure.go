@@ -33,6 +33,7 @@ func (nw *Network) SetLinkUp(e graph.EdgeID, up bool) error {
 	} else {
 		nw.linkDown[e] = true
 	}
+	nw.structVer++
 	return nil
 }
 
@@ -54,6 +55,7 @@ func (nw *Network) SetServerUp(v graph.NodeID, up bool) error {
 	} else {
 		nw.srvDown[v] = true
 	}
+	nw.structVer++
 	return nil
 }
 

@@ -83,6 +83,8 @@ type Network struct {
 
 	linkDown map[graph.EdgeID]bool // failed links (see failure.go)
 	srvDown  map[graph.NodeID]bool // failed servers
+
+	structVer uint64 // bumped by failure injection (see StructureVersion)
 }
 
 // NewNetwork builds a network over topo with the given config, drawing
@@ -207,6 +209,16 @@ func (nw *Network) ServerUtilization(v graph.NodeID) float64 {
 	return 1 - nw.srvFree[v]/nw.srvCap[v]
 }
 
+// StructureVersion is a counter of structural change: it starts at 0
+// and increments whenever failure injection (SetLinkUp, SetServerUp)
+// alters which links and servers are usable. Allocation and release
+// only move residuals and do not bump it. Clones inherit the version,
+// so algorithms that cache structure-dependent state (the pristine
+// work graph and shortest-path trees of SPStaticPlanner) can key their
+// caches on it and share them across residual snapshots of one
+// network.
+func (nw *Network) StructureVersion() uint64 { return nw.structVer }
+
 // Clone returns an independent deep copy of the network including
 // residual state.
 func (nw *Network) Clone() *Network {
@@ -221,6 +233,8 @@ func (nw *Network) Clone() *Network {
 		srvCap:   make(map[graph.NodeID]float64, len(nw.srvCap)),
 		srvFree:  make(map[graph.NodeID]float64, len(nw.srvFree)),
 		srvCost:  make(map[graph.NodeID]float64, len(nw.srvCost)),
+
+		structVer: nw.structVer,
 	}
 	for k, v := range nw.srvCap {
 		cp.srvCap[k] = v

@@ -4,30 +4,19 @@ import (
 	"fmt"
 
 	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
 	"nfvmcast/internal/multicast"
 )
 
-// churnAdmitter extends onlineAdmitter with departures.
-type churnAdmitter interface {
-	onlineAdmitter
-	Depart(reqID int) (*core.Solution, error)
-	LiveCount() int
-}
-
-func newChurnAdmitter(name string, topoName string, n int, seed int64) (churnAdmitter, error) {
+// newChurnEngine builds a policy's engine over a fresh network for the
+// departure-driven experiments. The caller owns the engine and must
+// Close it.
+func newChurnEngine(name, topoName string, n, workers int, seed int64) (*engine.Engine, error) {
 	nw, err := networkFor(topoName, n, seed)
 	if err != nil {
 		return nil, err
 	}
-	adm, err := newAdmitter(name, nw)
-	if err != nil {
-		return nil, err
-	}
-	ca, ok := adm.(churnAdmitter)
-	if !ok {
-		return nil, fmt.Errorf("sim: %s does not support departures", name)
-	}
-	return ca, nil
+	return newEngine(name, nw, workers)
 }
 
 // ExtChurn is an extension experiment beyond the paper: sessions have
@@ -61,10 +50,11 @@ func ExtChurn(cfg Config) ([]Figure, error) {
 		fig.X = append(fig.X, float64(x))
 	}
 	for _, name := range onlineSeries {
-		adm, err := newChurnAdmitter(name, "waxman", n, cfg.Seed+int64(n))
+		adm, err := newChurnEngine(name, "waxman", n, cfg.EngineWorkers, cfg.Seed+int64(n))
 		if err != nil {
 			return nil, err
 		}
+		defer adm.Close()
 		gen, err := multicast.NewGenerator(n, multicast.OnlineGeneratorConfig(), cfg.Seed+13)
 		if err != nil {
 			return nil, err

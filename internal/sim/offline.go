@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/sdn"
 )
@@ -265,6 +266,13 @@ func Fig7(cfg Config) ([]Figure, error) {
 		if err != nil {
 			return err
 		}
+		// The capacitated stream is sequential admission — solve on the
+		// residual network, then allocate — which is exactly the engine's
+		// plan/commit lifecycle with Appro_Multi_Cap as the planner.
+		eng := engine.New(nw,
+			core.NewApproCapPlanner(core.Options{K: cfg.K, Workers: cfg.Workers}),
+			engine.Options{Workers: cfg.EngineWorkers})
+		defer eng.Close()
 		var (
 			capCost, uncapCost, capMS float64
 			capCount, uncapCount      int
@@ -274,19 +282,17 @@ func Fig7(cfg Config) ([]Figure, error) {
 			if gerr != nil {
 				return gerr
 			}
+			// Uncapacitated reference solve: a read-only pass over the
+			// same network, safe while no engine operation is in flight.
 			if sol, aerr := core.ApproMulti(nw, req, core.Options{K: cfg.K, Workers: cfg.Workers}); aerr == nil {
 				uncapCost += sol.OperationalCost
 				uncapCount++
 			}
 			start := time.Now()
-			sol, aerr := core.ApproMulti(nw, req,
-				core.Options{K: cfg.K, Capacitated: true, Workers: cfg.Workers})
+			sol, aerr := eng.Admit(req)
 			dur := time.Since(start)
 			if aerr != nil {
-				continue
-			}
-			if err := nw.Allocate(core.AllocationFor(req, sol.Tree)); err != nil {
-				continue
+				continue // infeasible under residual capacities: skip
 			}
 			capCost += sol.OperationalCost
 			capMS += float64(dur.Microseconds()) / 1000.0

@@ -4,16 +4,10 @@ import (
 	"fmt"
 
 	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/sdn"
 )
-
-// onlineAdmitter abstracts the three online algorithms compared by
-// Figs. 8-9.
-type onlineAdmitter interface {
-	Admit(*multicast.Request) (*core.Solution, error)
-	AdmittedCount() int
-}
 
 // onlineSeries are the figure series in display order: the paper's
 // Online_CP, the SP heuristic as described (residual pruning +
@@ -21,31 +15,48 @@ type onlineAdmitter interface {
 // paper's reported SP numbers (see EXPERIMENTS.md).
 var onlineSeries = []string{"Online_CP", "SP", "SP_Static"}
 
-func newAdmitter(name string, nw *sdn.Network) (onlineAdmitter, error) {
+// plannerFor builds the pure planning policy behind an online series
+// label.
+func plannerFor(name string, nw *sdn.Network) (core.Planner, error) {
 	switch name {
 	case "Online_CP":
-		return core.NewOnlineCP(nw, core.DefaultCostModel(nw.NumNodes()))
+		return core.NewCPPlanner(core.DefaultCostModel(nw.NumNodes()))
 	case "SP":
-		return core.NewOnlineSP(nw), nil
+		return core.NewSPPlanner(), nil
 	case "SP_Static":
-		return core.NewOnlineSPStatic(nw), nil
+		return core.NewSPStaticPlanner(), nil
 	default:
 		return nil, fmt.Errorf("sim: unknown online algorithm %q", name)
 	}
 }
 
-// onlineRun feeds an identical request sequence to one admitter over
-// its own copy of the network and returns the admitted count after
+// newEngine builds the admission engine every online driver runs
+// through. Workers <= 1 (the harness default) selects sequential mode,
+// which reproduces the direct admitters decision-for-decision; the
+// harness already parallelises across sweep points, so per-engine
+// concurrency is only worth enabling when measuring a single run.
+// Callers own the engine and must Close it.
+func newEngine(name string, nw *sdn.Network, workers int) (*engine.Engine, error) {
+	p, err := plannerFor(name, nw)
+	if err != nil {
+		return nil, err
+	}
+	return engine.New(nw, p, engine.Options{Workers: workers}), nil
+}
+
+// onlineRun feeds an identical request sequence to one policy's engine
+// over its own copy of the network and returns the admitted count after
 // every request.
-func onlineRun(name, topoName string, n int, requests int, seed int64) ([]int, error) {
+func onlineRun(name, topoName string, n int, requests, workers int, seed int64) ([]int, error) {
 	nw, err := networkFor(topoName, n, seed)
 	if err != nil {
 		return nil, err
 	}
-	adm, err := newAdmitter(name, nw)
+	eng, err := newEngine(name, nw, workers)
 	if err != nil {
 		return nil, err
 	}
+	defer eng.Close()
 	gen, err := multicast.NewGenerator(nw.NumNodes(), multicast.OnlineGeneratorConfig(), seed+13)
 	if err != nil {
 		return nil, err
@@ -57,8 +68,8 @@ func onlineRun(name, topoName string, n int, requests int, seed int64) ([]int, e
 			return nil, gerr
 		}
 		// Rejections are part of the protocol, not errors of the run.
-		_, _ = adm.Admit(req)
-		counts[i] = adm.AdmittedCount()
+		_, _ = eng.Admit(req)
+		counts[i] = eng.AdmittedCount()
 	}
 	return counts, nil
 }
@@ -81,7 +92,7 @@ func Fig8(cfg Config) ([]Figure, error) {
 	err := forEachIndex(len(finals), func(i int) error {
 		ni, ai := i/len(onlineSeries), i%len(onlineSeries)
 		n := cfg.NetworkSizes[ni]
-		counts, rerr := onlineRun(onlineSeries[ai], "waxman", n, cfg.Requests, cfg.Seed+int64(n))
+		counts, rerr := onlineRun(onlineSeries[ai], "waxman", n, cfg.Requests, cfg.EngineWorkers, cfg.Seed+int64(n))
 		if rerr != nil {
 			return rerr
 		}
@@ -132,7 +143,7 @@ func Fig9(cfg Config) ([]Figure, error) {
 			fig.X = append(fig.X, float64(x))
 		}
 		for _, name := range onlineSeries {
-			counts, err := onlineRun(name, tp.id, 0, cfg.Requests, cfg.Seed+int64(ti))
+			counts, err := onlineRun(name, tp.id, 0, cfg.Requests, cfg.EngineWorkers, cfg.Seed+int64(ti))
 			if err != nil {
 				return nil, err
 			}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
 	"nfvmcast/internal/multicast"
 )
 
@@ -42,10 +43,12 @@ func ExtOnlineK(cfg Config) ([]Figure, error) {
 		if nerr != nil {
 			return nerr
 		}
-		adm, aerr := core.NewOnlineCPK(nw, core.DefaultCostModel(n), k)
-		if aerr != nil {
-			return aerr
+		p, perr := core.NewCPKPlanner(core.DefaultCostModel(n), k)
+		if perr != nil {
+			return perr
 		}
+		adm := engine.New(nw, p, engine.Options{Workers: cfg.EngineWorkers})
+		defer adm.Close()
 		gen, gerr := multicast.NewGenerator(n, multicast.OnlineGeneratorConfig(), cfg.Seed+51)
 		if gerr != nil {
 			return gerr

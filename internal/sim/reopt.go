@@ -5,6 +5,7 @@ import (
 
 	"nfvmcast/internal/core"
 	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
 )
 
 // ExtReoptimize is an extension experiment beyond the paper: after a
@@ -32,14 +33,11 @@ func ExtReoptimize(cfg Config) ([]Figure, error) {
 	after := Series{Label: "after"}
 	savedPct := Series{Label: "% saved"}
 	for pi, policy := range policies {
-		nw, err := networkFor("waxman", n, cfg.Seed+int64(n))
+		eng, err := newChurnEngine(policy, "waxman", n, cfg.EngineWorkers, cfg.Seed+int64(n))
 		if err != nil {
 			return nil, err
 		}
-		adm, err := newAdmitter(policy, nw)
-		if err != nil {
-			return nil, err
-		}
+		defer eng.Close()
 		gen, err := multicast.NewGenerator(n, multicast.OnlineGeneratorConfig(), cfg.Seed+61)
 		if err != nil {
 			return nil, err
@@ -50,7 +48,7 @@ func ExtReoptimize(cfg Config) ([]Figure, error) {
 			if gerr != nil {
 				return nil, gerr
 			}
-			if sol, aerr := adm.Admit(req); aerr == nil {
+			if sol, aerr := eng.Admit(req); aerr == nil {
 				sessions = append(sessions, sol)
 			} else if !core.IsRejection(aerr) {
 				return nil, aerr
@@ -59,9 +57,25 @@ func ExtReoptimize(cfg Config) ([]Figure, error) {
 		if len(sessions) == 0 {
 			return nil, fmt.Errorf("sim: reoptimize fixture admitted nothing for %s", policy)
 		}
-		reopt, _, saved, err := core.Reoptimize(nw, sessions, core.Options{K: cfg.K})
+		// The maintenance pass mutates the network wholesale, so it runs
+		// on the engine's writer goroutine; the new placements are then
+		// recorded so later departures release the right allocations.
+		var (
+			reopt []*core.Solution
+			saved float64
+		)
+		err = eng.Update(func(nw *sdn.Network) error {
+			var uerr error
+			reopt, _, saved, uerr = core.Reoptimize(nw, sessions, core.Options{K: cfg.K})
+			return uerr
+		})
 		if err != nil {
 			return nil, err
+		}
+		for _, sol := range reopt {
+			if rerr := eng.Replace(sol.Request.ID, sol); rerr != nil {
+				return nil, rerr
+			}
 		}
 		var pre, post float64
 		for i := range sessions {

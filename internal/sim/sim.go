@@ -64,6 +64,15 @@ type Config struct {
 	// pool inside each solve would only oversubscribe. Set it > 1 (or
 	// negative for per-CPU) when measuring single solves.
 	Workers int
+	// EngineWorkers is the planning concurrency of the admission
+	// engine the online drivers (Figs. 8-9, churn, Erlang, online-K,
+	// Fig. 7's sequential admission) run through. The default 0 keeps
+	// every engine in sequential mode, whose decisions are
+	// byte-identical to the pre-engine admitters (the determinism
+	// oracle in internal/engine pins this) — so published figures do
+	// not change. Like Workers, raise it only when measuring a single
+	// run: the harness already saturates the CPUs across sweep points.
+	EngineWorkers int
 }
 
 // DefaultConfig returns the evaluation's parameters with request

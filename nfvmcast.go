@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/nfv"
@@ -198,6 +199,21 @@ type (
 	OnlineSPStatic = core.OnlineSPStatic
 	// OnlineCPK is the K-server online extension.
 	OnlineCPK = core.OnlineCPK
+	// Planner is the pure planning half of an admission algorithm.
+	Planner = core.Planner
+	// Admitter binds a Planner to the shared commit machinery
+	// (single-goroutine use; prefer Engine).
+	Admitter = core.Admitter
+	// CPPlanner is Online_CP's planning half.
+	CPPlanner = core.CPPlanner
+	// SPPlanner is the adaptive SP baseline's planning half.
+	SPPlanner = core.SPPlanner
+	// SPStaticPlanner is the static-routes SP baseline's planning half.
+	SPStaticPlanner = core.SPStaticPlanner
+	// CPKPlanner is the K-server online extension's planning half.
+	CPKPlanner = core.CPKPlanner
+	// ApproCapPlanner adapts Appro_Multi_Cap to sequential admission.
+	ApproCapPlanner = core.ApproCapPlanner
 )
 
 // Algorithm entry points.
@@ -216,6 +232,35 @@ var (
 	AllocationFor       = core.AllocationFor
 	IsRejection         = core.IsRejection
 )
+
+// Admission planners (plan/commit split): each proposes solutions
+// against a read-only network view and pairs with NewAdmitter or
+// NewEngine for commitment.
+var (
+	NewAdmitter        = core.NewAdmitter
+	NewCPPlanner       = core.NewCPPlanner
+	NewSPPlanner       = core.NewSPPlanner
+	NewSPStaticPlanner = core.NewSPStaticPlanner
+	NewCPKPlanner      = core.NewCPKPlanner
+	NewApproCapPlanner = core.NewApproCapPlanner
+)
+
+// Admission engine (single-writer concurrency over a capacitated SDN).
+type (
+	// Engine serializes all network mutations through one writer
+	// goroutine while planning fans out across callers.
+	Engine = engine.Engine
+	// EngineOptions configures an Engine's planning concurrency.
+	EngineOptions = engine.Options
+)
+
+// NewEngine returns an admission engine owning nw that admits with
+// planner's policy. Close it when done. With EngineOptions{Workers: 1}
+// its decisions are byte-identical to the direct admitters; larger
+// worker counts overlap planning across concurrent Admit calls.
+func NewEngine(nw *Network, planner Planner, opts EngineOptions) *Engine {
+	return engine.New(nw, planner, opts)
+}
 
 // WriteTopologyDOT renders a topology as Graphviz DOT (servers drawn
 // as filled boxes).
@@ -236,6 +281,7 @@ var (
 	ErrUnreachable      = core.ErrUnreachable
 	ErrDelayBound       = core.ErrDelayBound
 	ErrUnknownRequest   = core.ErrUnknownRequest
+	ErrEngineClosed     = engine.ErrClosed
 	ErrUndelivered      = multicast.ErrUndelivered
 	ErrDisconnected     = graph.ErrDisconnected
 	ErrTableFull        = sdn.ErrTableFull
