@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"nfvmcast"
 )
@@ -34,17 +36,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("nfvmcast", flag.ContinueOnError)
 	var (
-		topoName  = fs.String("topology", "geant", "topology: geant | as1755 | as4755 | waxman | fattree")
-		nodes     = fs.Int("nodes", 100, "network size (waxman only)")
-		seed      = fs.Int64("seed", 42, "random seed for capacities/costs/servers")
-		source    = fs.Int("source", 0, "source switch")
-		destsFlag = fs.String("dest", "", "comma-separated destination switches (required)")
-		bw        = fs.Float64("bw", 100, "bandwidth demand in Mbps")
-		chainFlag = fs.String("chain", "NAT,Firewall", "comma-separated service chain")
-		k         = fs.Int("k", 3, "server budget K")
-		workers   = fs.Int("workers", -1, "concurrent subset evaluations for appro (-1 = all CPUs, 0/1 = sequential)")
-		algorithm = fs.String("algorithm", "appro", "appro | oneserver | nearest | onlinecp")
-		dotPath   = fs.String("dot", "", "write the routing graph as Graphviz DOT to this file")
+		topoName    = fs.String("topology", "geant", "topology: geant | as1755 | as4755 | waxman | fattree")
+		nodes       = fs.Int("nodes", 100, "network size (waxman only)")
+		seed        = fs.Int64("seed", 42, "random seed for capacities/costs/servers")
+		source      = fs.Int("source", 0, "source switch")
+		destsFlag   = fs.String("dest", "", "comma-separated destination switches (required)")
+		bw          = fs.Float64("bw", 100, "bandwidth demand in Mbps")
+		chainFlag   = fs.String("chain", "NAT,Firewall", "comma-separated service chain")
+		k           = fs.Int("k", 3, "server budget K")
+		workers     = fs.Int("workers", -1, "concurrent subset evaluations for appro (-1 = all CPUs, 0/1 = sequential)")
+		algorithm   = fs.String("algorithm", "appro", "appro | oneserver | nearest | onlinecp")
+		dotPath     = fs.String("dot", "", "write the routing graph as Graphviz DOT to this file")
+		metricsAddr = fs.String("metrics-addr", "", "after solving, serve metrics over HTTP at this address until interrupted (/metrics Prometheus text, /metrics.json, /debug/pprof/)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +83,22 @@ func run(args []string) error {
 		Chain:         chain,
 	}
 
+	// Optional observability: the engine path reports its admission
+	// lifecycle into the registry, and the network gauges export
+	// residual utilisation plus exponential weight saturation.
+	model := nfvmcast.DefaultCostModel(nw.NumNodes())
+	var (
+		metrics *nfvmcast.MetricsRegistry
+		gauges  *nfvmcast.NetworkGauges
+	)
+	if *metricsAddr != "" {
+		metrics = nfvmcast.NewMetricsRegistry()
+		gauges = nfvmcast.NewNetworkGauges(metrics, nw, nfvmcast.SaturationModel{
+			Alpha: model.Alpha, Beta: model.Beta,
+			SigmaV: model.SigmaV, SigmaE: model.SigmaE,
+		})
+	}
+
 	// Admission via the engine allocates resources as part of Admit;
 	// the other algorithms only plan, so the verification step below
 	// allocates manually for them.
@@ -94,11 +113,16 @@ func run(args []string) error {
 		sol, err = nfvmcast.AlgOneServerNearest(nw, req, false)
 	case "onlinecp":
 		var planner *nfvmcast.CPPlanner
-		planner, err = nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+		planner, err = nfvmcast.NewCPPlanner(model)
 		if err != nil {
 			return err
 		}
-		eng := nfvmcast.NewEngine(nw, planner, nfvmcast.EngineOptions{})
+		opts := nfvmcast.EngineOptions{}
+		if metrics != nil {
+			opts.Obs = nfvmcast.NewAdmissionObs(metrics, planner.Name(),
+				nfvmcast.AdmissionObsOptions{SampleLatency: true})
+		}
+		eng := nfvmcast.NewEngine(nw, planner, opts)
 		defer eng.Close()
 		sol, err = eng.Admit(req)
 		allocated = err == nil
@@ -170,6 +194,19 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println("\npacket replay: all destinations received service-chained traffic ✔")
+
+	if metrics != nil {
+		gauges.Collect(nw)
+		addr, stop, serr := nfvmcast.ServeMetrics(*metricsAddr, func() *nfvmcast.MetricsRegistry { return metrics }, nil)
+		if serr != nil {
+			return serr
+		}
+		defer stop()
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		fmt.Printf("\nmetrics: http://%s/metrics (also /metrics.json, /debug/pprof/) — ctrl-c to exit\n", addr)
+		<-sig
+	}
 	return nil
 }
 

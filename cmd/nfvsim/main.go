@@ -5,20 +5,31 @@
 //	nfvsim -experiment fig5 [-requests 100] [-seed 42] [-k 3]
 //	nfvsim -experiment all [-reps 5] [-json results/]
 //	nfvsim -experiment fig8 -quick
+//	nfvsim -experiment fig8 -metrics-addr :9090 -metrics-dir results/
+//	nfvsim -metrics-addr :9090   # serve an idle metrics endpoint
 //	nfvsim -list
 //
 // Each experiment prints one aligned text table per figure panel; see
 // DESIGN.md §3 for the figure index and EXPERIMENTS.md for recorded
-// paper-vs-measured results.
+// paper-vs-measured results. With -metrics-addr the admission engines
+// of the online drivers report per-policy counters, reason-labelled
+// rejections and gauges at http://<addr>/metrics (Prometheus text
+// format; /metrics.json and /debug/pprof/ are also mounted), and
+// -metrics-dir writes one metrics-<experiment>.json summary per
+// experiment.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"sync/atomic"
+	"syscall"
 	"time"
 
+	"nfvmcast/internal/obs"
 	"nfvmcast/internal/sim"
 	"nfvmcast/internal/trace"
 )
@@ -33,27 +44,49 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("nfvsim", flag.ContinueOnError)
 	var (
-		experiment = fs.String("experiment", "", "experiment to run (or 'all')")
-		list       = fs.Bool("list", false, "list available experiments")
-		requests   = fs.Int("requests", 0, "requests per measurement point (default per-experiment)")
-		seed       = fs.Int64("seed", 42, "random seed")
-		k          = fs.Int("k", 3, "server budget K for Appro_Multi")
-		workers    = fs.Int("workers", 0, "subset-evaluation goroutines per Appro_Multi solve (0 = sequential; the harness already parallelises across sweep points)")
-		engWorkers = fs.Int("engine-workers", 0, "planning goroutines per admission engine in the online drivers (0/1 = sequential, byte-identical to the direct admitters; -1 = all CPUs)")
-		quick      = fs.Bool("quick", false, "smaller sweeps for a fast smoke run")
-		jsonDir    = fs.String("json", "", "also write results as JSON into this directory")
-		reps       = fs.Int("reps", 1, "repetitions per experiment (mean ± 95% CI when > 1)")
+		experiment  = fs.String("experiment", "", "experiment to run (or 'all')")
+		list        = fs.Bool("list", false, "list available experiments")
+		requests    = fs.Int("requests", 0, "requests per measurement point (default per-experiment)")
+		seed        = fs.Int64("seed", 42, "random seed")
+		k           = fs.Int("k", 3, "server budget K for Appro_Multi")
+		workers     = fs.Int("workers", 0, "subset-evaluation goroutines per Appro_Multi solve (0 = sequential; the harness already parallelises across sweep points)")
+		engWorkers  = fs.Int("engine-workers", 0, "planning goroutines per admission engine in the online drivers (0/1 = sequential, byte-identical to the direct admitters; -1 = all CPUs)")
+		quick       = fs.Bool("quick", false, "smaller sweeps for a fast smoke run")
+		jsonDir     = fs.String("json", "", "also write results as JSON into this directory")
+		reps        = fs.Int("reps", 1, "repetitions per experiment (mean ± 95% CI when > 1)")
+		metricsAddr = fs.String("metrics-addr", "", "serve engine metrics over HTTP at this address (/metrics Prometheus text, /metrics.json, /debug/pprof/); with no -experiment, serve until interrupted")
+		metricsDir  = fs.String("metrics-dir", "", "write one metrics-<experiment>.json summary per experiment into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *list || *experiment == "" {
+	if *list || (*experiment == "" && *metricsAddr == "") {
 		fmt.Println("available experiments:")
 		for _, e := range sim.Experiments {
 			fmt.Printf("  %-20s %s\n", e.Name, e.Desc)
 		}
 		fmt.Println("  all                  run everything")
 		return nil
+	}
+
+	// The served registry swaps per experiment; before the first (and
+	// with no experiment at all) an empty one answers scrapes.
+	var current atomic.Pointer[obs.Registry]
+	current.Store(obs.NewRegistry())
+	if *metricsAddr != "" {
+		addr, stop, err := obs.ListenAndServe(*metricsAddr, current.Load, nil)
+		if err != nil {
+			return err
+		}
+		defer stop()
+		fmt.Printf("# metrics: http://%s/metrics (also /metrics.json, /debug/pprof/)\n", addr)
+		if *experiment == "" {
+			sig := make(chan os.Signal, 1)
+			signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+			fmt.Println("# no -experiment: serving metrics until interrupted (ctrl-c)")
+			<-sig
+			return nil
+		}
 	}
 
 	cfg := sim.DefaultConfig()
@@ -88,10 +121,23 @@ func run(args []string) error {
 		case "fig8", "fig9", "ablation-costmodel", "ext-churn", "ext-erlang", "ext-onlinek", "ext-reoptimize":
 			c = onlineCfg
 		}
+		if *metricsAddr != "" || *metricsDir != "" {
+			// Fresh registry per experiment so counters are attributable;
+			// scrapes see the experiment currently running.
+			c.Metrics = obs.NewRegistry()
+			current.Store(c.Metrics)
+		}
 		start := time.Now()
 		figs, err := sim.Replicate(name, c, *reps)
 		if err != nil {
 			return fmt.Errorf("%s: %w", name, err)
+		}
+		if *metricsDir != "" {
+			path, merr := sim.WriteMetricsSummary(*metricsDir, name, c.Metrics)
+			if merr != nil {
+				return merr
+			}
+			fmt.Printf("# metrics summary written to %s\n", path)
 		}
 		for _, f := range figs {
 			fmt.Println(f.Render())

@@ -39,12 +39,19 @@ func run() error {
 		return err
 	}
 	// Admission runs through the engine; failure injection and repair
-	// go through its Update hatch so they never race a commit.
+	// go through its Update hatch so they never race a commit. The
+	// engine reports into a metrics registry, and the last events of
+	// the admission stream are kept in a ring for the closing audit.
 	planner, err := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(networkSize))
 	if err != nil {
 		return err
 	}
-	cp := nfvmcast.NewEngine(nw, planner, nfvmcast.EngineOptions{})
+	metrics := nfvmcast.NewMetricsRegistry()
+	ring := nfvmcast.NewRingSink(8)
+	cp := nfvmcast.NewEngine(nw, planner, nfvmcast.EngineOptions{
+		Obs: nfvmcast.NewAdmissionObs(metrics, planner.Name(),
+			nfvmcast.AdmissionObsOptions{Events: ring}),
+	})
 	defer cp.Close()
 	ctrl := nfvmcast.NewController(nw)
 
@@ -142,5 +149,25 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\nlink repaired; %d links down\n", len(nw.DownLinks()))
+
+	// Closing audit from the observability layer: lifecycle totals and
+	// the tail of the admission-event stream (the failure injections of
+	// phases 2 and 4 appear as failure_injected events).
+	counters := metrics.CounterValues()
+	fmt.Printf("\nmetrics: admitted=%d departed=%d failures_injected=%d\n",
+		counters[`nfv_admitted_total{policy="Online_CP"}`],
+		counters[`nfv_departed_total{policy="Online_CP"}`],
+		counters[`nfv_failures_injected_total{policy="Online_CP"}`])
+	fmt.Printf("last %d of %d admission events:\n", len(ring.Events()), ring.Total())
+	for _, ev := range ring.Events() {
+		fmt.Printf("  #%d %s", ev.Seq, ev.Type)
+		if ev.Request != 0 {
+			fmt.Printf(" request=%d", ev.Request)
+		}
+		if ev.Reason != "" {
+			fmt.Printf(" (%s)", ev.Reason)
+		}
+		fmt.Println()
+	}
 	return nil
 }

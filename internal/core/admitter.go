@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/obs"
 	"nfvmcast/internal/sdn"
 )
 
@@ -17,11 +18,14 @@ import (
 //
 // An Admitter is not safe for concurrent use: exactly one goroutine
 // may call its methods at a time (the engine's single writer, or a
-// plain sequential driver).
+// plain sequential driver). The exception is PlanOn, which only
+// touches the planner and the (concurrency-safe) observability hooks,
+// so the engine may call it from planner goroutines.
 type Admitter struct {
 	nw      *sdn.Network
 	planner Planner
 	lives   *liveTable
+	obs     *obs.AdmissionObs // nil-safe hooks; nil = observability off
 
 	admitted []*Solution
 	rejected int
@@ -33,20 +37,43 @@ func NewAdmitter(nw *sdn.Network, planner Planner) *Admitter {
 	return &Admitter{nw: nw, planner: planner, lives: newLiveTable(nw)}
 }
 
+// Observe attaches observability hooks: per-policy accept/reject
+// counters (with canonical reasons), the live-session gauge, sampled
+// latencies and the admission-event stream. Attach before the first
+// Admit; a nil AdmissionObs (or never calling Observe) disables
+// instrumentation at the cost of one nil check per hook.
+func (a *Admitter) Observe(o *obs.AdmissionObs) { a.obs = o }
+
 // Network returns the network this admitter allocates on.
 func (a *Admitter) Network() *sdn.Network { return a.nw }
 
 // Planner returns the planning half of the algorithm.
 func (a *Admitter) Planner() Planner { return a.planner }
 
+// PlanOn runs the planner for req against view (the live network or a
+// residual snapshot) with instrumentation: the plan counter, sampled
+// planner latency, and an AdmitPlanned event on success. It does not
+// count rejections — the caller decides whether a failed plan is final
+// (CountRejection) or re-planned.
+func (a *Admitter) PlanOn(view *sdn.Network, req *multicast.Request) (*Solution, error) {
+	start := a.obs.Now()
+	sol, err := a.planner.Plan(view, req)
+	if err != nil {
+		a.obs.PlanDone(start, req.ID, nil, 0, err)
+		return nil, err
+	}
+	a.obs.PlanDone(start, req.ID, sol.Servers, sol.OperationalCost, nil)
+	return sol, nil
+}
+
 // Admit decides request req: on admission it returns the realised
 // solution (already allocated on the network); on rejection it
 // returns ErrRejected (wrapped with the reason) and leaves the network
 // untouched.
 func (a *Admitter) Admit(req *multicast.Request) (*Solution, error) {
-	sol, err := a.planner.Plan(a.nw, req)
+	sol, err := a.PlanOn(a.nw, req)
 	if err != nil {
-		a.rejected++
+		a.countRejection(req, err)
 		return nil, err
 	}
 	sol, err = a.Commit(req, sol)
@@ -54,8 +81,9 @@ func (a *Admitter) Admit(req *multicast.Request) (*Solution, error) {
 		// Planners only propose trees that fit the residual view; a
 		// commit failure here means per-link aggregation of
 		// back-tracking traffic exceeded a residual, so reject.
-		a.rejected++
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+		err = fmt.Errorf("%w: %w", ErrRejected, err)
+		a.countRejection(req, err)
+		return nil, err
 	}
 	return sol, nil
 }
@@ -66,25 +94,40 @@ func (a *Admitter) Admit(req *multicast.Request) (*Solution, error) {
 // commit conflicts (the engine's optimistic-concurrency path) decide
 // that via CountRejection.
 func (a *Admitter) Commit(req *multicast.Request, sol *Solution) (*Solution, error) {
+	start := a.obs.Now()
 	alloc := AllocationFor(req, sol.Tree)
 	if err := a.nw.Allocate(alloc); err != nil {
 		return nil, err
 	}
 	a.lives.record(req, sol, alloc)
 	a.admitted = append(a.admitted, sol)
+	a.obs.CommitDone(start, req.ID, sol.Servers, sol.OperationalCost)
 	return sol, nil
 }
 
-// CountRejection records a rejection decided outside Admit (the
+// CountRejection records a rejection of req decided outside Admit (the
 // engine's snapshot-planning path, where plan and commit are separate
-// steps).
-func (a *Admitter) CountRejection() { a.rejected++ }
+// steps). err is classified into a canonical reason (RejectReason) for
+// the per-reason counters and the Rejected event.
+func (a *Admitter) CountRejection(req *multicast.Request, err error) {
+	a.countRejection(req, err)
+}
+
+func (a *Admitter) countRejection(req *multicast.Request, err error) {
+	a.rejected++
+	a.obs.RejectedReason(req.ID, RejectReason(err))
+}
 
 // Depart releases the resources of an admitted request (the session
 // ended). It returns the solution that had realised the request so
 // callers can also uninstall its flow rules.
 func (a *Admitter) Depart(reqID int) (*Solution, error) {
-	return a.lives.depart(reqID)
+	sol, err := a.lives.depart(reqID)
+	if err != nil {
+		return nil, err
+	}
+	a.obs.DepartDone(reqID)
+	return sol, nil
 }
 
 // Replace records that an admitted request is now realised by sol

@@ -68,8 +68,8 @@ func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, er
 		return math.Pow(p.model.Beta, utilAfter) - 1
 	})
 	if len(w.servers) == 0 {
-		return nil, fmt.Errorf("%w: no server with %0.f MHz free",
-			ErrRejected, req.ComputeDemandMHz())
+		return nil, fmt.Errorf("%w: %w: %0.f MHz demanded",
+			ErrRejected, ErrComputeExhausted, req.ComputeDemandMHz())
 	}
 
 	var (
@@ -123,7 +123,8 @@ func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, er
 		}
 	}
 	if bestTree == nil {
-		return nil, fmt.Errorf("%w: no admissible server/tree", ErrRejected)
+		return nil, fmt.Errorf("%w: %w: no admissible server/tree",
+			ErrRejected, ErrThresholdExceeded)
 	}
 	return &Solution{
 		Request:         req,

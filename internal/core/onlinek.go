@@ -66,7 +66,7 @@ func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, e
 		return math.Pow(p.model.Beta, utilAfter) - 1
 	})
 	if len(w.servers) == 0 {
-		return nil, fmt.Errorf("%w: no server with enough free computing", ErrRejected)
+		return nil, fmt.Errorf("%w: %w", ErrRejected, ErrComputeExhausted)
 	}
 	spSrc, err := graph.Dijkstra(w.g, req.Source)
 	if err != nil {
@@ -93,11 +93,12 @@ func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, e
 		omega[v] = spSrc.Dist[v] + wv
 	}
 	if len(candidates) == 0 {
-		return nil, fmt.Errorf("%w: every server over threshold or cut off", ErrRejected)
+		return nil, fmt.Errorf("%w: %w: every server over threshold or cut off",
+			ErrRejected, ErrThresholdExceeded)
 	}
 	for _, d := range req.Destinations {
 		if !spSrc.Reachable(d) {
-			return nil, fmt.Errorf("%w: destination %d unreachable", ErrRejected, d)
+			return nil, fmt.Errorf("%w: %w: destination %d", ErrRejected, ErrUnreachable, d)
 		}
 	}
 	ev, err := newClosureEvaluator(w, req, spSrv)
@@ -157,7 +158,7 @@ func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, e
 		}
 	}
 	if bestTree == nil {
-		return nil, fmt.Errorf("%w: no admissible tree within thresholds", ErrRejected)
+		return nil, fmt.Errorf("%w: %w: no admissible tree", ErrRejected, ErrThresholdExceeded)
 	}
 	return &Solution{
 		Request:         req,

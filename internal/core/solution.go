@@ -7,6 +7,7 @@ import (
 
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/obs"
 	"nfvmcast/internal/sdn"
 )
 
@@ -24,7 +25,52 @@ var (
 	// ErrDelayBound is returned when Options.MaxDeliveryHops excludes
 	// every candidate tree.
 	ErrDelayBound = errors.New("core: delay bound excludes every tree")
+	// ErrComputeExhausted means no server has enough residual
+	// computing capacity for the request's chain.
+	ErrComputeExhausted = errors.New("core: no server with enough free computing")
+	// ErrThresholdExceeded means the exponential-weight admission
+	// thresholds (σ_v, σ_e) exclude every candidate server and tree.
+	ErrThresholdExceeded = errors.New("core: admission thresholds exclude every tree")
+	// ErrCommitConflict means a plan valid on its residual snapshot
+	// was invalidated by concurrent commits and the re-plan budget is
+	// exhausted (the engine's optimistic-concurrency give-up path).
+	ErrCommitConflict = errors.New("core: commit conflict exhausted re-plan")
 )
+
+// RejectReason maps a rejection error chain onto the canonical reason
+// labels of the observability layer (obs.Reason*): which constraint
+// turned the request away. Commit conflicts are checked first — their
+// chains also carry the underlying allocation violation. Returns "" for
+// nil and obs.ReasonOther for unclassified rejections.
+func RejectReason(err error) string {
+	if err == nil {
+		return ""
+	}
+	var (
+		bwErr  *sdn.InsufficientBandwidthError
+		cmpErr *sdn.InsufficientComputeError
+	)
+	switch {
+	case errors.Is(err, ErrCommitConflict):
+		return obs.ReasonCommitConflict
+	case errors.Is(err, ErrComputeExhausted):
+		return obs.ReasonCompute
+	case errors.Is(err, ErrThresholdExceeded):
+		return obs.ReasonThreshold
+	case errors.Is(err, ErrDelayBound):
+		return obs.ReasonDelayBound
+	case errors.Is(err, ErrUnreachable), errors.Is(err, ErrNoFeasibleServer):
+		return obs.ReasonUnreachable
+	case errors.Is(err, sdn.ErrLinkDown), errors.Is(err, sdn.ErrServerDown):
+		return obs.ReasonResourceDown
+	case errors.As(err, &bwErr):
+		return obs.ReasonBandwidth
+	case errors.As(err, &cmpErr):
+		return obs.ReasonCompute
+	default:
+		return obs.ReasonOther
+	}
+}
 
 // Solution is an algorithm's answer for one request: the routing
 // graph, which servers host the chain, and its costs.

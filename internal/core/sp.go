@@ -47,7 +47,7 @@ func (p *SPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, er
 	// source doubles as a candidate server.
 	w := buildWorkGraph(nw, req, true, func(graph.EdgeID) float64 { return 1 })
 	if len(w.servers) == 0 {
-		return nil, fmt.Errorf("%w: no server with enough free computing", ErrRejected)
+		return nil, fmt.Errorf("%w: %w", ErrRejected, ErrComputeExhausted)
 	}
 	sol, err := planSP(nw, req, w, newSPCache(w.g), nil)
 	if err != nil {
@@ -112,7 +112,8 @@ func planSP(
 		}
 	}
 	if bestServer == -1 {
-		return nil, fmt.Errorf("%w: no server reaches source and all destinations", ErrRejected)
+		return nil, fmt.Errorf("%w: %w: no server reaches source and all destinations",
+			ErrRejected, ErrUnreachable)
 	}
 
 	tree := multicast.NewPseudoTree(req.Source, req.Destinations, []graph.NodeID{bestServer})
@@ -216,7 +217,7 @@ func (p *SPStaticPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Soluti
 	})
 	if err != nil {
 		if IsRejection(err) {
-			return nil, fmt.Errorf("%w: no feasible server on static routes", ErrRejected)
+			return nil, fmt.Errorf("%w: no feasible server on static routes", err)
 		}
 		return nil, err
 	}

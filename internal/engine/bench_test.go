@@ -8,18 +8,20 @@ import (
 
 	"nfvmcast/internal/core"
 	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/obs"
 	"nfvmcast/internal/sdn"
 	"nfvmcast/internal/topology"
 )
 
-// BenchmarkEngineThroughput measures admitted-requests-per-second
-// through the engine on the Fig. 8 workload (Waxman n=100, online
-// generator arrivals) as the worker count scales. Sessions depart as
-// soon as they are admitted so the network stays in the sparse regime
-// where planning (not rejection) dominates — the throughput the engine
+// benchEngineThroughput measures admitted-requests-per-second through
+// the engine on the Fig. 8 workload (Waxman n=100, online generator
+// arrivals) as the worker count scales. Sessions depart as soon as
+// they are admitted so the network stays in the sparse regime where
+// planning (not rejection) dominates — the throughput the engine
 // exists to scale. b.N requests are drawn round-robin from a
-// pre-generated pool by concurrent submitters.
-func BenchmarkEngineThroughput(b *testing.B) {
+// pre-generated pool by concurrent submitters. newObs builds the
+// per-run observability (nil disables instrumentation).
+func benchEngineThroughput(b *testing.B, newObs func() *obs.AdmissionObs) {
 	topo, err := topology.WaxmanDegree(100, topology.DefaultAvgDegree, 0.14, 42)
 	if err != nil {
 		b.Fatal(err)
@@ -44,7 +46,7 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			if perr != nil {
 				b.Fatal(perr)
 			}
-			eng := New(base.Clone(), planner, Options{Workers: workers})
+			eng := New(base.Clone(), planner, Options{Workers: workers, Obs: newObs()})
 			defer eng.Close()
 
 			var next int64
@@ -68,4 +70,27 @@ func BenchmarkEngineThroughput(b *testing.B) {
 			b.ReportMetric(float64(admitted)/b.Elapsed().Seconds(), "admits/sec")
 		})
 	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	benchEngineThroughput(b, func() *obs.AdmissionObs { return nil })
+}
+
+// BenchmarkEngineThroughputObs is the same workload with the metrics
+// layer attached (counters and gauges live, latency sampling off — the
+// production default), pinning the instrumentation overhead the
+// observability layer promises to keep under 3%.
+func BenchmarkEngineThroughputObs(b *testing.B) {
+	benchEngineThroughput(b, func() *obs.AdmissionObs {
+		return obs.NewAdmissionObs(obs.NewRegistry(), "Online_CP", obs.AdmissionObsOptions{})
+	})
+}
+
+// BenchmarkEngineThroughputObsSampled additionally samples plan/commit/
+// clone latencies into histograms — the opt-in mode that reads the
+// clock on hot paths.
+func BenchmarkEngineThroughputObsSampled(b *testing.B) {
+	benchEngineThroughput(b, func() *obs.AdmissionObs {
+		return obs.NewAdmissionObs(obs.NewRegistry(), "Online_CP", obs.AdmissionObsOptions{SampleLatency: true})
+	})
 }

@@ -27,12 +27,26 @@ import (
 
 	"nfvmcast/internal/core"
 	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/obs"
 	"nfvmcast/internal/parallel"
 	"nfvmcast/internal/sdn"
 )
 
 // ErrClosed is returned by every operation submitted after Close.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrNoPlan marks rejections where the planner proposed no admissible
+// tree — the request never reached commit. The chain also carries the
+// planner's specific refusal (threshold, compute, unreachable, ...),
+// and still satisfies core.IsRejection.
+var ErrNoPlan = errors.New("engine: planner found no admissible tree")
+
+// ErrCommitConflict marks rejections where a plan valid on its
+// residual snapshot was invalidated by concurrent commits and the
+// re-plan budget was exhausted. Distinct from ErrNoPlan so callers —
+// and the per-reason rejection counters — can tell planner refusals
+// from optimistic-concurrency losses.
+var ErrCommitConflict = core.ErrCommitConflict
 
 // Options configures an Engine.
 type Options struct {
@@ -42,6 +56,12 @@ type Options struct {
 	// n > 1 allows n concurrent planners against residual snapshots;
 	// negative requests one planner slot per CPU.
 	Workers int
+	// Obs attaches observability: lifecycle counters and per-reason
+	// rejection counts (per policy), queue-depth and live-session
+	// gauges, sampled plan/commit/clone latencies, and the structured
+	// admission-event stream. nil (the default) disables
+	// instrumentation; with sampling off no hot path reads the clock.
+	Obs *obs.AdmissionObs
 }
 
 // Engine is a single-writer admission engine: one goroutine owns the
@@ -50,8 +70,17 @@ type Options struct {
 // are safe for concurrent use.
 type Engine struct {
 	adm        *core.Admitter
+	obs        *obs.AdmissionObs // nil-safe; shared with adm
 	sequential bool
 	planSlots  chan struct{}
+
+	// mutations counts state changes (commits, departs, replaces,
+	// updates) and is touched only on the writer goroutine. A commit
+	// failure is a conflict only if it advanced past the plan's
+	// snapshot epoch — otherwise the planner overcommitted and the
+	// failure is deterministic, so re-planning the unchanged state
+	// would be futile and mislabel the rejection.
+	mutations uint64
 
 	ops       chan func()
 	quit      chan struct{}
@@ -67,12 +96,14 @@ func New(nw *sdn.Network, planner core.Planner, opts Options) *Engine {
 	workers := parallel.Degree(opts.Workers)
 	e := &Engine{
 		adm:        core.NewAdmitter(nw, planner),
+		obs:        opts.Obs,
 		sequential: workers <= 1,
 		planSlots:  make(chan struct{}, workers),
 		ops:        make(chan func()),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
 	}
+	e.adm.Observe(opts.Obs)
 	go e.writer()
 	return e
 }
@@ -117,10 +148,18 @@ func (e *Engine) exec(f func()) error {
 // the network untouched. Any number of goroutines may call Admit
 // concurrently; with Workers > 1 their planning overlaps.
 func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
+	e.obs.InflightAdd(1)
+	defer e.obs.InflightAdd(-1)
+
 	if e.sequential {
 		var sol *core.Solution
 		var err error
-		if xerr := e.exec(func() { sol, err = e.adm.Admit(req) }); xerr != nil {
+		if xerr := e.exec(func() {
+			sol, err = e.adm.Admit(req)
+			if err == nil {
+				e.mutations++
+			}
+		}); xerr != nil {
 			return nil, xerr
 		}
 		return sol, err
@@ -130,56 +169,88 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 	defer func() { <-e.planSlots }()
 
 	// Plan against a residual snapshot, commit against the live state.
-	sol, err := e.planOnSnapshot(req)
+	sol, epoch, err := e.planOnSnapshot(req)
 	if err != nil {
-		return nil, e.reject(err)
+		return nil, e.reject(req, fmt.Errorf("%w: %w", ErrNoPlan, err))
 	}
-	committed, cerr := e.tryCommit(req, sol)
+	committed, stale, cerr := e.tryCommit(req, sol, epoch)
 	if cerr == nil || errors.Is(cerr, ErrClosed) {
 		return committed, cerr
+	}
+	if !stale {
+		// The plan failed against the very residuals it was computed
+		// from: the planner overcommitted. Sequential mode surfaces
+		// exactly this error, and re-planning unchanged state would
+		// reproduce the same plan — reject as the admitter would.
+		return nil, e.reject(req, fmt.Errorf("%w: %w", core.ErrRejected, cerr))
 	}
 	// Optimistic-concurrency miss: a concurrent commit moved the
 	// residuals under our plan. Re-plan once against fresh residuals,
 	// then give up.
-	sol, err = e.planOnSnapshot(req)
+	e.obs.CommitConflict(req.ID, core.RejectReason(cerr))
+	e.obs.Replanned(req.ID)
+	sol, epoch, err = e.planOnSnapshot(req)
 	if err != nil {
-		return nil, e.reject(err)
+		return nil, e.reject(req, fmt.Errorf("%w: %w", ErrNoPlan, err))
 	}
-	committed, cerr = e.tryCommit(req, sol)
+	committed, stale, cerr = e.tryCommit(req, sol, epoch)
 	if cerr == nil || errors.Is(cerr, ErrClosed) {
 		return committed, cerr
 	}
-	return nil, e.reject(fmt.Errorf("%w: %v", core.ErrRejected, cerr))
+	if !stale {
+		return nil, e.reject(req, fmt.Errorf("%w: %w", core.ErrRejected, cerr))
+	}
+	e.obs.CommitConflict(req.ID, core.RejectReason(cerr))
+	return nil, e.reject(req, fmt.Errorf("%w: %w: %w", core.ErrRejected, ErrCommitConflict, cerr))
 }
 
 // planOnSnapshot clones the live residual state on the writer and
-// plans against the clone on the calling goroutine.
-func (e *Engine) planOnSnapshot(req *multicast.Request) (*core.Solution, error) {
+// plans against the clone on the calling goroutine. It also returns
+// the mutation epoch the snapshot was taken at, so the commit can tell
+// a concurrent invalidation from a deterministic planner overcommit.
+func (e *Engine) planOnSnapshot(req *multicast.Request) (*core.Solution, uint64, error) {
 	var view *sdn.Network
-	if xerr := e.exec(func() { view = e.adm.Network().Clone() }); xerr != nil {
-		return nil, xerr
+	var epoch uint64
+	if xerr := e.exec(func() {
+		start := e.obs.Now()
+		view = e.adm.Network().Clone()
+		epoch = e.mutations
+		e.obs.CloneDone(start)
+	}); xerr != nil {
+		return nil, 0, xerr
 	}
-	return e.adm.Planner().Plan(view, req)
+	sol, err := e.adm.PlanOn(view, req)
+	return sol, epoch, err
 }
 
 // tryCommit validates sol against the live residuals on the writer.
-// The error is nil on success, ErrClosed, or the allocation violation.
-func (e *Engine) tryCommit(req *multicast.Request, sol *core.Solution) (*core.Solution, error) {
+// The error is nil on success, ErrClosed, or the allocation violation;
+// stale reports whether the live state had moved past the plan's
+// snapshot epoch by commit time.
+func (e *Engine) tryCommit(req *multicast.Request, sol *core.Solution, epoch uint64) (*core.Solution, bool, error) {
 	var out *core.Solution
+	var stale bool
 	var cerr error
-	if xerr := e.exec(func() { out, cerr = e.adm.Commit(req, sol) }); xerr != nil {
-		return nil, xerr
+	if xerr := e.exec(func() {
+		stale = e.mutations != epoch
+		out, cerr = e.adm.Commit(req, sol)
+		if cerr == nil {
+			e.mutations++
+		}
+	}); xerr != nil {
+		return nil, false, xerr
 	}
-	return out, cerr
+	return out, stale, cerr
 }
 
-// reject counts the rejection on the writer and returns err for
-// chaining. ErrClosed is passed through uncounted.
-func (e *Engine) reject(err error) error {
+// reject counts the rejection on the writer (classified into a
+// canonical reason by the admitter) and returns err for chaining.
+// ErrClosed is passed through uncounted.
+func (e *Engine) reject(req *multicast.Request, err error) error {
 	if errors.Is(err, ErrClosed) {
 		return err
 	}
-	if xerr := e.exec(e.adm.CountRejection); xerr != nil {
+	if xerr := e.exec(func() { e.adm.CountRejection(req, err) }); xerr != nil {
 		return xerr
 	}
 	return err
@@ -191,7 +262,12 @@ func (e *Engine) reject(err error) error {
 func (e *Engine) Depart(reqID int) (*core.Solution, error) {
 	var sol *core.Solution
 	var err error
-	if xerr := e.exec(func() { sol, err = e.adm.Depart(reqID) }); xerr != nil {
+	if xerr := e.exec(func() {
+		sol, err = e.adm.Depart(reqID)
+		if err == nil {
+			e.mutations++
+		}
+	}); xerr != nil {
 		return nil, xerr
 	}
 	return sol, err
@@ -201,7 +277,12 @@ func (e *Engine) Depart(reqID int) (*core.Solution, error) {
 // core.Admitter.Replace); run the re-placement itself inside Update.
 func (e *Engine) Replace(reqID int, sol *core.Solution) error {
 	var err error
-	if xerr := e.exec(func() { err = e.adm.Replace(reqID, sol) }); xerr != nil {
+	if xerr := e.exec(func() {
+		err = e.adm.Replace(reqID, sol)
+		if err == nil {
+			e.mutations++
+		}
+	}); xerr != nil {
 		return xerr
 	}
 	return err
@@ -209,10 +290,22 @@ func (e *Engine) Replace(reqID int, sol *core.Solution) error {
 
 // Update runs f against the engine's network on the writer goroutine —
 // the hatch for maintenance that must not race in-flight commits:
-// failure injection, re-optimisation passes, metric snapshots.
+// failure injection, re-optimisation passes, metric snapshots. When f
+// alters the network's structure (failure injection bumps
+// StructureVersion), a FailureInjected event is emitted and counted.
 func (e *Engine) Update(f func(nw *sdn.Network) error) error {
 	var err error
-	if xerr := e.exec(func() { err = f(e.adm.Network()) }); xerr != nil {
+	if xerr := e.exec(func() {
+		nw := e.adm.Network()
+		before := nw.StructureVersion()
+		err = f(nw)
+		// f had mutable access; count the epoch conservatively so an
+		// in-flight plan straddling this update commits as stale.
+		e.mutations++
+		if after := nw.StructureVersion(); after != before {
+			e.obs.FailureInjected(fmt.Sprintf("structure version %d -> %d", before, after))
+		}
+	}); xerr != nil {
 		return xerr
 	}
 	return err

@@ -4,12 +4,15 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"nfvmcast/internal/core"
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/obs"
 	"nfvmcast/internal/sdn"
 	"nfvmcast/internal/topology"
 )
@@ -163,8 +166,15 @@ func requestPool(t *testing.T, n, count int, seed int64) []*multicast.Request {
 // request at a time — makes byte-identical admit/reject decisions,
 // trees and costs to the direct admitters, per request, across both a
 // real (GÉANT) and a random (Waxman) topology for all four policies.
+// The metrics registry rides along: every decision counter (admitted,
+// departed, per-reason rejected) must also agree between the worker
+// counts — only mode-dependent machinery counters (snapshot clones,
+// plan invocations) may differ.
 func TestEngineDeterminismOracle(t *testing.T) {
 	const requests = 60
+	decisionCounterPrefixes := []string{
+		"nfv_admitted_total", "nfv_rejected_total", "nfv_departed_total",
+	}
 	for _, topoName := range []string{"geant", "waxman"} {
 		for _, alg := range []string{"Online_CP", "SP", "SP_Static", "Online_CPK"} {
 			alg, topoName := alg, topoName
@@ -179,9 +189,15 @@ func TestEngineDeterminismOracle(t *testing.T) {
 					want[i] = captureDecision(direct.Admit(req))
 				}
 
-				for _, workers := range []int{1, 4} {
+				workerCounts := []int{1, 4}
+				counters := make(map[int]map[string]uint64)
+				for _, workers := range workerCounts {
 					nw := testNetwork(t, topoName, seed)
-					eng := New(nw, plannerFor(t, alg, nw), Options{Workers: workers})
+					reg := obs.NewRegistry()
+					eng := New(nw, plannerFor(t, alg, nw), Options{
+						Workers: workers,
+						Obs:     obs.NewAdmissionObs(reg, alg, obs.AdmissionObsOptions{}),
+					})
 					for i, req := range reqs {
 						got := captureDecision(eng.Admit(req))
 						if !sameDecision(want[i], got) {
@@ -197,7 +213,21 @@ func TestEngineDeterminismOracle(t *testing.T) {
 							workers, eng.AdmittedCount(), eng.RejectedCount(),
 							direct.AdmittedCount(), direct.RejectedCount())
 					}
+					if got := eng.obs.AdmittedCount(); got != uint64(direct.AdmittedCount()) {
+						eng.Close()
+						t.Fatalf("workers=%d: admitted counter %d != direct count %d",
+							workers, got, direct.AdmittedCount())
+					}
+					counters[workers] = reg.CounterValues()
 					eng.Close()
+				}
+				for series, v1 := range counters[1] {
+					for _, prefix := range decisionCounterPrefixes {
+						if strings.HasPrefix(series, prefix) && counters[4][series] != v1 {
+							t.Errorf("decision counter %s: workers=1 %d, workers=4 %d",
+								series, v1, counters[4][series])
+						}
+					}
 				}
 			})
 		}
@@ -290,7 +320,12 @@ func checkResiduals(t *testing.T, eng *Engine, full bool) {
 // residual ever leaves [0, capacity], and departing every live session
 // restores the pristine capacities. This exercises the optimistic
 // commit-validation path: colliding planners force re-plans and
-// commit-time rejections.
+// commit-time rejections. The metrics registry is attached with
+// latency sampling on, and a sampler goroutine scrapes it throughout:
+// every counter must be monotonically non-decreasing under concurrent
+// writers, and once quiesced each latency histogram must satisfy
+// sum(buckets) == count and the counters must reconcile with the
+// engine's own bookkeeping.
 func TestEngineConcurrentStress(t *testing.T) {
 	nw := testNetwork(t, "geant", 11)
 	model := core.DefaultCostModel(nw.NumNodes())
@@ -298,8 +333,35 @@ func TestEngineConcurrentStress(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng := New(nw, planner, Options{Workers: -1})
+	reg := obs.NewRegistry()
+	eng := New(nw, planner, Options{
+		Workers: -1,
+		Obs:     obs.NewAdmissionObs(reg, "Online_CP", obs.AdmissionObsOptions{SampleLatency: true}),
+	})
 	defer eng.Close()
+
+	// Monotonicity sampler: counters may only move up, at any instant,
+	// even while planner goroutines and the writer race on them.
+	samplerStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		last := make(map[string]uint64)
+		for {
+			for series, v := range reg.CounterValues() {
+				if v < last[series] {
+					t.Errorf("counter %s went backwards: %d -> %d", series, last[series], v)
+				}
+				last[series] = v
+			}
+			select {
+			case <-samplerStop:
+				return
+			case <-time.After(200 * time.Microsecond):
+			}
+		}
+	}()
 
 	const (
 		goroutines = 8
@@ -373,4 +435,46 @@ func TestEngineConcurrentStress(t *testing.T) {
 		t.Fatalf("LiveCount = %d after draining", n)
 	}
 	checkResiduals(t, eng, true)
+
+	close(samplerStop)
+	samplerWG.Wait()
+
+	// Quiesced: the registry must reconcile exactly with the engine's
+	// bookkeeping, and every histogram must be internally consistent.
+	cv := reg.CounterValues()
+	if got := cv[`nfv_admitted_total{policy="Online_CP"}`]; got != uint64(eng.AdmittedCount()) {
+		t.Errorf("admitted counter %d != engine count %d", got, eng.AdmittedCount())
+	}
+	var rejected uint64
+	for series, v := range cv {
+		if strings.HasPrefix(series, "nfv_rejected_total") {
+			rejected += v
+		}
+	}
+	if rejected != uint64(eng.RejectedCount()) {
+		t.Errorf("rejected counters sum to %d, engine counted %d", rejected, eng.RejectedCount())
+	}
+	if got := cv[`nfv_departed_total{policy="Online_CP"}`]; got != uint64(eng.AdmittedCount()) {
+		t.Errorf("departed counter %d != admitted %d after draining everything",
+			got, eng.AdmittedCount())
+	}
+	gv := reg.GaugeValues()
+	if gv[`nfv_live_sessions{policy="Online_CP"}`] != 0 {
+		t.Errorf("live gauge = %v after draining", gv[`nfv_live_sessions{policy="Online_CP"}`])
+	}
+	if gv[`nfv_inflight_admissions{policy="Online_CP"}`] != 0 {
+		t.Errorf("inflight gauge = %v with no Admit in flight", gv[`nfv_inflight_admissions{policy="Online_CP"}`])
+	}
+	for series, s := range reg.Histograms() {
+		var buckets uint64
+		for _, c := range s.Counts {
+			buckets += c
+		}
+		if buckets != s.Count {
+			t.Errorf("histogram %s: sum(buckets)=%d != count=%d", series, buckets, s.Count)
+		}
+	}
+	if s := reg.Histograms()[`nfv_plan_seconds{policy="Online_CP"}`]; s.Count == 0 {
+		t.Error("plan latency histogram empty despite SampleLatency")
+	}
 }

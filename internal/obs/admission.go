@@ -1,0 +1,267 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Canonical rejection-reason labels. core.RejectReason maps error
+// chains onto these; the engine adds ReasonCommitConflict for plans
+// that exhausted their re-plan after optimistic-commit misses.
+const (
+	ReasonBandwidth      = "bandwidth"
+	ReasonCompute        = "compute"
+	ReasonThreshold      = "threshold"
+	ReasonUnreachable    = "unreachable"
+	ReasonDelayBound     = "delay_bound"
+	ReasonResourceDown   = "resource_down"
+	ReasonCommitConflict = "commit_conflict"
+	ReasonOther          = "other"
+)
+
+// AdmissionObs binds the instruments of one admission pipeline (one
+// engine or direct admitter): lifecycle counters, the live/in-flight
+// gauges, sampled latency histograms, and the event stream. All
+// methods are nil-receiver safe so instrumented code calls them
+// unconditionally; on the hot path each costs one or two atomic adds
+// and — unless latency sampling is enabled — never reads the clock.
+//
+// One AdmissionObs serves one policy; give concurrent pipelines over
+// one Registry distinct policy labels (or share the AdmissionObs — its
+// instruments are concurrency-safe).
+type AdmissionObs struct {
+	policy string
+	sink   Sink
+	sample bool
+	seq    atomic.Uint64
+
+	admitted  *Counter
+	rejected  map[string]*Counter
+	rejOther  *Counter
+	departed  *Counter
+	plans     *Counter
+	replans   *Counter
+	conflicts *Counter
+	clones    *Counter
+	failures  *Counter
+	live      *Gauge
+	inflight  *Gauge
+
+	planLat   *Histogram
+	commitLat *Histogram
+	cloneLat  *Histogram
+}
+
+// AdmissionObsOptions configures an AdmissionObs.
+type AdmissionObsOptions struct {
+	// Events receives the structured admission-event stream; nil
+	// disables emission.
+	Events Sink
+	// SampleLatency enables the plan/commit/snapshot-clone latency
+	// histograms. Off by default: latency sampling is the only
+	// instrument that reads time.Now() on the hot path.
+	SampleLatency bool
+}
+
+// NewAdmissionObs registers the admission instrument set for one
+// policy on reg and returns the bound hooks. Reason-labelled rejection
+// counters are pre-registered for every canonical reason so exposition
+// output has a stable series set from the first scrape.
+func NewAdmissionObs(reg *Registry, policy string, opts AdmissionObsOptions) *AdmissionObs {
+	pl := L("policy", policy)
+	o := &AdmissionObs{
+		policy: policy,
+		sink:   opts.Events,
+		sample: opts.SampleLatency,
+		admitted: reg.Counter("nfv_admitted_total",
+			"Requests admitted (allocated and live).", pl),
+		rejected: make(map[string]*Counter),
+		departed: reg.Counter("nfv_departed_total",
+			"Admitted sessions that departed and released their resources.", pl),
+		plans: reg.Counter("nfv_plans_total",
+			"Planner invocations (initial plans and re-plans).", pl),
+		replans: reg.Counter("nfv_replans_total",
+			"Plans recomputed after an optimistic-commit conflict.", pl),
+		conflicts: reg.Counter("nfv_commit_conflicts_total",
+			"Commit-time validation failures (plan invalidated by a concurrent commit).", pl),
+		clones: reg.Counter("nfv_snapshot_clones_total",
+			"Residual-network snapshot clones taken for planning.", pl),
+		failures: reg.Counter("nfv_failures_injected_total",
+			"Structural changes (link/server failure injection) applied through the engine.", pl),
+		live: reg.Gauge("nfv_live_sessions",
+			"Admitted sessions currently holding resources.", pl),
+		inflight: reg.Gauge("nfv_inflight_admissions",
+			"Admit calls currently planning or committing (engine queue depth).", pl),
+		planLat: reg.Histogram("nfv_plan_seconds",
+			"Planner latency (sampled; empty unless SampleLatency).", nil, pl),
+		commitLat: reg.Histogram("nfv_commit_seconds",
+			"Commit (allocation + bookkeeping) latency on the writer (sampled).", nil, pl),
+		cloneLat: reg.Histogram("nfv_snapshot_clone_seconds",
+			"Residual-snapshot clone latency on the writer (sampled).", nil, pl),
+	}
+	for _, reason := range []string{
+		ReasonBandwidth, ReasonCompute, ReasonThreshold, ReasonUnreachable,
+		ReasonDelayBound, ReasonResourceDown, ReasonCommitConflict, ReasonOther,
+	} {
+		o.rejected[reason] = reg.Counter("nfv_rejected_total",
+			"Requests rejected, by canonical reason.", pl, L("reason", reason))
+	}
+	o.rejOther = o.rejected[ReasonOther]
+	return o
+}
+
+// Policy returns the policy label, "" on a nil receiver.
+func (o *AdmissionObs) Policy() string {
+	if o == nil {
+		return ""
+	}
+	return o.policy
+}
+
+// emit assigns the sequence number and forwards ev to the sink.
+func (o *AdmissionObs) emit(ev Event) {
+	if o.sink == nil {
+		return
+	}
+	ev.Seq = o.seq.Add(1)
+	ev.Policy = o.policy
+	o.sink.Emit(ev)
+}
+
+// Now returns the wall clock when latency sampling is enabled and the
+// zero time otherwise — the guard that keeps time.Now() off the hot
+// path by default. Pass the result to the *Done observers.
+func (o *AdmissionObs) Now() time.Time {
+	if o == nil || !o.sample {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func observe(h *Histogram, start time.Time) {
+	if !start.IsZero() {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// PlanDone records one planner invocation: the plan counter, the
+// sampled latency, and on success an AdmitPlanned event.
+func (o *AdmissionObs) PlanDone(start time.Time, reqID int, servers []int, cost float64, err error) {
+	if o == nil {
+		return
+	}
+	o.plans.Inc()
+	observe(o.planLat, start)
+	if err == nil {
+		o.emit(Event{Type: AdmitPlanned, Request: reqID, Servers: servers, Cost: cost})
+	}
+}
+
+// Replanned records a re-plan after an optimistic-commit conflict.
+// Call it in addition to PlanDone for the second plan.
+func (o *AdmissionObs) Replanned(reqID int) {
+	if o == nil {
+		return
+	}
+	o.replans.Inc()
+	o.emit(Event{Type: Replanned, Request: reqID})
+}
+
+// CommitConflict records one commit-time validation failure.
+func (o *AdmissionObs) CommitConflict(reqID int, reason string) {
+	if o == nil {
+		return
+	}
+	o.conflicts.Inc()
+	o.emit(Event{Type: CommitConflict, Request: reqID, Reason: reason})
+}
+
+// CommitDone records a successful commit: the admitted counter, live
+// gauge, sampled commit latency, and an Admitted event.
+func (o *AdmissionObs) CommitDone(start time.Time, reqID int, servers []int, cost float64) {
+	if o == nil {
+		return
+	}
+	o.admitted.Inc()
+	o.live.Add(1)
+	observe(o.commitLat, start)
+	o.emit(Event{Type: Admitted, Request: reqID, Servers: servers, Cost: cost})
+}
+
+// RejectedReason counts a rejection under the given canonical reason
+// and emits a Rejected event.
+func (o *AdmissionObs) RejectedReason(reqID int, reason string) {
+	if o == nil {
+		return
+	}
+	c, ok := o.rejected[reason]
+	if !ok {
+		c = o.rejOther
+		reason = ReasonOther
+	}
+	c.Inc()
+	o.emit(Event{Type: Rejected, Request: reqID, Reason: reason})
+}
+
+// DepartDone records a session departure.
+func (o *AdmissionObs) DepartDone(reqID int) {
+	if o == nil {
+		return
+	}
+	o.departed.Inc()
+	o.live.Add(-1)
+	o.emit(Event{Type: Departed, Request: reqID})
+}
+
+// CloneDone records one residual-snapshot clone (count always, latency
+// when sampling).
+func (o *AdmissionObs) CloneDone(start time.Time) {
+	if o == nil {
+		return
+	}
+	o.clones.Inc()
+	observe(o.cloneLat, start)
+}
+
+// FailureInjected records a structural change applied through the
+// engine's Update hatch (the network's StructureVersion moved).
+func (o *AdmissionObs) FailureInjected(detail string) {
+	if o == nil {
+		return
+	}
+	o.failures.Inc()
+	o.emit(Event{Type: FailureInjected, Reason: detail})
+}
+
+// InflightAdd moves the in-flight admissions gauge (engine queue
+// depth) by delta.
+func (o *AdmissionObs) InflightAdd(delta float64) {
+	if o == nil {
+		return
+	}
+	o.inflight.Add(delta)
+}
+
+// AdmittedCount returns the admitted counter's value (0 on nil).
+func (o *AdmissionObs) AdmittedCount() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.admitted.Value()
+}
+
+// DepartedCount returns the departed counter's value (0 on nil).
+func (o *AdmissionObs) DepartedCount() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.departed.Value()
+}
+
+// LiveSessions returns the live-session gauge's value (0 on nil).
+func (o *AdmissionObs) LiveSessions() float64 {
+	if o == nil {
+		return 0
+	}
+	return o.live.Value()
+}

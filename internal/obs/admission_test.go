@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestNilAdmissionObs pins the nil-receiver contract: every hook is
+// callable on a nil *AdmissionObs, which is how uninstrumented engines
+// run with zero configuration.
+func TestNilAdmissionObs(t *testing.T) {
+	var o *AdmissionObs
+	if !o.Now().IsZero() {
+		t.Fatal("nil Now() must be zero")
+	}
+	o.PlanDone(time.Time{}, 1, []int{2}, 3, nil)
+	o.Replanned(1)
+	o.CommitConflict(1, ReasonBandwidth)
+	o.CommitDone(time.Time{}, 1, []int{2}, 3)
+	o.RejectedReason(1, ReasonThreshold)
+	o.DepartDone(1)
+	o.CloneDone(time.Time{})
+	o.FailureInjected("x")
+	o.InflightAdd(1)
+	if o.AdmittedCount() != 0 || o.DepartedCount() != 0 || o.LiveSessions() != 0 || o.Policy() != "" {
+		t.Fatal("nil accessors must return zero values")
+	}
+}
+
+func TestAdmissionObsCountersAndEvents(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewRingSink(32)
+	o := NewAdmissionObs(reg, "SP", AdmissionObsOptions{Events: ring})
+	if o.Policy() != "SP" {
+		t.Fatalf("Policy = %q", o.Policy())
+	}
+
+	o.InflightAdd(1)
+	o.CloneDone(o.Now())
+	o.PlanDone(o.Now(), 1, []int{3}, 10, nil)
+	o.CommitDone(o.Now(), 1, []int{3}, 10)
+	o.PlanDone(o.Now(), 2, nil, 0, errTest)
+	o.RejectedReason(2, ReasonCompute)
+	o.CommitConflict(3, ReasonBandwidth)
+	o.Replanned(3)
+	o.FailureInjected("link 5 down")
+	o.DepartDone(1)
+	o.InflightAdd(-1)
+
+	cv := reg.CounterValues()
+	for series, want := range map[string]uint64{
+		`nfv_admitted_total{policy="SP"}`:                    1,
+		`nfv_departed_total{policy="SP"}`:                    1,
+		`nfv_plans_total{policy="SP"}`:                       2,
+		`nfv_replans_total{policy="SP"}`:                     1,
+		`nfv_commit_conflicts_total{policy="SP"}`:            1,
+		`nfv_snapshot_clones_total{policy="SP"}`:             1,
+		`nfv_failures_injected_total{policy="SP"}`:           1,
+		`nfv_rejected_total{policy="SP",reason="compute"}`:   1,
+		`nfv_rejected_total{policy="SP",reason="bandwidth"}`: 0,
+		`nfv_rejected_total{policy="SP",reason="threshold"}`: 0,
+		`nfv_rejected_total{policy="SP",reason="other"}`:     0,
+	} {
+		if cv[series] != want {
+			t.Errorf("%s = %d, want %d", series, cv[series], want)
+		}
+	}
+	if o.AdmittedCount() != 1 || o.DepartedCount() != 1 {
+		t.Fatalf("accessors: admitted=%d departed=%d", o.AdmittedCount(), o.DepartedCount())
+	}
+	if o.LiveSessions() != 0 {
+		t.Fatalf("live gauge after admit+depart = %v, want 0", o.LiveSessions())
+	}
+	gv := reg.GaugeValues()
+	if gv[`nfv_inflight_admissions{policy="SP"}`] != 0 {
+		t.Fatalf("inflight gauge = %v, want 0", gv[`nfv_inflight_admissions{policy="SP"}`])
+	}
+
+	// Event stream: failed plans emit nothing; the rest appear in order
+	// with policy and strictly increasing sequence numbers.
+	wantTypes := []EventType{
+		AdmitPlanned, Admitted, Rejected, CommitConflict, Replanned,
+		FailureInjected, Departed,
+	}
+	evs := ring.Events()
+	if len(evs) != len(wantTypes) {
+		t.Fatalf("got %d events, want %d: %v", len(evs), len(wantTypes), evs)
+	}
+	for i, ev := range evs {
+		if ev.Type != wantTypes[i] {
+			t.Fatalf("event %d type %s, want %s", i, ev.Type, wantTypes[i])
+		}
+		if ev.Policy != "SP" {
+			t.Fatalf("event %d policy %q", i, ev.Policy)
+		}
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+}
+
+func TestRejectedReasonUnknownFallsBackToOther(t *testing.T) {
+	reg := NewRegistry()
+	ring := NewRingSink(4)
+	o := NewAdmissionObs(reg, "SP", AdmissionObsOptions{Events: ring})
+	o.RejectedReason(1, "some-novel-reason")
+	cv := reg.CounterValues()
+	if cv[`nfv_rejected_total{policy="SP",reason="other"}`] != 1 {
+		t.Fatalf("unknown reason not folded into other: %v", cv)
+	}
+	if evs := ring.Events(); len(evs) != 1 || evs[0].Reason != ReasonOther {
+		t.Fatalf("event reason not canonicalised: %v", ring.Events())
+	}
+}
+
+// TestLatencySamplingGate pins the hot-path clock contract: with
+// sampling off Now() is zero and no histogram fills; with it on the
+// latencies land.
+func TestLatencySamplingGate(t *testing.T) {
+	reg := NewRegistry()
+	off := NewAdmissionObs(reg, "off", AdmissionObsOptions{})
+	if !off.Now().IsZero() {
+		t.Fatal("Now() must be zero without SampleLatency")
+	}
+	off.PlanDone(off.Now(), 1, nil, 0, nil)
+	off.CommitDone(off.Now(), 1, nil, 0)
+	off.CloneDone(off.Now())
+	for name, s := range reg.Histograms() {
+		if s.Count != 0 {
+			t.Fatalf("%s sampled %d values with sampling off", name, s.Count)
+		}
+	}
+
+	on := NewAdmissionObs(reg, "on", AdmissionObsOptions{SampleLatency: true})
+	start := on.Now()
+	if start.IsZero() {
+		t.Fatal("Now() must be live with SampleLatency")
+	}
+	on.PlanDone(start, 1, nil, 0, nil)
+	on.CommitDone(on.Now(), 1, nil, 0)
+	on.CloneDone(on.Now())
+	hs := reg.Histograms()
+	for _, name := range []string{
+		`nfv_plan_seconds{policy="on"}`,
+		`nfv_commit_seconds{policy="on"}`,
+		`nfv_snapshot_clone_seconds{policy="on"}`,
+	} {
+		if hs[name].Count != 1 {
+			t.Fatalf("%s count = %d, want 1", name, hs[name].Count)
+		}
+	}
+}
+
+var errTest = errType{}
+
+type errType struct{}
+
+func (errType) Error() string { return "test error" }

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestJSONLinesSinkFormat(t *testing.T) {
+	var b bytes.Buffer
+	s := NewJSONLinesSink(&b)
+	s.Emit(Event{Seq: 1, Type: Admitted, Policy: "SP", Request: 7})
+	s.Emit(Event{Seq: 2, Type: Departed, Policy: "SP", Request: 7})
+	if err := s.Err(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want 2 lines, got %d: %q", len(lines), b.String())
+	}
+	if want := `{"seq":1,"type":"admitted","policy":"SP","request":7}`; lines[0] != want {
+		t.Fatalf("line 1 = %s, want %s", lines[0], want)
+	}
+	// Zero-valued optional fields must be omitted.
+	if strings.Contains(lines[1], "servers") || strings.Contains(lines[1], "cost") ||
+		strings.Contains(lines[1], "reason") {
+		t.Fatalf("zero fields not omitted: %s", lines[1])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJSONLinesSinkStickyError(t *testing.T) {
+	s := NewJSONLinesSink(&failWriter{n: 1})
+	s.Emit(Event{Seq: 1, Type: Admitted})
+	if s.Err() != nil {
+		t.Fatalf("first write should succeed: %v", s.Err())
+	}
+	s.Emit(Event{Seq: 2, Type: Admitted})
+	if s.Err() == nil {
+		t.Fatal("second write should stick an error")
+	}
+	err := s.Err()
+	s.Emit(Event{Seq: 3, Type: Admitted}) // suppressed, error unchanged
+	if !errors.Is(s.Err(), err) {
+		t.Fatal("sticky error replaced")
+	}
+}
+
+func TestRingSinkEviction(t *testing.T) {
+	s := NewRingSink(3)
+	for i := 1; i <= 5; i++ {
+		s.Emit(Event{Seq: uint64(i)})
+	}
+	if s.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", s.Total())
+	}
+	evs := s.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d, want 3", len(evs))
+	}
+	for i, want := range []uint64{3, 4, 5} {
+		if evs[i].Seq != want {
+			t.Fatalf("event %d Seq = %d, want %d (oldest first)", i, evs[i].Seq, want)
+		}
+	}
+}
+
+func TestRingSinkMinimumCapacity(t *testing.T) {
+	s := NewRingSink(0)
+	s.Emit(Event{Seq: 1})
+	s.Emit(Event{Seq: 2})
+	evs := s.Events()
+	if len(evs) != 1 || evs[0].Seq != 2 {
+		t.Fatalf("n<1 must clamp to 1 and keep the newest: %v", evs)
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewRingSink(4), NewRingSink(4)
+	m := MultiSink{a, b}
+	m.Emit(Event{Seq: 1, Type: Admitted})
+	if a.Total() != 1 || b.Total() != 1 {
+		t.Fatalf("fan-out failed: %d/%d", a.Total(), b.Total())
+	}
+}

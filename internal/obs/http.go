@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves a registry over HTTP:
+//
+//	/metrics       Prometheus text exposition (version 0.0.4)
+//	/metrics.json  the same data as one JSON document
+//	/debug/pprof/  net/http/pprof (profiles, heap, goroutines, ...)
+//	/healthz       200 ok
+//
+// registry is called per request so a long-running process can swap
+// the live registry (e.g. one per experiment); refresh, when non-nil,
+// runs before rendering — the hook that re-collects network gauges
+// through the engine's writer. Either callback may be nil.
+func Handler(registry func() *Registry, refresh func()) http.Handler {
+	mux := http.NewServeMux()
+	render := func(w http.ResponseWriter, contentType string, write func(*Registry) error) {
+		if refresh != nil {
+			refresh()
+		}
+		var reg *Registry
+		if registry != nil {
+			reg = registry()
+		}
+		if reg == nil {
+			http.Error(w, "no metrics registry active", http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", contentType)
+		_ = write(reg)
+	}
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		render(w, "text/plain; version=0.0.4; charset=utf-8", func(r *Registry) error {
+			return r.WritePrometheus(w)
+		})
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		render(w, "application/json", func(r *Registry) error {
+			return r.WriteJSON(w)
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ListenAndServe binds addr and serves Handler(registry, refresh) in a
+// background goroutine. It returns the bound listener address (useful
+// with ":0") and a shutdown function. Serve errors after a successful
+// bind are dropped: metrics serving must never take the admission
+// pipeline down with it.
+func ListenAndServe(addr string, registry func() *Registry, refresh func()) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: Handler(registry, refresh)}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

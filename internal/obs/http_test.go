@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nfv_admitted_total", "help", L("policy", "SP")).Add(9)
+	refreshed := 0
+	srv := httptest.NewServer(Handler(func() *Registry { return reg }, func() { refreshed++ }))
+	defer srv.Close()
+
+	get := func(path string) (int, string, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body), resp.Header.Get("Content-Type")
+	}
+
+	code, body, ctype := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.HasPrefix(ctype, "text/plain") {
+		t.Fatalf("/metrics content type %q", ctype)
+	}
+	if !strings.Contains(body, `nfv_admitted_total{policy="SP"} 9`) {
+		t.Fatalf("/metrics body:\n%s", body)
+	}
+
+	code, body, ctype = get("/metrics.json")
+	if code != http.StatusOK || ctype != "application/json" {
+		t.Fatalf("/metrics.json status %d type %q", code, ctype)
+	}
+	if !strings.Contains(body, `"nfv_admitted_total"`) {
+		t.Fatalf("/metrics.json body:\n%s", body)
+	}
+
+	if code, body, _ = get("/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+
+	if code, _, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+	if code, _, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+
+	// refresh must run once per exposition request (not for pprof).
+	if refreshed != 2 {
+		t.Fatalf("refresh ran %d times, want 2", refreshed)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("nil registry: status %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("g", "help").Set(4)
+	addr, stop, err := ListenAndServe("127.0.0.1:0", func() *Registry { return reg }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "g 4") {
+		t.Fatalf("served body:\n%s", body)
+	}
+	stop()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still reachable after stop")
+	}
+}

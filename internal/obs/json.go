@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// JSON export of a registry: the same data as the Prometheus text
+// format, as one document. Series are sorted (families by name, series
+// by label signature) so the output is byte-deterministic for fixed
+// values — the JSON golden test pins this.
+
+type counterJSON struct {
+	Name   string `json:"name"`
+	Labels string `json:"labels,omitempty"`
+	Value  uint64 `json:"value"`
+}
+
+type gaugeJSON struct {
+	Name   string  `json:"name"`
+	Labels string  `json:"labels,omitempty"`
+	Value  float64 `json:"value"`
+}
+
+type histogramJSON struct {
+	Name    string    `json:"name"`
+	Labels  string    `json:"labels,omitempty"`
+	Bounds  []float64 `json:"bounds"`
+	Buckets []uint64  `json:"buckets"`
+	Sum     float64   `json:"sum"`
+	Count   uint64    `json:"count"`
+}
+
+type exportJSON struct {
+	Counters   []counterJSON   `json:"counters,omitempty"`
+	Gauges     []gaugeJSON     `json:"gauges,omitempty"`
+	Histograms []histogramJSON `json:"histograms,omitempty"`
+}
+
+// WriteJSON renders the registry as one indented JSON document.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	var doc exportJSON
+	for _, f := range r.sortedFamilies() {
+		switch f.kind {
+		case "counter":
+			for _, sig := range sortedKeys(f.counters) {
+				doc.Counters = append(doc.Counters, counterJSON{
+					Name: f.name, Labels: sig, Value: f.counters[sig].Value(),
+				})
+			}
+		case "gauge":
+			for _, sig := range sortedKeys(f.gauges) {
+				doc.Gauges = append(doc.Gauges, gaugeJSON{
+					Name: f.name, Labels: sig, Value: f.gauges[sig].Value(),
+				})
+			}
+		case "histogram":
+			for _, sig := range sortedKeys(f.hists) {
+				s := f.hists[sig].Snapshot()
+				doc.Histograms = append(doc.Histograms, histogramJSON{
+					Name: f.name, Labels: sig,
+					Bounds: s.Bounds, Buckets: s.Counts, Sum: s.Sum, Count: s.Count,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&doc)
+}

@@ -1,0 +1,399 @@
+// Package obs is the observability layer of the admission system: a
+// lock-cheap metrics registry (counters, gauges, fixed-bucket latency
+// histograms), a structured admission-event stream with pluggable
+// sinks, deterministic Prometheus-text and JSON exposition, and an
+// HTTP handler that serves both next to net/http/pprof.
+//
+// Design constraints (DESIGN.md §8): metric updates sit on the
+// admission hot path — a counter increment is one atomic add, a gauge
+// set one atomic store, and no update ever takes a lock or calls
+// time.Now() unless latency sampling was explicitly enabled.
+// Registration (Counter/Gauge/Histogram lookup) takes a mutex, so
+// instrumented code resolves its instruments once, up front, and holds
+// pointers. Exposition output is byte-deterministic for a given set of
+// metric values: families sort by name, series by label signature —
+// which is what lets golden-file tests pin the formats.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// labelSignature serialises labels into the canonical, sorted
+// `{k="v",...}` form used both as the registry key and in exposition.
+// Empty labels yield "".
+func labelSignature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter is a monotonically increasing metric. All methods are safe
+// for concurrent use; Inc and Add are single atomic adds.
+type Counter struct {
+	v      atomic.Uint64
+	labels string // canonical signature, set at registration
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as float64 bits.
+// Set is one atomic store; Add is a CAS loop (rarely contended: gauges
+// are set from collectors or single-writer code).
+type Gauge struct {
+	bits   atomic.Uint64
+	labels string
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds delta (atomically, via CAS).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// DefaultLatencyBuckets are the fixed histogram bounds (seconds) used
+// for the engine's plan/commit/clone latencies: 100µs to 2.5s, roughly
+// logarithmic. Fixed bounds keep the exposition format byte-stable.
+var DefaultLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// Histogram is a fixed-bucket histogram. Observe is lock-free: one
+// atomic add on the bucket plus a CAS loop on the float sum. The
+// implicit +Inf bucket catches everything, so the invariant
+// sum(bucket counts) == Count() holds at every instant a reader
+// observes (each Observe increments exactly one bucket before the
+// count, and readers that check consistency snapshot via Snapshot).
+type Histogram struct {
+	bounds  []float64 // upper bounds, ascending; +Inf implicit
+	counts  []atomic.Uint64
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+	labels  string
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+type HistogramSnapshot struct {
+	Bounds []float64 // upper bounds; the final implicit bucket is +Inf
+	Counts []uint64  // per-bucket (non-cumulative), len(Bounds)+1
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram state. Taken while writers are active
+// it is not guaranteed to be a consistent cut, except that
+// sum(Counts) >= Count never fails: the bucket is incremented before
+// the count, so every counted observation is already in a bucket.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    h.Sum(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// family is one named group of series sharing a type and help string.
+type family struct {
+	name string
+	help string
+	kind string // "counter" | "gauge" | "histogram"
+
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// Registry holds metric families and renders them. Registration
+// (Counter/Gauge/Histogram) locks; updates on the returned instruments
+// never do.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []string // registration-independent: kept sorted on render
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func (r *Registry) family(name, help, kind string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{
+			name:     name,
+			help:     help,
+			kind:     kind,
+			counters: make(map[string]*Counter),
+			gauges:   make(map[string]*Gauge),
+			hists:    make(map[string]*Histogram),
+		}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns (registering on first use) the counter series
+// name{labels}. Subsequent calls with the same name and labels return
+// the same instrument.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "counter")
+	c, ok := f.counters[sig]
+	if !ok {
+		c = &Counter{labels: sig}
+		f.counters[sig] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the gauge series
+// name{labels}.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "gauge")
+	g, ok := f.gauges[sig]
+	if !ok {
+		g = &Gauge{labels: sig}
+		f.gauges[sig] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the histogram series
+// name{labels} with the given bucket upper bounds (ascending; nil
+// selects DefaultLatencyBuckets). Bounds are fixed at first
+// registration of the series.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = DefaultLatencyBuckets
+	}
+	sig := labelSignature(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.family(name, help, "histogram")
+	h, ok := f.hists[sig]
+	if !ok {
+		h = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+			labels: sig,
+		}
+		f.hists[sig] = h
+	}
+	return h
+}
+
+// sortedFamilies returns the families sorted by name, and per family
+// the sorted series signatures — the deterministic render order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	out := make([]*family, 0, len(names))
+	for _, n := range names {
+		out = append(out, r.families[n])
+	}
+	return out
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, "+Inf" for infinity.
+func formatFloat(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). Output is byte-deterministic for
+// fixed metric values.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.kind); err != nil {
+			return err
+		}
+		switch f.kind {
+		case "counter":
+			for _, sig := range sortedKeys(f.counters) {
+				c := f.counters[sig]
+				if _, err := fmt.Fprintf(w, "%s%s %d\n", f.name, sig, c.Value()); err != nil {
+					return err
+				}
+			}
+		case "gauge":
+			for _, sig := range sortedKeys(f.gauges) {
+				g := f.gauges[sig]
+				if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, sig, formatFloat(g.Value())); err != nil {
+					return err
+				}
+			}
+		case "histogram":
+			for _, sig := range sortedKeys(f.hists) {
+				if err := writePrometheusHistogram(w, f.name, sig, f.hists[sig].Snapshot()); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// writePrometheusHistogram renders one histogram series: cumulative
+// _bucket lines (le=... labels merged into the signature), _sum and
+// _count.
+func writePrometheusHistogram(w io.Writer, name, sig string, s HistogramSnapshot) error {
+	withLE := func(le string) string {
+		if sig == "" {
+			return `{le="` + le + `"}`
+		}
+		return sig[:len(sig)-1] + `,le="` + le + `"}`
+	}
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(formatFloat(bound)), cum); err != nil {
+			return err
+		}
+	}
+	cum += s.Counts[len(s.Bounds)]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, sig, formatFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, sig, s.Count)
+	return err
+}
+
+// CounterValues returns every counter series as a map from
+// "name{labels}" to its value — the comparison form the determinism
+// tests use.
+func (r *Registry) CounterValues() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, f := range r.sortedFamilies() {
+		for sig, c := range f.counters {
+			out[f.name+sig] = c.Value()
+		}
+	}
+	return out
+}
+
+// GaugeValues returns every gauge series as "name{labels}" → value.
+func (r *Registry) GaugeValues() map[string]float64 {
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		for sig, g := range f.gauges {
+			out[f.name+sig] = g.Value()
+		}
+	}
+	return out
+}
+
+// Histograms returns every histogram series as "name{labels}" →
+// snapshot.
+func (r *Registry) Histograms() map[string]HistogramSnapshot {
+	out := make(map[string]HistogramSnapshot)
+	for _, f := range r.sortedFamilies() {
+		for sig, h := range f.hists {
+			out[f.name+sig] = h.Snapshot()
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLabelSignature(t *testing.T) {
+	if got := labelSignature(nil); got != "" {
+		t.Fatalf("empty labels: got %q", got)
+	}
+	// Key order must not matter: the signature is the canonical sorted
+	// form (it doubles as the registry key).
+	a := labelSignature([]Label{L("policy", "SP"), L("reason", "bandwidth")})
+	b := labelSignature([]Label{L("reason", "bandwidth"), L("policy", "SP")})
+	if a != b {
+		t.Fatalf("signature depends on label order: %q vs %q", a, b)
+	}
+	want := `{policy="SP",reason="bandwidth"}`
+	if a != want {
+		t.Fatalf("signature = %q, want %q", a, want)
+	}
+}
+
+func TestCounterIdentityAndConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x_total", "help", L("k", "v"))
+	c2 := reg.Counter("x_total", "other help ignored", L("k", "v"))
+	if c1 != c2 {
+		t.Fatal("same name+labels must return the same instrument")
+	}
+	if c3 := reg.Counter("x_total", "help", L("k", "w")); c3 == c1 {
+		t.Fatal("different labels must return a distinct instrument")
+	}
+
+	const goroutines, perG = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c1.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c1.Value(); got != goroutines*perG {
+		t.Fatalf("lost increments: got %d want %d", got, goroutines*perG)
+	}
+	c1.Add(5)
+	if got := c1.Value(); got != goroutines*perG+5 {
+		t.Fatalf("Add: got %d", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("g", "help")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("Set: got %v", g.Value())
+	}
+	g.Add(-1.5)
+	if g.Value() != 1.0 {
+		t.Fatalf("Add: got %v", g.Value())
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 4001 {
+		t.Fatalf("concurrent Add lost updates: got %v", g.Value())
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", "help", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// SearchFloat64s: a value equal to a bound lands in that bound's
+	// bucket (le semantics: bucket i counts v <= bounds[i]).
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 || s.Sum != 556.5 {
+		t.Fatalf("count=%d sum=%v", s.Count, s.Sum)
+	}
+	if h.Count() != 5 || h.Sum() != 556.5 {
+		t.Fatalf("accessors: count=%d sum=%v", h.Count(), h.Sum())
+	}
+	var total uint64
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total != s.Count {
+		t.Fatalf("sum(buckets)=%d != count=%d", total, s.Count)
+	}
+}
+
+func TestHistogramDefaultBounds(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "help", nil)
+	s := h.Snapshot()
+	if len(s.Bounds) != len(DefaultLatencyBuckets) {
+		t.Fatalf("nil bounds must select DefaultLatencyBuckets, got %d", len(s.Bounds))
+	}
+	if len(s.Counts) != len(s.Bounds)+1 {
+		t.Fatalf("missing +Inf bucket: %d counts for %d bounds", len(s.Counts), len(s.Bounds))
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering one name as counter then gauge must panic")
+		}
+	}()
+	reg.Gauge("m", "help")
+}
+
+func TestValueMaps(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "h", L("p", "A")).Add(3)
+	reg.Gauge("g", "h").Set(1.5)
+	reg.Histogram("h", "h", []float64{1}).Observe(0.5)
+
+	cv := reg.CounterValues()
+	if cv[`c_total{p="A"}`] != 3 {
+		t.Fatalf("CounterValues: %v", cv)
+	}
+	gv := reg.GaugeValues()
+	if gv["g"] != 1.5 {
+		t.Fatalf("GaugeValues: %v", gv)
+	}
+	hs := reg.Histograms()
+	if s, ok := hs["h"]; !ok || s.Count != 1 {
+		t.Fatalf("Histograms: %v", hs)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	if got := formatFloat(math.Inf(1)); got != "+Inf" {
+		t.Fatalf("+Inf: got %q", got)
+	}
+	if got := formatFloat(0.25); got != "0.25" {
+		t.Fatalf("0.25: got %q", got)
+	}
+}
+
+func TestWritePrometheusDeterministic(t *testing.T) {
+	build := func() *Registry {
+		reg := NewRegistry()
+		// Register in an order that differs from sorted order.
+		reg.Gauge("z_gauge", "last family", L("b", "2"))
+		reg.Gauge("z_gauge", "last family", L("a", "1"))
+		reg.Counter("a_total", "first family").Add(7)
+		return reg
+	}
+	var w1, w2 strings.Builder
+	if err := build().WritePrometheus(&w1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WritePrometheus(&w2); err != nil {
+		t.Fatal(err)
+	}
+	if w1.String() != w2.String() {
+		t.Fatalf("non-deterministic output:\n%s\nvs\n%s", w1.String(), w2.String())
+	}
+	out := w1.String()
+	if !strings.Contains(out, "# TYPE a_total counter") ||
+		!strings.Contains(out, "a_total 7") {
+		t.Fatalf("missing counter family:\n%s", out)
+	}
+	if strings.Index(out, "a_total") > strings.Index(out, "z_gauge") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+	if strings.Index(out, `z_gauge{a="1"}`) > strings.Index(out, `z_gauge{b="2"}`) {
+		t.Fatalf("series not sorted by signature:\n%s", out)
+	}
+}

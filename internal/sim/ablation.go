@@ -143,7 +143,7 @@ func AblationCostModel(cfg Config) ([]Figure, error) {
 		fig.X = append(fig.X, float64(x))
 	}
 	for _, name := range onlineSeries {
-		counts, err := onlineRun(name, "waxman", n, requests, cfg.EngineWorkers, cfg.Seed+5)
+		counts, err := onlineRun(cfg, name, "waxman", n, requests, cfg.Seed+5)
 		if err != nil {
 			return nil, err
 		}

@@ -11,12 +11,12 @@ import (
 // newChurnEngine builds a policy's engine over a fresh network for the
 // departure-driven experiments. The caller owns the engine and must
 // Close it.
-func newChurnEngine(name, topoName string, n, workers int, seed int64) (*engine.Engine, error) {
+func newChurnEngine(cfg Config, name, topoName string, n int, seed int64) (*engine.Engine, error) {
 	nw, err := networkFor(topoName, n, seed)
 	if err != nil {
 		return nil, err
 	}
-	return newEngine(name, nw, workers)
+	return newEngine(name, nw, cfg)
 }
 
 // ExtChurn is an extension experiment beyond the paper: sessions have
@@ -50,7 +50,7 @@ func ExtChurn(cfg Config) ([]Figure, error) {
 		fig.X = append(fig.X, float64(x))
 	}
 	for _, name := range onlineSeries {
-		adm, err := newChurnEngine(name, "waxman", n, cfg.EngineWorkers, cfg.Seed+int64(n))
+		adm, err := newChurnEngine(cfg, name, "waxman", n, cfg.Seed+int64(n))
 		if err != nil {
 			return nil, err
 		}

@@ -33,7 +33,7 @@ func ExtErlang(cfg Config) ([]Figure, error) {
 	results := make([]cell, len(loads)*len(onlineSeries))
 	err := forEachIndex(len(results), func(i int) error {
 		li, ai := i/len(onlineSeries), i%len(onlineSeries)
-		ratio, rerr := erlangRun(onlineSeries[ai], n, loads[li], arrivals, cfg.EngineWorkers, cfg.Seed+int64(li))
+		ratio, rerr := erlangRun(cfg, onlineSeries[ai], n, loads[li], arrivals, cfg.Seed+int64(li))
 		if rerr != nil {
 			return rerr
 		}
@@ -77,8 +77,8 @@ func (q *departureQueue) Pop() interface{} {
 // erlangRun simulates one policy at one offered load and returns the
 // acceptance ratio. The mean holding time is fixed at 1 hour, so the
 // arrival rate equals the offered load.
-func erlangRun(policy string, n int, erlangs float64, arrivals, workers int, seed int64) (float64, error) {
-	ca, err := newChurnEngine(policy, "waxman", n, workers, seed)
+func erlangRun(cfg Config, policy string, n int, erlangs float64, arrivals int, seed int64) (float64, error) {
+	ca, err := newChurnEngine(cfg, policy, "waxman", n, seed)
 	if err != nil {
 		return 0, err
 	}

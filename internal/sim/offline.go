@@ -271,7 +271,7 @@ func Fig7(cfg Config) ([]Figure, error) {
 		// plan/commit lifecycle with Appro_Multi_Cap as the planner.
 		eng := engine.New(nw,
 			core.NewApproCapPlanner(core.Options{K: cfg.K, Workers: cfg.Workers}),
-			engine.Options{Workers: cfg.EngineWorkers})
+			engineOptions(cfg, "Appro_Multi_Cap"))
 		defer eng.Close()
 		var (
 			capCost, uncapCost, capMS float64

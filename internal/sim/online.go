@@ -31,28 +31,30 @@ func plannerFor(name string, nw *sdn.Network) (core.Planner, error) {
 }
 
 // newEngine builds the admission engine every online driver runs
-// through. Workers <= 1 (the harness default) selects sequential mode,
-// which reproduces the direct admitters decision-for-decision; the
-// harness already parallelises across sweep points, so per-engine
-// concurrency is only worth enabling when measuring a single run.
-// Callers own the engine and must Close it.
-func newEngine(name string, nw *sdn.Network, workers int) (*engine.Engine, error) {
+// through. cfg.EngineWorkers <= 1 (the harness default) selects
+// sequential mode, which reproduces the direct admitters
+// decision-for-decision; the harness already parallelises across sweep
+// points, so per-engine concurrency is only worth enabling when
+// measuring a single run. When cfg.Metrics is set the engine reports
+// into it under the planner's policy label. Callers own the engine and
+// must Close it.
+func newEngine(name string, nw *sdn.Network, cfg Config) (*engine.Engine, error) {
 	p, err := plannerFor(name, nw)
 	if err != nil {
 		return nil, err
 	}
-	return engine.New(nw, p, engine.Options{Workers: workers}), nil
+	return engine.New(nw, p, engineOptions(cfg, p.Name())), nil
 }
 
 // onlineRun feeds an identical request sequence to one policy's engine
 // over its own copy of the network and returns the admitted count after
 // every request.
-func onlineRun(name, topoName string, n int, requests, workers int, seed int64) ([]int, error) {
+func onlineRun(cfg Config, name, topoName string, n, requests int, seed int64) ([]int, error) {
 	nw, err := networkFor(topoName, n, seed)
 	if err != nil {
 		return nil, err
 	}
-	eng, err := newEngine(name, nw, workers)
+	eng, err := newEngine(name, nw, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +94,7 @@ func Fig8(cfg Config) ([]Figure, error) {
 	err := forEachIndex(len(finals), func(i int) error {
 		ni, ai := i/len(onlineSeries), i%len(onlineSeries)
 		n := cfg.NetworkSizes[ni]
-		counts, rerr := onlineRun(onlineSeries[ai], "waxman", n, cfg.Requests, cfg.EngineWorkers, cfg.Seed+int64(n))
+		counts, rerr := onlineRun(cfg, onlineSeries[ai], "waxman", n, cfg.Requests, cfg.Seed+int64(n))
 		if rerr != nil {
 			return rerr
 		}
@@ -143,7 +145,7 @@ func Fig9(cfg Config) ([]Figure, error) {
 			fig.X = append(fig.X, float64(x))
 		}
 		for _, name := range onlineSeries {
-			counts, err := onlineRun(name, tp.id, 0, cfg.Requests, cfg.EngineWorkers, cfg.Seed+int64(ti))
+			counts, err := onlineRun(cfg, name, tp.id, 0, cfg.Requests, cfg.Seed+int64(ti))
 			if err != nil {
 				return nil, err
 			}

@@ -47,7 +47,7 @@ func ExtOnlineK(cfg Config) ([]Figure, error) {
 		if perr != nil {
 			return perr
 		}
-		adm := engine.New(nw, p, engine.Options{Workers: cfg.EngineWorkers})
+		adm := engine.New(nw, p, engineOptions(cfg, p.Name()))
 		defer adm.Close()
 		gen, gerr := multicast.NewGenerator(n, multicast.OnlineGeneratorConfig(), cfg.Seed+51)
 		if gerr != nil {

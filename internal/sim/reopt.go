@@ -33,7 +33,7 @@ func ExtReoptimize(cfg Config) ([]Figure, error) {
 	after := Series{Label: "after"}
 	savedPct := Series{Label: "% saved"}
 	for pi, policy := range policies {
-		eng, err := newChurnEngine(policy, "waxman", n, cfg.EngineWorkers, cfg.Seed+int64(n))
+		eng, err := newChurnEngine(cfg, policy, "waxman", n, cfg.Seed+int64(n))
 		if err != nil {
 			return nil, err
 		}

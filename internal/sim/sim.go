@@ -25,8 +25,12 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 
+	"nfvmcast/internal/engine"
+	"nfvmcast/internal/obs"
 	"nfvmcast/internal/parallel"
 	"nfvmcast/internal/sdn"
 	"nfvmcast/internal/topology"
@@ -73,6 +77,15 @@ type Config struct {
 	// not change. Like Workers, raise it only when measuring a single
 	// run: the harness already saturates the CPUs across sweep points.
 	EngineWorkers int
+	// Metrics, when non-nil, is the observability registry every
+	// admission engine of the run attaches to: per-policy lifecycle
+	// counters and reason-labelled rejection counts accumulate across
+	// all sweep points of the experiment (instruments are
+	// concurrency-safe, so the parallel harness needs no extra
+	// coordination). nil — the default — keeps the drivers
+	// uninstrumented. Write the accumulated state out with
+	// WriteMetricsSummary.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the evaluation's parameters with request
@@ -143,6 +156,42 @@ func (f *Figure) Render() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// engineOptions returns the admission-engine options a driver should
+// run a policy with under cfg: the configured planning concurrency
+// plus, when cfg.Metrics is set, a policy-labelled observability
+// binding. Engines of the same policy across sweep points share the
+// registry's instruments, so counters aggregate per policy over the
+// whole run.
+func engineOptions(cfg Config, policy string) engine.Options {
+	o := engine.Options{Workers: cfg.EngineWorkers}
+	if cfg.Metrics != nil {
+		o.Obs = obs.NewAdmissionObs(cfg.Metrics, policy, obs.AdmissionObsOptions{})
+	}
+	return o
+}
+
+// WriteMetricsSummary writes the run's accumulated metrics registry as
+// one JSON document named metrics-<experiment>.json under dir
+// (creating dir if needed) and returns the written path.
+func WriteMetricsSummary(dir, experiment string, reg *obs.Registry) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "metrics-"+experiment+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	werr := reg.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return "", fmt.Errorf("sim: write metrics summary %s: %w", path, werr)
+	}
+	return path, nil
 }
 
 // networkFor builds the evaluation network for a named topology:

@@ -42,6 +42,7 @@ import (
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/nfv"
+	"nfvmcast/internal/obs"
 	"nfvmcast/internal/sdn"
 	"nfvmcast/internal/topology"
 	"nfvmcast/internal/viz"
@@ -262,6 +263,44 @@ func NewEngine(nw *Network, planner Planner, opts EngineOptions) *Engine {
 	return engine.New(nw, planner, opts)
 }
 
+// Observability (internal/obs): a lock-cheap metrics registry plus a
+// structured admission-event stream, attachable to any Engine through
+// EngineOptions.Obs and servable over HTTP in Prometheus text format.
+type (
+	// MetricsRegistry holds named counters, gauges and histograms.
+	MetricsRegistry = obs.Registry
+	// AdmissionObs binds one policy's admission lifecycle to a
+	// registry (and, optionally, an event sink).
+	AdmissionObs = obs.AdmissionObs
+	// AdmissionObsOptions configures event emission and latency
+	// sampling.
+	AdmissionObsOptions = obs.AdmissionObsOptions
+	// AdmissionEvent is one structured admission-lifecycle event.
+	AdmissionEvent = obs.Event
+	// EventSink receives admission events (JSONLinesSink, RingSink).
+	EventSink = obs.Sink
+	// NetworkGauges exports per-link/per-server residual-utilisation
+	// and exponential-weight saturation gauges.
+	NetworkGauges = obs.NetworkGauges
+	// SaturationModel parameterises the weight-saturation gauges with
+	// the exponential cost model's α, β, σ_v, σ_e.
+	SaturationModel = obs.SaturationModel
+)
+
+// Observability constructors and servers.
+var (
+	NewMetricsRegistry = obs.NewRegistry
+	NewAdmissionObs    = obs.NewAdmissionObs
+	NewNetworkGauges   = obs.NewNetworkGauges
+	NewJSONLinesSink   = obs.NewJSONLinesSink
+	NewRingSink        = obs.NewRingSink
+	// ServeMetrics starts an HTTP listener exposing the registry at
+	// /metrics (Prometheus text), /metrics.json and /debug/pprof/.
+	ServeMetrics = obs.ListenAndServe
+	// MetricsHandler is the underlying http.Handler for embedding.
+	MetricsHandler = obs.Handler
+)
+
 // WriteTopologyDOT renders a topology as Graphviz DOT (servers drawn
 // as filled boxes).
 func WriteTopologyDOT(w io.Writer, topo *Topology, servers []NodeID) error {
@@ -282,6 +321,8 @@ var (
 	ErrDelayBound       = core.ErrDelayBound
 	ErrUnknownRequest   = core.ErrUnknownRequest
 	ErrEngineClosed     = engine.ErrClosed
+	ErrNoPlan           = engine.ErrNoPlan
+	ErrCommitConflict   = engine.ErrCommitConflict
 	ErrUndelivered      = multicast.ErrUndelivered
 	ErrDisconnected     = graph.ErrDisconnected
 	ErrTableFull        = sdn.ErrTableFull
