@@ -56,8 +56,22 @@ func (a *Admitter) Planner() Planner { return a.planner }
 // count rejections — the caller decides whether a failed plan is final
 // (CountRejection) or re-planned.
 func (a *Admitter) PlanOn(view *sdn.Network, req *multicast.Request) (*Solution, error) {
+	return a.PlanOnWith(view, req, nil)
+}
+
+// PlanOnWith is PlanOn with a caller-owned scratch arena, forwarded to
+// the planner when it implements ArenaPlanner (and ignored otherwise).
+// The engine keeps one arena per planner slot so concurrent plans
+// reuse scratch without sharing it.
+func (a *Admitter) PlanOnWith(view *sdn.Network, req *multicast.Request, arena *PlanArena) (*Solution, error) {
 	start := a.obs.Now()
-	sol, err := a.planner.Plan(view, req)
+	var sol *Solution
+	var err error
+	if ap, ok := a.planner.(ArenaPlanner); ok && arena != nil {
+		sol, err = ap.PlanWith(view, req, arena)
+	} else {
+		sol, err = a.planner.Plan(view, req)
+	}
 	if err != nil {
 		a.obs.PlanDone(start, req.ID, nil, 0, err)
 		return nil, err
@@ -71,7 +85,13 @@ func (a *Admitter) PlanOn(view *sdn.Network, req *multicast.Request) (*Solution,
 // returns ErrRejected (wrapped with the reason) and leaves the network
 // untouched.
 func (a *Admitter) Admit(req *multicast.Request) (*Solution, error) {
-	sol, err := a.PlanOn(a.nw, req)
+	return a.AdmitWith(req, nil)
+}
+
+// AdmitWith is Admit with a caller-owned scratch arena for the plan
+// step (see PlanOnWith). Decisions are identical to Admit.
+func (a *Admitter) AdmitWith(req *multicast.Request, arena *PlanArena) (*Solution, error) {
+	sol, err := a.PlanOnWith(a.nw, req, arena)
 	if err != nil {
 		a.countRejection(req, err)
 		return nil, err

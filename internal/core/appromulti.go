@@ -67,8 +67,11 @@ func ApproMulti(nw *sdn.Network, req *multicast.Request, opts Options) (*Solutio
 		return nil, ErrNoFeasibleServer
 	}
 
-	spSrc, err := graph.Dijkstra(w.g, req.Source)
-	if err != nil {
+	// One Dijkstra workspace (heap arena) serves every per-request
+	// shortest-path tree; the trees themselves own their arrays.
+	var ws graph.DijkstraWorkspace
+	spSrc := new(graph.ShortestPaths)
+	if err := ws.DijkstraInto(w.g, req.Source, spSrc); err != nil {
 		return nil, err
 	}
 	var reachSrv []graph.NodeID
@@ -91,8 +94,8 @@ func ApproMulti(nw *sdn.Network, req *multicast.Request, opts Options) (*Solutio
 	spSrv := make(map[graph.NodeID]*graph.ShortestPaths, len(reachSrv))
 	for _, v := range reachSrv {
 		omega[v] = spSrc.Dist[v] + nw.ServerUnitCost(v)*demand
-		sp, derr := graph.Dijkstra(w.g, v)
-		if derr != nil {
+		sp := new(graph.ShortestPaths)
+		if derr := ws.DijkstraInto(w.g, v, sp); derr != nil {
 			return nil, derr
 		}
 		spSrv[v] = sp
@@ -107,7 +110,7 @@ func ApproMulti(nw *sdn.Network, req *multicast.Request, opts Options) (*Solutio
 	// (§III.C: minimise the implementation cost). SelectionCost keeps
 	// the winning subset's auxiliary value for the theory-facing
 	// bound.
-	ev, err := newClosureEvaluator(w, req, spSrv)
+	ev, err := newClosureEvaluator(w, req, spSrv, nil, &ws)
 	if err != nil {
 		return nil, err
 	}
@@ -201,10 +204,15 @@ func evaluateCandidates(
 	}
 	locals := make([]bestCandidate, workers)
 	sawDelay := make([]bool, workers)
+	// Per-worker scratch arenas: candidate evaluation reuses one
+	// allocation set per goroutine instead of rebuilding closures,
+	// pruning graphs and adjacency maps for each of the O(|V_S|^K)
+	// candidates.
+	scratches := make([]evalScratch, workers)
 	for i := range locals {
 		locals[i] = bestCandidate{op: graph.Infinity, idx: -1}
 	}
-	eval := func(idx int, local *bestCandidate, delayed *bool) {
+	eval := func(idx int, local *bestCandidate, delayed *bool, s *evalScratch) {
 		c := cands[idx]
 		var (
 			servers   []graph.NodeID
@@ -215,17 +223,17 @@ func evaluateCandidates(
 		switch {
 		case c.rooted:
 			var treeCost float64
-			realEdges, treeCost, cerr = ev.steinerRooted(c.servers[0])
+			realEdges, treeCost, cerr = ev.steinerRooted(c.servers[0], s)
 			servers, auxCost = c.servers, omega[c.servers[0]]+treeCost
 		case opts.ExplicitAuxiliary:
 			servers, realEdges, auxCost, cerr = buildSubsetTreeExplicitCost(w, req, c.servers, omega)
 		default:
-			servers, realEdges, auxCost, cerr = ev.steiner(c.servers, omega)
+			servers, realEdges, auxCost, cerr = ev.steiner(c.servers, omega, s)
 		}
 		if cerr != nil {
 			return // infeasible candidate, e.g. a destination unreachable through it
 		}
-		tree, derr := decompose(w, req, spSrc, servers, realEdges)
+		tree, derr := decompose(w, req, spSrc, servers, realEdges, s)
 		if derr != nil {
 			return
 		}
@@ -249,7 +257,7 @@ func evaluateCandidates(
 	// pool cannot return an error.
 	_ = parallel.ForEachIndex(workers, workers, func(wi int) error {
 		for idx := wi; idx < len(cands); idx += workers {
-			eval(idx, &locals[wi], &sawDelay[wi])
+			eval(idx, &locals[wi], &sawDelay[wi], &scratches[wi])
 		}
 		return nil
 	})
@@ -271,13 +279,15 @@ func evaluateCandidates(
 // virtual servers plus the surviving real (work-local) edges — into a
 // pseudo-multicast tree: one unprocessed shortest path from the source
 // to each used server, and the processed distribution component rooted
-// at each server (paper §III.B's G_T construction).
+// at each server (paper §III.B's G_T construction). s supplies the
+// adjacency/visited scratch (stamp-invalidated per call).
 func decompose(
 	w *workGraph,
 	req *multicast.Request,
 	spSrc *graph.ShortestPaths,
 	servers []graph.NodeID,
 	realEdges []graph.EdgeID,
+	s *evalScratch,
 ) (*multicast.PseudoTree, error) {
 	tree := multicast.NewPseudoTree(req.Source, req.Destinations, servers)
 
@@ -295,36 +305,51 @@ func decompose(
 	// Processed stream: orient each server's component of the real
 	// edge forest away from the server. Removing the virtual source
 	// splits the auxiliary tree into one component per used server.
-	adj := make(map[graph.NodeID][]graph.Neighbor)
+	s.ensure(w.g.NumNodes(), w.g.NumEdges())
+	gen := s.nextGen()
+	adjAt := func(v graph.NodeID) []graph.Neighbor {
+		if s.adjGen[v] != gen {
+			return nil
+		}
+		return s.adj[v]
+	}
 	for _, le := range realEdges {
 		e := w.g.Edge(le)
-		adj[e.U] = append(adj[e.U], graph.Neighbor{Node: e.V, EdgeID: le})
-		adj[e.V] = append(adj[e.V], graph.Neighbor{Node: e.U, EdgeID: le})
+		for _, v := range [2]graph.NodeID{e.U, e.V} {
+			if s.adjGen[v] != gen {
+				s.adjGen[v] = gen
+				s.adj[v] = s.adj[v][:0]
+			}
+		}
+		s.adj[e.U] = append(s.adj[e.U], graph.Neighbor{Node: e.V, EdgeID: le})
+		s.adj[e.V] = append(s.adj[e.V], graph.Neighbor{Node: e.U, EdgeID: le})
 	}
-	visited := make(map[graph.NodeID]bool)
+	visited := func(v graph.NodeID) bool { return s.visGen[v] == gen }
+	visit := func(v graph.NodeID) { s.visGen[v] = gen }
+	s.stack = s.stack[:0]
 	for _, v := range servers {
-		if visited[v] {
+		if visited(v) {
 			return nil, fmt.Errorf("core: internal: servers %v share a tree component", servers)
 		}
-		visited[v] = true
-		stack := []graph.NodeID{v}
-		for len(stack) > 0 {
-			u := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for _, nb := range adj[u] {
-				if visited[nb.Node] {
+		visit(v)
+		s.stack = append(s.stack, v)
+		for len(s.stack) > 0 {
+			u := s.stack[len(s.stack)-1]
+			s.stack = s.stack[:len(s.stack)-1]
+			for _, nb := range adjAt(u) {
+				if visited(nb.Node) {
 					continue
 				}
-				visited[nb.Node] = true
+				visit(nb.Node)
 				tree.AddHop(multicast.Hop{
 					From: u, To: nb.Node, Edge: w.hostEdge(nb.EdgeID), Processed: true,
 				})
-				stack = append(stack, nb.Node)
+				s.stack = append(s.stack, nb.Node)
 			}
 		}
 	}
 	for _, d := range req.Destinations {
-		if !visited[d] {
+		if !visited(d) {
 			return nil, fmt.Errorf("core: internal: destination %d outside every server component", d)
 		}
 	}

@@ -15,12 +15,12 @@ import (
 // through the KMB metric closure in O(|D_k|^2 + |D_k|*|subset|).
 //
 // Thread safety: a closureEvaluator is read-only after
-// newClosureEvaluator returns. steiner and steinerRooted build all
-// mutable state (closure graphs, MSTs, union maps, the pruning temp
-// graph) locally per call and only read the precomputed ShortestPaths,
-// so one evaluator may be shared by any number of goroutines — this is
-// what Appro_Multi's parallel candidate evaluation relies on, and the
-// -race stress tests in parallel_test.go pin it down.
+// newClosureEvaluator returns. steiner and steinerRooted keep all
+// mutable state in the caller's evalScratch and only read the
+// precomputed ShortestPaths, so one evaluator may be shared by any
+// number of goroutines as long as each brings its own scratch — this
+// is what Appro_Multi's parallel candidate evaluation relies on, and
+// the -race stress tests in parallel_test.go pin it down.
 type closureEvaluator struct {
 	w     *workGraph
 	req   *multicast.Request
@@ -28,8 +28,13 @@ type closureEvaluator struct {
 	spDst []*graph.ShortestPaths // parallel to req.Destinations
 }
 
+// newClosureEvaluator precomputes the per-destination shortest-path
+// trees. spc, when non-nil, supplies/memoizes them (the online
+// planners share one cache per residual epoch); ws, when non-nil,
+// provides the heap arena for cache misses.
 func newClosureEvaluator(
 	w *workGraph, req *multicast.Request, spSrv map[graph.NodeID]*graph.ShortestPaths,
+	spc *spCache, ws *graph.DijkstraWorkspace,
 ) (*closureEvaluator, error) {
 	ev := &closureEvaluator{
 		w:     w,
@@ -38,7 +43,17 @@ func newClosureEvaluator(
 		spDst: make([]*graph.ShortestPaths, len(req.Destinations)),
 	}
 	for i, d := range req.Destinations {
-		sp, err := graph.Dijkstra(w.g, d)
+		var sp *graph.ShortestPaths
+		var err error
+		switch {
+		case spc != nil:
+			sp, err = spc.fromWith(d, ws)
+		case ws != nil:
+			sp = new(graph.ShortestPaths)
+			err = ws.DijkstraInto(w.g, d, sp)
+		default:
+			sp, err = graph.Dijkstra(w.g, d)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -51,14 +66,15 @@ func newClosureEvaluator(
 // {virtual source} ∪ D_k for the given subset: closure node 0 is the
 // virtual source, node j+1 is destination j. It returns the closure
 // MST edges plus, per destination, the cheapest entry server realising
-// the virtual-source distance. ok is false when some destination
-// cannot be reached through any subset server.
+// the virtual-source distance (all scratch-backed, valid until the
+// next call with s). ok is false when some destination cannot be
+// reached through any subset server.
 func (ev *closureEvaluator) closureMST(
-	subset []graph.NodeID, omega map[graph.NodeID]float64,
+	subset []graph.NodeID, omega map[graph.NodeID]float64, s *evalScratch,
 ) (mst *graph.MST, closure *graph.Graph, entry []graph.NodeID, ok bool) {
 	m := len(ev.req.Destinations)
-	closure = graph.New(m + 1)
-	entry = make([]graph.NodeID, m)
+	s.closure.Reset(m + 1)
+	s.entry = s.entry[:0]
 	for j, d := range ev.req.Destinations {
 		best := graph.Infinity
 		bestV := graph.NodeID(-1)
@@ -72,31 +88,39 @@ func (ev *closureEvaluator) closureMST(
 		if bestV == -1 {
 			return nil, nil, nil, false
 		}
-		entry[j] = bestV
-		closure.MustAddEdge(0, j+1, best)
+		s.entry = append(s.entry, bestV)
+		s.closure.MustAddEdge(0, j+1, best)
 	}
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			d := ev.spDst[i].Dist[ev.req.Destinations[j]]
 			if d < graph.Infinity {
-				closure.MustAddEdge(i+1, j+1, d)
+				s.closure.MustAddEdge(i+1, j+1, d)
 			}
 		}
 	}
-	t, err := graph.PrimMST(closure)
-	if err != nil {
+	if err := s.mst.Prim(&s.closure, &s.closureMST); err != nil {
 		return nil, nil, nil, false
 	}
-	return t, closure, entry, true
+	return &s.closureMST, &s.closure, s.entry, true
 }
 
 // expand converts a closure MST into the union of work-graph edges and
-// used virtual servers (KMB step 3).
+// used virtual servers (KMB step 3). The returned slices are
+// scratch-backed, deduplicated and unsorted (refine sorts them).
 func (ev *closureEvaluator) expand(
-	mst *graph.MST, closure *graph.Graph, entry []graph.NodeID,
-) (union map[graph.EdgeID]struct{}, virt map[graph.NodeID]struct{}, err error) {
-	union = make(map[graph.EdgeID]struct{})
-	virt = make(map[graph.NodeID]struct{})
+	mst *graph.MST, closure *graph.Graph, entry []graph.NodeID, s *evalScratch,
+) (union []graph.EdgeID, virt []graph.NodeID, err error) {
+	gen := s.nextGen()
+	s.union = s.union[:0]
+	s.virt = s.virt[:0]
+	addEdge := func(e graph.EdgeID) bool {
+		if s.edgeGen[e] != gen {
+			s.edgeGen[e] = gen
+			s.union = append(s.union, e)
+		}
+		return true
+	}
 	dests := ev.req.Destinations
 	for _, cid := range mst.EdgeIDs {
 		ce := closure.Edge(cid)
@@ -107,40 +131,38 @@ func (ev *closureEvaluator) expand(
 		if a == 0 {
 			// Virtual source to destination b-1 through its entry server.
 			v := entry[b-1]
-			virt[v] = struct{}{}
-			_, edges, ok := ev.spSrv[v].PathTo(dests[b-1])
-			if !ok {
+			if s.nodeGen[v] != gen {
+				s.nodeGen[v] = gen
+				s.virt = append(s.virt, v)
+			}
+			if !ev.spSrv[v].VisitPathEdges(dests[b-1], addEdge) {
 				return nil, nil, fmt.Errorf("%w: server %d to destination %d",
 					ErrUnreachable, v, dests[b-1])
 			}
-			for _, e := range edges {
-				union[e] = struct{}{}
-			}
 			continue
 		}
-		_, edges, ok := ev.spDst[a-1].PathTo(dests[b-1])
-		if !ok {
+		if !ev.spDst[a-1].VisitPathEdges(dests[b-1], addEdge) {
 			return nil, nil, fmt.Errorf("%w: destinations %d and %d",
 				ErrUnreachable, dests[a-1], dests[b-1])
 		}
-		for _, e := range edges {
-			union[e] = struct{}{}
-		}
 	}
-	return union, virt, nil
+	return s.union, s.virt, nil
 }
 
 // refine runs KMB steps 4-5 on the expansion: MST of the union
 // subgraph (with the virtual source attached through its used virtual
 // edges), then iterative pruning of non-terminal leaves. It returns
-// the surviving virtual servers, the surviving real work-graph edges,
-// and the total auxiliary cost. When virt is empty, extraTerminals
-// must anchor the tree instead of the virtual source (the rooted
-// variant used for single-server candidates).
+// the surviving virtual servers, the surviving real work-graph edges
+// (both scratch-backed; PseudoTree construction copies what it keeps),
+// and the total auxiliary cost. union and virt are sorted in place.
+// When virt is empty, extraTerminals must anchor the tree instead of
+// the virtual source (the rooted variant used for single-server
+// candidates).
 func (ev *closureEvaluator) refine(
-	union map[graph.EdgeID]struct{},
-	virt map[graph.NodeID]struct{},
+	union []graph.EdgeID,
+	virt []graph.NodeID,
 	omega map[graph.NodeID]float64,
+	s *evalScratch,
 	extraTerminals ...graph.NodeID,
 ) (servers []graph.NodeID, realEdges []graph.EdgeID, cost float64, err error) {
 	w := ev.w
@@ -148,117 +170,130 @@ func (ev *closureEvaluator) refine(
 	virtualNode := n // the auxiliary virtual source s'_k
 
 	// Deterministic iteration order.
-	unionList := make([]graph.EdgeID, 0, len(union))
-	for e := range union {
-		unionList = append(unionList, e)
-	}
-	sort.Ints(unionList)
-	virtList := make([]graph.NodeID, 0, len(virt))
-	for v := range virt {
-		virtList = append(virtList, v)
-	}
-	sort.Ints(virtList)
+	sort.Ints(union)
+	sort.Ints(virt)
 
-	// Temp graph over n+1 nodes holding only the union edges; payload
-	// maps temp edge -> (real work edge | virtual server).
-	type payload struct {
-		real    graph.EdgeID
-		virtual graph.NodeID // -1 when real
-	}
-	tg := graph.New(n + 1)
-	payloads := make([]payload, 0, len(unionList)+len(virtList))
-	for _, e := range unionList {
+	// Pruning graph over n+1 nodes holding only the union edges;
+	// payload maps pruning edge -> (real work edge | virtual server).
+	tg := &s.tg
+	tg.Reset(n + 1)
+	s.payloads = s.payloads[:0]
+	for _, e := range union {
 		he := w.g.Edge(e)
 		tg.MustAddEdge(he.U, he.V, he.W)
-		payloads = append(payloads, payload{real: e, virtual: -1})
+		s.payloads = append(s.payloads, refinePayload{real: e, virtual: -1})
 	}
-	for _, v := range virtList {
+	for _, v := range virt {
 		tg.MustAddEdge(virtualNode, v, omega[v])
-		payloads = append(payloads, payload{virtual: v})
+		s.payloads = append(s.payloads, refinePayload{virtual: v})
 	}
 
 	// Spanning forest of the union: the terminal component is a tree,
 	// isolated nodes contribute nothing, so ErrDisconnected is
 	// expected and benign here.
-	forest, ferr := graph.KruskalMST(tg)
-	if ferr != nil && ferr != graph.ErrDisconnected {
+	if ferr := s.mst.Kruskal(tg, &s.forest); ferr != nil && ferr != graph.ErrDisconnected {
 		return nil, nil, 0, ferr
 	}
 
 	// Prune non-terminal leaves (terminals: virtual source when
-	// present, the destinations, and any extra anchors).
-	isTerm := make(map[graph.NodeID]struct{}, len(ev.req.Destinations)+2)
-	if len(virtList) > 0 {
-		isTerm[virtualNode] = struct{}{}
+	// present, the destinations, and any extra anchors). The dense
+	// per-node arrays cover all n+1 pruning-graph nodes; leaf removal
+	// is confluent, so visiting candidates in node order reproduces the
+	// same surviving edge set as any other order.
+	nt := n + 1
+	if cap(s.isTerm) < nt {
+		s.isTerm = make([]bool, nt)
+		s.deg = make([]int32, nt)
+	}
+	isTerm := s.isTerm[:nt]
+	deg := s.deg[:nt]
+	for i := 0; i < nt; i++ {
+		isTerm[i] = false
+		deg[i] = 0
+	}
+	if len(virt) > 0 {
+		isTerm[virtualNode] = true
 	}
 	for _, d := range ev.req.Destinations {
-		isTerm[d] = struct{}{}
+		isTerm[d] = true
 	}
 	for _, v := range extraTerminals {
-		isTerm[v] = struct{}{}
+		isTerm[v] = true
 	}
-	deg := make(map[graph.NodeID]int)
-	alive := make(map[graph.EdgeID]bool, len(forest.EdgeIDs))
-	incident := make(map[graph.NodeID][]graph.EdgeID)
-	for _, id := range forest.EdgeIDs {
+	if cap(s.incident) < nt {
+		grown := make([][]int32, nt)
+		copy(grown, s.incident[:cap(s.incident)])
+		s.incident = grown
+	} else {
+		s.incident = s.incident[:nt]
+	}
+	incident := s.incident
+	for i := 0; i < nt; i++ {
+		incident[i] = incident[i][:0]
+	}
+	if cap(s.alive) < len(s.payloads) {
+		s.alive = make([]bool, len(s.payloads))
+	}
+	alive := s.alive[:len(s.payloads)]
+	for i := range alive {
+		alive[i] = false
+	}
+	for _, id := range s.forest.EdgeIDs {
 		alive[id] = true
 		e := tg.Edge(id)
 		deg[e.U]++
 		deg[e.V]++
-		incident[e.U] = append(incident[e.U], id)
-		incident[e.V] = append(incident[e.V], id)
+		incident[e.U] = append(incident[e.U], int32(id))
+		incident[e.V] = append(incident[e.V], int32(id))
 	}
-	var queue []graph.NodeID
-	for v, d := range deg {
-		if d == 1 {
-			if _, ok := isTerm[v]; !ok {
-				queue = append(queue, v)
-			}
+	s.queue = s.queue[:0]
+	for v := 0; v < nt; v++ {
+		if deg[v] == 1 && !isTerm[v] {
+			s.queue = append(s.queue, v)
 		}
 	}
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
+	for len(s.queue) > 0 {
+		v := s.queue[len(s.queue)-1]
+		s.queue = s.queue[:len(s.queue)-1]
 		for _, id := range incident[v] {
 			if !alive[id] {
 				continue
 			}
 			alive[id] = false
-			e := tg.Edge(id)
+			e := tg.Edge(int(id))
 			other := e.U
 			if other == v {
 				other = e.V
 			}
 			deg[v]--
 			deg[other]--
-			if deg[other] == 1 {
-				if _, ok := isTerm[other]; !ok {
-					queue = append(queue, other)
-				}
+			if deg[other] == 1 && !isTerm[other] {
+				s.queue = append(s.queue, other)
 			}
 		}
 	}
 
-	aliveIDs := make([]graph.EdgeID, 0, len(alive))
+	// Surviving edges in ascending pruning-edge order — the same sorted
+	// order the cost accumulation has always used, keeping float sums
+	// bit-deterministic.
+	s.servers = s.servers[:0]
+	s.realEdges = s.realEdges[:0]
 	for id, ok := range alive {
-		if ok {
-			aliveIDs = append(aliveIDs, id)
+		if !ok {
+			continue
 		}
-	}
-	sort.Ints(aliveIDs)
-	for _, id := range aliveIDs {
 		cost += tg.Weight(id)
-		p := payloads[id]
+		p := s.payloads[id]
 		if p.virtual >= 0 {
-			servers = append(servers, p.virtual)
+			s.servers = append(s.servers, p.virtual)
 		} else {
-			realEdges = append(realEdges, p.real)
+			s.realEdges = append(s.realEdges, p.real)
 		}
 	}
-	if len(virtList) > 0 && len(servers) == 0 {
+	if len(virt) > 0 && len(s.servers) == 0 {
 		return nil, nil, 0, fmt.Errorf("core: internal: pruned tree lost every server")
 	}
-	return servers, realEdges, cost, nil
+	return s.servers, s.realEdges, cost, nil
 }
 
 // steinerRooted builds a KMB tree over {root} ∪ D_k from the
@@ -268,71 +303,76 @@ func (ev *closureEvaluator) refine(
 // problem and complements the virtual-source construction whose
 // closure offsets all source-side distances by ω.
 func (ev *closureEvaluator) steinerRooted(
-	root graph.NodeID,
+	root graph.NodeID, s *evalScratch,
 ) (realEdges []graph.EdgeID, cost float64, err error) {
 	spRoot, ok := ev.spSrv[root]
 	if !ok {
 		return nil, 0, fmt.Errorf("%w: server %d has no precomputed paths", ErrUnreachable, root)
 	}
+	s.ensure(ev.w.g.NumNodes(), ev.w.g.NumEdges())
 	m := len(ev.req.Destinations)
-	closure := graph.New(m + 1)
+	s.closure.Reset(m + 1)
 	for j, d := range ev.req.Destinations {
 		dist := spRoot.Dist[d]
 		if dist >= graph.Infinity {
 			return nil, 0, fmt.Errorf("%w: destination %d from server %d", ErrUnreachable, d, root)
 		}
-		closure.MustAddEdge(0, j+1, dist)
+		s.closure.MustAddEdge(0, j+1, dist)
 	}
 	for i := 0; i < m; i++ {
 		for j := i + 1; j < m; j++ {
 			d := ev.spDst[i].Dist[ev.req.Destinations[j]]
 			if d < graph.Infinity {
-				closure.MustAddEdge(i+1, j+1, d)
+				s.closure.MustAddEdge(i+1, j+1, d)
 			}
 		}
 	}
-	mst, err := graph.PrimMST(closure)
-	if err != nil {
+	if err := s.mst.Prim(&s.closure, &s.closureMST); err != nil {
 		return nil, 0, err
 	}
-	union := make(map[graph.EdgeID]struct{})
-	for _, cid := range mst.EdgeIDs {
-		ce := closure.Edge(cid)
+	gen := s.nextGen()
+	s.union = s.union[:0]
+	addEdge := func(e graph.EdgeID) bool {
+		if s.edgeGen[e] != gen {
+			s.edgeGen[e] = gen
+			s.union = append(s.union, e)
+		}
+		return true
+	}
+	for _, cid := range s.closureMST.EdgeIDs {
+		ce := s.closure.Edge(cid)
 		a, b := ce.U, ce.V
 		if a > b {
 			a, b = b, a
 		}
-		var pathEdges []graph.EdgeID
 		var pok bool
 		if a == 0 {
-			_, pathEdges, pok = spRoot.PathTo(ev.req.Destinations[b-1])
+			pok = spRoot.VisitPathEdges(ev.req.Destinations[b-1], addEdge)
 		} else {
-			_, pathEdges, pok = ev.spDst[a-1].PathTo(ev.req.Destinations[b-1])
+			pok = ev.spDst[a-1].VisitPathEdges(ev.req.Destinations[b-1], addEdge)
 		}
 		if !pok {
 			return nil, 0, ErrUnreachable
 		}
-		for _, e := range pathEdges {
-			union[e] = struct{}{}
-		}
 	}
-	_, realEdges, cost, err = ev.refine(union, nil, nil, root)
+	_, realEdges, cost, err = ev.refine(s.union, nil, nil, s, root)
 	return realEdges, cost, err
 }
 
 // steiner runs the full KMB pipeline for one server subset and
-// returns the used servers, the surviving real work-graph edges, and
-// the auxiliary Steiner tree cost c(T_k^i).
+// returns the used servers, the surviving real work-graph edges
+// (scratch-backed), and the auxiliary Steiner tree cost c(T_k^i).
 func (ev *closureEvaluator) steiner(
-	subset []graph.NodeID, omega map[graph.NodeID]float64,
+	subset []graph.NodeID, omega map[graph.NodeID]float64, s *evalScratch,
 ) (servers []graph.NodeID, realEdges []graph.EdgeID, auxCost float64, err error) {
-	mst, closure, entry, ok := ev.closureMST(subset, omega)
+	s.ensure(ev.w.g.NumNodes(), ev.w.g.NumEdges())
+	mst, closure, entry, ok := ev.closureMST(subset, omega, s)
 	if !ok {
 		return nil, nil, 0, ErrUnreachable
 	}
-	union, virt, err := ev.expand(mst, closure, entry)
+	union, virt, err := ev.expand(mst, closure, entry, s)
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	return ev.refine(union, virt, omega)
+	return ev.refine(union, virt, omega, s)
 }

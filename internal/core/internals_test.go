@@ -113,11 +113,11 @@ func TestClosureSteinerMatchesGenericKMBOnSingleton(t *testing.T) {
 			v: spSrc.Dist[v] + nw.ServerUnitCost(v)*demand,
 		}
 		ev, eerr := newClosureEvaluator(w, req,
-			map[graph.NodeID]*graph.ShortestPaths{v: spV})
+			map[graph.NodeID]*graph.ShortestPaths{v: spV}, nil, nil)
 		if eerr != nil {
 			t.Fatal(eerr)
 		}
-		_, _, gotCost, serr := ev.steiner([]graph.NodeID{v}, omega)
+		_, _, gotCost, serr := ev.steiner([]graph.NodeID{v}, omega, new(evalScratch))
 		if serr != nil {
 			t.Fatal(serr)
 		}
@@ -161,7 +161,7 @@ func TestDecomposeRejectsForeignDestination(t *testing.T) {
 	if req.Destinations[0] == v || req.Destinations[1] == v {
 		t.Skip("destination coincides with server in this fixture")
 	}
-	if _, err := decompose(w, req, spSrc, []graph.NodeID{v}, nil); err == nil {
+	if _, err := decompose(w, req, spSrc, []graph.NodeID{v}, nil, new(evalScratch)); err == nil {
 		t.Fatal("foreign destination accepted")
 	}
 }

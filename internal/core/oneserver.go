@@ -47,7 +47,7 @@ func AlgOneServer(nw *sdn.Network, req *multicast.Request, capacitated bool) (*S
 	if len(reachSrv) == 0 {
 		return nil, fmt.Errorf("%w: no server reachable from source %d", ErrUnreachable, req.Source)
 	}
-	ev, err := newClosureEvaluator(w, req, spSrv)
+	ev, err := newClosureEvaluator(w, req, spSrv, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -57,13 +57,14 @@ func AlgOneServer(nw *sdn.Network, req *multicast.Request, capacitated bool) (*S
 		bestCost = graph.Infinity
 		bestSel  float64
 		bestTree *multicast.PseudoTree
+		scratch  evalScratch
 	)
 	for _, v := range reachSrv {
-		realEdges, treeCost, rerr := ev.steinerRooted(v)
+		realEdges, treeCost, rerr := ev.steinerRooted(v, &scratch)
 		if rerr != nil {
 			continue
 		}
-		tree, derr := decompose(w, req, spSrc, []graph.NodeID{v}, realEdges)
+		tree, derr := decompose(w, req, spSrc, []graph.NodeID{v}, realEdges, &scratch)
 		if derr != nil {
 			continue
 		}
@@ -119,15 +120,16 @@ func AlgOneServerNearest(nw *sdn.Network, req *multicast.Request, capacitated bo
 	if err != nil {
 		return nil, err
 	}
-	ev, err := newClosureEvaluator(w, req, map[graph.NodeID]*graph.ShortestPaths{nearest: spV})
+	ev, err := newClosureEvaluator(w, req, map[graph.NodeID]*graph.ShortestPaths{nearest: spV}, nil, nil)
 	if err != nil {
 		return nil, err
 	}
-	realEdges, treeCost, err := ev.steinerRooted(nearest)
+	var scratch evalScratch
+	realEdges, treeCost, err := ev.steinerRooted(nearest, &scratch)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
 	}
-	tree, err := decompose(w, req, spSrc, []graph.NodeID{nearest}, realEdges)
+	tree, err := decompose(w, req, spSrc, []graph.NodeID{nearest}, realEdges, &scratch)
 	if err != nil {
 		return nil, err
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
@@ -33,8 +34,16 @@ func NewOnlineCP(nw *sdn.Network, model CostModel) (*OnlineCP, error) {
 // feasible pseudo-multicast tree for a request under the exponential
 // weights and the admission thresholds, with no side effects on the
 // network view it plans against.
+//
+// A planner instance serves one logical network and its read-only
+// clones (the same constraint SPStaticPlanner documents): it memoizes
+// residual work graphs keyed on the network's structure and mutation
+// versions, which identify a residual state only within one network
+// family.
 type CPPlanner struct {
-	model CostModel
+	model  CostModel
+	cache  workGraphCache
+	arenas sync.Pool // *PlanArena for arena-less Plan calls
 }
 
 // NewCPPlanner returns an Online_CP planner with the given cost model.
@@ -48,11 +57,13 @@ func NewCPPlanner(model CostModel) (*CPPlanner, error) {
 // Name identifies the algorithm.
 func (p *CPPlanner) Name() string { return "Online_CP" }
 
-// Plan computes the cheapest feasible pseudo-multicast tree for req
-// under the exponential weights and the admission thresholds.
-func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
-	if err := validateInput(nw, req); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+// view returns the residual work graph and shortest-path cache for
+// (nw, req), memoized across Plan calls on the (structure, mutation,
+// request-parameter) key — see workGraphCache.
+func (p *CPPlanner) view(nw *sdn.Network, req *multicast.Request) (*workGraph, *spCache) {
+	key := makeWorkGraphKey(nw, req)
+	if w, spc, ok := p.cache.get(key); ok {
+		return w, spc
 	}
 	// Residual view of the network. Steiner-tree construction prices
 	// each link with the request's marginal exponential cost — the
@@ -67,9 +78,54 @@ func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, er
 		utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
 		return math.Pow(p.model.Beta, utilAfter) - 1
 	})
+	spc := newSPCache(w.g)
+	p.cache.put(key, w, spc)
+	return w, spc
+}
+
+// Plan computes the cheapest feasible pseudo-multicast tree for req
+// under the exponential weights and the admission thresholds.
+func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
+	arena, _ := p.arenas.Get().(*PlanArena)
+	if arena == nil {
+		arena = NewPlanArena()
+	}
+	defer p.arenas.Put(arena)
+	return p.PlanWith(nw, req, arena)
+}
+
+// PlanWith is Plan with a caller-owned scratch arena (see PlanArena);
+// the engine hands each planner worker its own so concurrent plans
+// never share scratch. The result is identical to Plan.
+func (p *CPPlanner) PlanWith(nw *sdn.Network, req *multicast.Request, arena *PlanArena) (*Solution, error) {
+	if arena == nil {
+		return p.Plan(nw, req)
+	}
+	if err := validateInput(nw, req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	w, spc := p.view(nw, req)
 	if len(w.servers) == 0 {
 		return nil, fmt.Errorf("%w: %w: %0.f MHz demanded",
 			ErrRejected, ErrComputeExhausted, req.ComputeDemandMHz())
+	}
+
+	// KMB needs one shortest-path tree per terminal, and every
+	// candidate server shares the terminals {s_k} ∪ D_k — so the
+	// source- and destination-rooted Dijkstras run once per request
+	// (through the epoch cache: once per residual state) instead of
+	// once per candidate, and each candidate only adds its own root.
+	spSrc, err := spc.fromWith(req.Source, &arena.ws)
+	if err != nil {
+		return nil, err
+	}
+	arena.dstSPs = arena.dstSPs[:0]
+	for _, d := range req.Destinations {
+		spD, derr := spc.fromWith(d, &arena.ws)
+		if derr != nil {
+			return nil, derr
+		}
+		arena.dstSPs = append(arena.dstSPs, spD)
 	}
 
 	var (
@@ -83,8 +139,15 @@ func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, er
 		if p.model.ServerWeight(nw, v) >= p.model.SigmaV {
 			continue
 		}
-		terminals := append([]graph.NodeID{req.Source, v}, req.Destinations...)
-		st, err := graph.SteinerKMB(w.g, terminals)
+		spV, verr := spc.fromWith(v, &arena.ws)
+		if verr != nil {
+			continue
+		}
+		arena.terms = append(arena.terms[:0], req.Source, v)
+		arena.terms = append(arena.terms, req.Destinations...)
+		arena.sps = append(arena.sps[:0], spSrc, spV)
+		arena.sps = append(arena.sps, arena.dstSPs...)
+		st, err := graph.SteinerKMBWithSPs(w.g, arena.terms, arena.sps, &arena.steiner)
 		if err != nil {
 			continue // this server is cut off in the residual network
 		}
@@ -106,7 +169,7 @@ func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, er
 		if overloaded {
 			continue
 		}
-		tree, retCost, err := p.realize(nw, w, req, v, st)
+		tree, retCost, err := p.realize(nw, w, req, v, st, arena)
 		if err != nil {
 			continue
 		}
@@ -143,13 +206,15 @@ func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, er
 // back-tracking path c(p_{v,u}).
 func (p *CPPlanner) realize(
 	nw *sdn.Network, w *workGraph, req *multicast.Request, v graph.NodeID, st *graph.SteinerTree,
+	arena *PlanArena,
 ) (*multicast.PseudoTree, float64, error) {
 	rt, err := graph.NewRootedTree(w.g, st.EdgeIDs, req.Source)
 	if err != nil {
 		return nil, 0, err
 	}
-	lcaArgs := append([]graph.NodeID{v}, req.Destinations...)
-	u, err := rt.LCAAll(lcaArgs...)
+	arena.lcaArgs = append(arena.lcaArgs[:0], v)
+	arena.lcaArgs = append(arena.lcaArgs, req.Destinations...)
+	u, err := rt.LCAAll(arena.lcaArgs...)
 	if err != nil {
 		return nil, 0, err
 	}

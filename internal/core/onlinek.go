@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
@@ -33,10 +34,15 @@ func NewOnlineCPK(nw *sdn.Network, model CostModel, k int) (*OnlineCPK, error) {
 	return &OnlineCPK{Admitter: NewAdmitter(nw, p)}, nil
 }
 
-// CPKPlanner is the pure planning half of OnlineCPK.
+// CPKPlanner is the pure planning half of OnlineCPK. Like CPPlanner it
+// memoizes residual work graphs per (structure, mutation, request
+// parameter) key, so one instance must serve one logical network and
+// its read-only clones.
 type CPKPlanner struct {
-	model CostModel
-	k     int
+	model  CostModel
+	k      int
+	cache  workGraphCache
+	arenas sync.Pool // *PlanArena for arena-less Plan calls
 }
 
 // NewCPKPlanner returns a K-server online planner.
@@ -53,11 +59,12 @@ func NewCPKPlanner(model CostModel, k int) (*CPKPlanner, error) {
 // Name identifies the algorithm.
 func (p *CPKPlanner) Name() string { return "Online_CPK" }
 
-// Plan proposes the cheapest admissible tree over server subsets of
-// size <= K under the exponential cost model's thresholds.
-func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
-	if err := validateInput(nw, req); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+// view returns the residual work graph and shortest-path cache for
+// (nw, req), memoized across Plan calls — see workGraphCache.
+func (p *CPKPlanner) view(nw *sdn.Network, req *multicast.Request) (*workGraph, *spCache) {
+	key := makeWorkGraphKey(nw, req)
+	if w, spc, ok := p.cache.get(key); ok {
+		return w, spc
 	}
 	// Residual network with marginal exponential link weights (the
 	// same pricing Online_CP uses for tree construction).
@@ -65,10 +72,36 @@ func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, e
 		utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
 		return math.Pow(p.model.Beta, utilAfter) - 1
 	})
+	spc := newSPCache(w.g)
+	p.cache.put(key, w, spc)
+	return w, spc
+}
+
+// Plan proposes the cheapest admissible tree over server subsets of
+// size <= K under the exponential cost model's thresholds.
+func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
+	arena, _ := p.arenas.Get().(*PlanArena)
+	if arena == nil {
+		arena = NewPlanArena()
+	}
+	defer p.arenas.Put(arena)
+	return p.PlanWith(nw, req, arena)
+}
+
+// PlanWith is Plan with a caller-owned scratch arena; results are
+// identical to Plan.
+func (p *CPKPlanner) PlanWith(nw *sdn.Network, req *multicast.Request, arena *PlanArena) (*Solution, error) {
+	if arena == nil {
+		return p.Plan(nw, req)
+	}
+	if err := validateInput(nw, req); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
+	}
+	w, spc := p.view(nw, req)
 	if len(w.servers) == 0 {
 		return nil, fmt.Errorf("%w: %w", ErrRejected, ErrComputeExhausted)
 	}
-	spSrc, err := graph.Dijkstra(w.g, req.Source)
+	spSrc, err := spc.fromWith(req.Source, &arena.ws)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +117,7 @@ func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, e
 		if wv >= p.model.SigmaV {
 			continue
 		}
-		sp, derr := graph.Dijkstra(w.g, v)
+		sp, derr := spc.fromWith(v, &arena.ws)
 		if derr != nil {
 			return nil, derr
 		}
@@ -101,7 +134,7 @@ func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, e
 			return nil, fmt.Errorf("%w: %w: destination %d", ErrRejected, ErrUnreachable, d)
 		}
 	}
-	ev, err := newClosureEvaluator(w, req, spSrv)
+	ev, err := newClosureEvaluator(w, req, spSrv, spc, &arena.ws)
 	if err != nil {
 		return nil, err
 	}
@@ -117,7 +150,7 @@ func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, e
 		bestTree *multicast.PseudoTree
 	)
 	consider := func(servers []graph.NodeID, realEdges []graph.EdgeID) {
-		tree, derr := decompose(w, req, spSrc, servers, realEdges)
+		tree, derr := decompose(w, req, spSrc, servers, realEdges, &arena.eval)
 		if derr != nil {
 			return
 		}
@@ -147,13 +180,13 @@ func (p *CPKPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, e
 		}
 	}
 	forEachSubset(candidates, p.k, func(subset []graph.NodeID) bool {
-		if servers, realEdges, _, cerr := ev.steiner(subset, omega); cerr == nil {
+		if servers, realEdges, _, cerr := ev.steiner(subset, omega, &arena.eval); cerr == nil {
 			consider(servers, realEdges)
 		}
 		return true
 	})
 	for _, v := range candidates {
-		if realEdges, _, rerr := ev.steinerRooted(v); rerr == nil {
+		if realEdges, _, rerr := ev.steinerRooted(v, &arena.eval); rerr == nil {
 			consider([]graph.NodeID{v}, realEdges)
 		}
 	}

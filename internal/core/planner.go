@@ -27,6 +27,17 @@ type Planner interface {
 	Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error)
 }
 
+// ArenaPlanner is implemented by planners whose Plan can run on
+// caller-owned scratch memory (see PlanArena). Callers that plan in a
+// loop — the admission engine's worker slots, benchmark drivers — keep
+// one arena per goroutine and avoid re-growing planner scratch on
+// every request. PlanWith(nw, req, arena) must return exactly what
+// Plan(nw, req) would; a nil arena is equivalent to Plan.
+type ArenaPlanner interface {
+	Planner
+	PlanWith(nw *sdn.Network, req *multicast.Request, arena *PlanArena) (*Solution, error)
+}
+
 // ApproCapPlanner adapts the offline Appro_Multi_Cap algorithm to the
 // Planner interface, turning the Fig. 7 sequential-admission loop
 // (solve capacitated, then allocate) into the same plan/commit

@@ -31,13 +31,27 @@ func newSPCache(g *graph.Graph) *spCache {
 // from returns the shortest-path tree rooted at v, computing and
 // memoizing it on first use.
 func (c *spCache) from(v graph.NodeID) (*graph.ShortestPaths, error) {
+	return c.fromWith(v, nil)
+}
+
+// fromWith is from with an optional caller-owned Dijkstra workspace
+// (heap arena) for the miss path. The computed tree itself owns its
+// arrays, so cached trees stay immutable and shareable regardless of
+// which workspace produced them.
+func (c *spCache) fromWith(v graph.NodeID, ws *graph.DijkstraWorkspace) (*graph.ShortestPaths, error) {
 	c.mu.Lock()
 	sp, ok := c.byRoot[v]
 	c.mu.Unlock()
 	if ok {
 		return sp, nil
 	}
-	sp, err := graph.Dijkstra(c.g, v)
+	var err error
+	if ws != nil {
+		sp = new(graph.ShortestPaths)
+		err = ws.DijkstraInto(c.g, v, sp)
+	} else {
+		sp, err = graph.Dijkstra(c.g, v)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"sync"
+
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// workGraphKey identifies one residual work-graph construction: the
+// network's structural and residual epochs plus the request parameters
+// the construction depends on (link filtering and pricing use the
+// request's bandwidth, server filtering its compute demand — nothing
+// else about the request enters buildWorkGraph).
+//
+// Like SPStaticPlanner's memoisation, the key assumes a planner serves
+// one logical network plus read-only clones of it: clones inherit both
+// versions, and sdn.Network bumps MutationVersion on every residual
+// mutation, so equal keys imply identical residual state on that
+// network family. The node/edge counts guard against gross mismatches
+// when a planner is (incorrectly) pointed at an unrelated network.
+type workGraphKey struct {
+	structVer uint64
+	mutVer    uint64
+	nodes     int
+	edges     int
+	bandwidth float64
+	demand    float64
+}
+
+func makeWorkGraphKey(nw *sdn.Network, req *multicast.Request) workGraphKey {
+	return workGraphKey{
+		structVer: nw.StructureVersion(),
+		mutVer:    nw.MutationVersion(),
+		nodes:     nw.NumNodes(),
+		edges:     nw.NumEdges(),
+		bandwidth: req.BandwidthMbps,
+		demand:    req.ComputeDemandMHz(),
+	}
+}
+
+// wgEntry pairs a cached work graph with the shortest-path cache over
+// it; both are immutable/concurrency-safe, so entries may be shared by
+// any number of planner goroutines.
+type wgEntry struct {
+	key workGraphKey
+	w   *workGraph
+	sp  *spCache
+}
+
+// workGraphCache memoizes residual work graphs (and their
+// shortest-path caches) across Plan calls. Admission plans cluster
+// around few distinct keys — the engine snapshots one mutation epoch
+// for every concurrently-planning request, and replans revisit the
+// epoch that invalidated them — so a small LRU captures nearly every
+// repeat while old epochs age out. Sharing the spCache is the larger
+// win: a hit resumes with every previously-computed Dijkstra tree of
+// that residual state.
+//
+// Safe for concurrent use. Misses are built outside the lock; two
+// goroutines may duplicate a build, but buildWorkGraph is
+// deterministic, so whichever insert wins is correct.
+type workGraphCache struct {
+	mu      sync.Mutex
+	entries []wgEntry // most recently used first
+}
+
+// workGraphCacheSize bounds the LRU: enough for the engine's default
+// worker fan-out to keep every in-flight epoch resident.
+const workGraphCacheSize = 8
+
+// get returns the cached entry for key, promoting it to most recently
+// used.
+func (c *workGraphCache) get(key workGraphKey) (*workGraph, *spCache, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.entries {
+		if c.entries[i].key == key {
+			e := c.entries[i]
+			copy(c.entries[1:i+1], c.entries[:i])
+			c.entries[0] = e
+			return e.w, e.sp, true
+		}
+	}
+	return nil, nil, false
+}
+
+// put inserts an entry at the front, evicting the least recently used
+// beyond the cache size. An entry already present (a racing build) is
+// left in place — both builds are identical.
+func (c *workGraphCache) put(key workGraphKey, w *workGraph, sp *spCache) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.entries {
+		if c.entries[i].key == key {
+			return
+		}
+	}
+	if len(c.entries) < workGraphCacheSize {
+		c.entries = append(c.entries, wgEntry{})
+	}
+	copy(c.entries[1:], c.entries)
+	c.entries[0] = wgEntry{key: key, w: w, sp: sp}
+}

@@ -72,7 +72,16 @@ type Engine struct {
 	adm        *core.Admitter
 	obs        *obs.AdmissionObs // nil-safe; shared with adm
 	sequential bool
-	planSlots  chan struct{}
+	// planSlots both bounds concurrent planners and hands each one a
+	// dedicated scratch arena: a worker owns the arena it drew for the
+	// whole plan (including a re-plan after a commit conflict), so
+	// concurrent planners never share scratch while arenas still get
+	// reused across requests.
+	planSlots chan *core.PlanArena
+
+	// seqArena is the single-writer mode's scratch; only the writer
+	// goroutine plans in that mode, so one arena suffices.
+	seqArena *core.PlanArena
 
 	// mutations counts state changes (commits, departs, replaces,
 	// updates) and is touched only on the writer goroutine. A commit
@@ -98,10 +107,14 @@ func New(nw *sdn.Network, planner core.Planner, opts Options) *Engine {
 		adm:        core.NewAdmitter(nw, planner),
 		obs:        opts.Obs,
 		sequential: workers <= 1,
-		planSlots:  make(chan struct{}, workers),
+		planSlots:  make(chan *core.PlanArena, workers),
+		seqArena:   core.NewPlanArena(),
 		ops:        make(chan func()),
 		quit:       make(chan struct{}),
 		done:       make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		e.planSlots <- core.NewPlanArena()
 	}
 	e.adm.Observe(opts.Obs)
 	go e.writer()
@@ -155,7 +168,7 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 		var sol *core.Solution
 		var err error
 		if xerr := e.exec(func() {
-			sol, err = e.adm.Admit(req)
+			sol, err = e.adm.AdmitWith(req, e.seqArena)
 			if err == nil {
 				e.mutations++
 			}
@@ -165,11 +178,11 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 		return sol, err
 	}
 
-	e.planSlots <- struct{}{}
-	defer func() { <-e.planSlots }()
+	arena := <-e.planSlots
+	defer func() { e.planSlots <- arena }()
 
 	// Plan against a residual snapshot, commit against the live state.
-	sol, epoch, err := e.planOnSnapshot(req)
+	sol, epoch, err := e.planOnSnapshot(req, arena)
 	if err != nil {
 		return nil, e.reject(req, fmt.Errorf("%w: %w", ErrNoPlan, err))
 	}
@@ -189,7 +202,7 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 	// then give up.
 	e.obs.CommitConflict(req.ID, core.RejectReason(cerr))
 	e.obs.Replanned(req.ID)
-	sol, epoch, err = e.planOnSnapshot(req)
+	sol, epoch, err = e.planOnSnapshot(req, arena)
 	if err != nil {
 		return nil, e.reject(req, fmt.Errorf("%w: %w", ErrNoPlan, err))
 	}
@@ -205,10 +218,11 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 }
 
 // planOnSnapshot clones the live residual state on the writer and
-// plans against the clone on the calling goroutine. It also returns
-// the mutation epoch the snapshot was taken at, so the commit can tell
-// a concurrent invalidation from a deterministic planner overcommit.
-func (e *Engine) planOnSnapshot(req *multicast.Request) (*core.Solution, uint64, error) {
+// plans against the clone on the calling goroutine, using the
+// worker's scratch arena. It also returns the mutation epoch the
+// snapshot was taken at, so the commit can tell a concurrent
+// invalidation from a deterministic planner overcommit.
+func (e *Engine) planOnSnapshot(req *multicast.Request, arena *core.PlanArena) (*core.Solution, uint64, error) {
 	var view *sdn.Network
 	var epoch uint64
 	if xerr := e.exec(func() {
@@ -219,7 +233,7 @@ func (e *Engine) planOnSnapshot(req *multicast.Request) (*core.Solution, uint64,
 	}); xerr != nil {
 		return nil, 0, xerr
 	}
-	sol, err := e.adm.PlanOn(view, req)
+	sol, err := e.adm.PlanOnWith(view, req, arena)
 	return sol, epoch, err
 }
 

@@ -17,6 +17,23 @@ func NewDisjointSet(n int) *DisjointSet {
 	return &DisjointSet{parent: p, rank: make([]byte, n), sets: n}
 }
 
+// Reset re-initialises d to n singleton sets, reusing the arenas when
+// they are large enough.
+func (d *DisjointSet) Reset(n int) {
+	if cap(d.parent) < n {
+		d.parent = make([]int, n)
+		d.rank = make([]byte, n)
+	} else {
+		d.parent = d.parent[:n]
+		d.rank = d.rank[:n]
+	}
+	for i := 0; i < n; i++ {
+		d.parent[i] = i
+		d.rank[i] = 0
+	}
+	d.sets = n
+}
+
 // Find returns the representative of x's set.
 func (d *DisjointSet) Find(x int) int {
 	for d.parent[x] != x {

@@ -82,6 +82,27 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// Reset empties g and re-sizes it to n nodes with no edges, reusing
+// the adjacency arenas of previous construction rounds. It exists for
+// scratch graphs that are rebuilt per evaluation round (Steiner
+// closures, pruning subgraphs) so the rebuild is allocation-free once
+// the arenas have grown to workload size.
+func (g *Graph) Reset(n int) {
+	if n < 0 {
+		n = 0
+	}
+	g.edges = g.edges[:0]
+	if cap(g.adj) < n {
+		g.adj = make([][]halfEdge, n)
+	} else {
+		g.adj = g.adj[:n]
+	}
+	for i := range g.adj {
+		g.adj[i] = g.adj[i][:0]
+	}
+	g.n = n
+}
+
 // NumNodes reports the number of nodes in g.
 func (g *Graph) NumNodes() int { return g.n }
 

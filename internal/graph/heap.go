@@ -24,6 +24,23 @@ func newIndexedHeap(n int) *indexedHeap {
 	}
 }
 
+// reset prepares the heap for a fresh run over node IDs in [0, n),
+// reusing the existing arenas when they are large enough. Abandoned
+// entries from an aborted previous run are cleared.
+func (h *indexedHeap) reset(n int) {
+	for _, v := range h.items {
+		h.pos[v] = -1
+	}
+	h.items = h.items[:0]
+	if len(h.prio) < n {
+		h.prio = make([]float64, n)
+		h.pos = make([]int, n)
+		for i := range h.pos {
+			h.pos[i] = -1
+		}
+	}
+}
+
 // Len reports the number of queued nodes.
 func (h *indexedHeap) Len() int { return len(h.items) }
 

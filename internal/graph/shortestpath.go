@@ -3,36 +3,62 @@ package graph
 import "fmt"
 
 // ShortestPaths holds the result of a single-source shortest-path
-// computation: per-node distances and the predecessor arcs of a
-// shortest-path tree rooted at Source.
+// computation: per-node distances, the predecessor arcs of a
+// shortest-path tree rooted at Source, and per-node tree depths (hop
+// counts) so path extraction can preallocate exactly.
 type ShortestPaths struct {
 	Source     NodeID
 	Dist       []float64 // Dist[v] == Infinity when v is unreachable
 	parentNode []NodeID  // -1 at the source and at unreachable nodes
 	parentEdge []EdgeID  // -1 likewise
+	depth      []int32   // hops from the source; -1 at unreachable nodes
 }
 
 // Dijkstra computes single-source shortest paths from src over the
 // current edge weights. All weights must be non-negative (enforced at
 // insertion time).
 func Dijkstra(g *Graph, src NodeID) (*ShortestPaths, error) {
+	var ws DijkstraWorkspace
+	sp := new(ShortestPaths)
+	if err := ws.DijkstraInto(g, src, sp); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// DijkstraWorkspace owns the transient state of a Dijkstra run (the
+// indexed heap arena) so repeated searches reuse one allocation set.
+// The zero value is ready to use. A workspace is not safe for
+// concurrent use; give each goroutine its own.
+type DijkstraWorkspace struct {
+	heap indexedHeap
+}
+
+// DijkstraInto computes single-source shortest paths from src into sp,
+// reusing both sp's result arrays and the workspace's heap arena.
+// The filled sp is independent of the workspace afterwards: back-to-back
+// DijkstraInto calls on different roots (into different sp targets)
+// produce results identical to fresh Dijkstra calls.
+func (ws *DijkstraWorkspace) DijkstraInto(g *Graph, src NodeID, sp *ShortestPaths) error {
 	if src < 0 || src >= g.NumNodes() {
-		return nil, fmt.Errorf("%w: source %d with n=%d", ErrNodeOutOfRange, src, g.NumNodes())
+		return fmt.Errorf("%w: source %d with n=%d", ErrNodeOutOfRange, src, g.NumNodes())
 	}
 	n := g.NumNodes()
-	sp := &ShortestPaths{
-		Source:     src,
-		Dist:       make([]float64, n),
-		parentNode: make([]NodeID, n),
-		parentEdge: make([]EdgeID, n),
-	}
+	sp.Source = src
+	sp.Dist = growFloats(sp.Dist, n)
+	sp.parentNode = growInts(sp.parentNode, n)
+	sp.parentEdge = growInts(sp.parentEdge, n)
+	sp.depth = growInt32s(sp.depth, n)
 	for i := 0; i < n; i++ {
 		sp.Dist[i] = Infinity
 		sp.parentNode[i] = -1
 		sp.parentEdge[i] = -1
+		sp.depth[i] = -1
 	}
 	sp.Dist[src] = 0
-	h := newIndexedHeap(n)
+	sp.depth[src] = 0
+	h := &ws.heap
+	h.reset(n)
 	h.PushOrDecrease(src, 0)
 	for h.Len() > 0 {
 		u, du := h.Pop()
@@ -44,12 +70,34 @@ func Dijkstra(g *Graph, src NodeID) (*ShortestPaths, error) {
 				sp.Dist[to] = nd
 				sp.parentNode[to] = u
 				sp.parentEdge[to] = id
+				sp.depth[to] = sp.depth[u] + 1
 				h.PushOrDecrease(to, nd)
 			}
 			return true
 		})
 	}
-	return sp, nil
+	return nil
+}
+
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growInt32s(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // Reachable reports whether v was reached from the source.
@@ -59,34 +107,46 @@ func (sp *ShortestPaths) Reachable(v NodeID) bool { return sp.Dist[v] < Infinity
 // or -1 for the source and unreachable nodes.
 func (sp *ShortestPaths) Parent(v NodeID) NodeID { return sp.parentNode[v] }
 
+// Depth returns the hop count of the tree path source→v, or -1 when v
+// is unreachable.
+func (sp *ShortestPaths) Depth(v NodeID) int { return int(sp.depth[v]) }
+
 // PathTo returns the node sequence of a shortest path from the source
 // to v (inclusive of both endpoints) together with the edge IDs used,
-// or ok=false when v is unreachable. len(edges) == len(nodes)-1.
+// or ok=false when v is unreachable. len(edges) == len(nodes)-1. The
+// tracked depth sizes both slices exactly — no append growth.
 func (sp *ShortestPaths) PathTo(v NodeID) (nodes []NodeID, edges []EdgeID, ok bool) {
 	if v < 0 || v >= len(sp.Dist) || !sp.Reachable(v) {
 		return nil, nil, false
 	}
-	for at := v; at != -1; at = sp.parentNode[at] {
-		nodes = append(nodes, at)
-		if e := sp.parentEdge[at]; e != -1 {
-			edges = append(edges, e)
-		}
+	d := int(sp.depth[v])
+	nodes = make([]NodeID, d+1)
+	edges = make([]EdgeID, d)
+	at := v
+	for i := d; i > 0; i-- {
+		nodes[i] = at
+		edges[i-1] = sp.parentEdge[at]
+		at = sp.parentNode[at]
 	}
-	reverseNodes(nodes)
-	reverseEdges(edges)
+	nodes[0] = at
 	return nodes, edges, true
 }
 
-func reverseNodes(s []NodeID) {
-	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
-		s[i], s[j] = s[j], s[i]
+// VisitPathEdges calls fn with every edge on the shortest path
+// source→v, walking from v back to the source, and reports whether v
+// is reachable. If fn returns false, the walk stops early. It performs
+// no allocation — the union-building steps of Steiner construction use
+// it where only the edge set matters.
+func (sp *ShortestPaths) VisitPathEdges(v NodeID, fn func(EdgeID) bool) bool {
+	if v < 0 || v >= len(sp.Dist) || !sp.Reachable(v) {
+		return false
 	}
-}
-
-func reverseEdges(s []EdgeID) {
-	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
-		s[i], s[j] = s[j], s[i]
+	for at := v; sp.parentEdge[at] != -1; at = sp.parentNode[at] {
+		if !fn(sp.parentEdge[at]) {
+			return true
+		}
 	}
+	return true
 }
 
 // BellmanFord computes single-source shortest-path distances by edge

@@ -99,6 +99,7 @@ func (nw *Network) Allocate(a Allocation) error {
 	for v, need := range a.Servers {
 		nw.srvFree[v] -= need
 	}
+	nw.mutVer++
 	return nil
 }
 
@@ -138,6 +139,7 @@ func (nw *Network) Release(a Allocation) error {
 			nw.srvFree[v] = nw.srvCap[v]
 		}
 	}
+	nw.mutVer++
 	return nil
 }
 

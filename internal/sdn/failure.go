@@ -34,6 +34,7 @@ func (nw *Network) SetLinkUp(e graph.EdgeID, up bool) error {
 		nw.linkDown[e] = true
 	}
 	nw.structVer++
+	nw.mutVer++
 	return nil
 }
 
@@ -56,6 +57,7 @@ func (nw *Network) SetServerUp(v graph.NodeID, up bool) error {
 		nw.srvDown[v] = true
 	}
 	nw.structVer++
+	nw.mutVer++
 	return nil
 }
 

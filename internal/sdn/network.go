@@ -85,6 +85,7 @@ type Network struct {
 	srvDown  map[graph.NodeID]bool // failed servers
 
 	structVer uint64 // bumped by failure injection (see StructureVersion)
+	mutVer    uint64 // bumped by every residual mutation (see MutationVersion)
 }
 
 // NewNetwork builds a network over topo with the given config, drawing
@@ -219,6 +220,16 @@ func (nw *Network) ServerUtilization(v graph.NodeID) float64 {
 // network.
 func (nw *Network) StructureVersion() uint64 { return nw.structVer }
 
+// MutationVersion is a counter of residual change: it starts at 0 and
+// increments on every successful Allocate, Release, Restore and
+// failure-injection call. Together with StructureVersion it identifies
+// a point-in-time residual state of one logical network, so planners
+// can cache residual-derived structures (the re-priced work graph and
+// its shortest-path trees) and invalidate them exactly when the
+// residuals move. Clones inherit the version: a read-only clone at the
+// same (structure, mutation) pair is residual-identical to its origin.
+func (nw *Network) MutationVersion() uint64 { return nw.mutVer }
+
 // Clone returns an independent deep copy of the network including
 // residual state.
 func (nw *Network) Clone() *Network {
@@ -235,6 +246,7 @@ func (nw *Network) Clone() *Network {
 		srvCost:  make(map[graph.NodeID]float64, len(nw.srvCost)),
 
 		structVer: nw.structVer,
+		mutVer:    nw.mutVer,
 	}
 	for k, v := range nw.srvCap {
 		cp.srvCap[k] = v
@@ -293,5 +305,6 @@ func (nw *Network) Restore(s *Snapshot) error {
 		}
 		nw.srvFree[k] = v
 	}
+	nw.mutVer++
 	return nil
 }
