@@ -117,12 +117,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		opts := nfvmcast.EngineOptions{}
+		var opts []nfvmcast.EngineOption
 		if metrics != nil {
-			opts.Obs = nfvmcast.NewAdmissionObs(metrics, planner.Name(),
-				nfvmcast.AdmissionObsOptions{SampleLatency: true})
+			opts = append(opts, nfvmcast.WithMetrics(nfvmcast.NewAdmissionObs(
+				metrics, planner.Name(),
+				nfvmcast.AdmissionObsOptions{SampleLatency: true})))
 		}
-		eng := nfvmcast.NewEngine(nw, planner, opts)
+		eng := nfvmcast.NewEngine(nw, planner, opts...)
 		defer eng.Close()
 		sol, err = eng.Admit(req)
 		allocated = err == nil

@@ -118,7 +118,7 @@ func run(args []string) error {
 	for _, name := range names {
 		c := cfg
 		switch name {
-		case "fig8", "fig9", "ablation-costmodel", "ext-churn", "ext-erlang", "ext-onlinek", "ext-reoptimize":
+		case "fig8", "fig9", "ablation-costmodel", "ext-churn", "ext-erlang", "ext-onlinek", "ext-reoptimize", "ext-recover":
 			c = onlineCfg
 		}
 		if *metricsAddr != "" || *metricsDir != "" {
@@ -157,6 +157,16 @@ func run(args []string) error {
 			}
 			if werr != nil {
 				return fmt.Errorf("write %s: %w", path, werr)
+			}
+			// The recovery experiment also captures its benchmark
+			// artifact: campaign stats plus the paired local-repair vs
+			// full-re-plan timing probe.
+			if name == "ext-recover" {
+				bpath, berr := sim.WriteRecoveryBench(*jsonDir, c)
+				if berr != nil {
+					return berr
+				}
+				fmt.Printf("# recovery benchmark written to %s\n", bpath)
 			}
 		}
 		fmt.Printf("# %s completed in %v (requests=%d, seed=%d, K=%d, reps=%d)\n\n",

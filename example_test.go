@@ -3,6 +3,8 @@ package nfvmcast_test
 import (
 	"fmt"
 	"math/rand"
+	"os"
+	"sort"
 
 	"nfvmcast"
 )
@@ -85,4 +87,193 @@ func ExampleGEANT() {
 	// Output:
 	// GEANT: 40 PoPs, 66 links, 9 NFV server sites
 	// node 17 is London
+}
+
+// square returns a four-switch ring network with one NFV server at
+// switch 2 — small enough that every example stays deterministic, but
+// cyclic, so a failed link always has a detour.
+func square() *nfvmcast.Network {
+	g := nfvmcast.NewGraph(4)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 1)
+	g.MustAddEdge(2, 3, 1)
+	g.MustAddEdge(3, 0, 1)
+	topo := &nfvmcast.Topology{Name: "square", Graph: g, Servers: 1}
+	rng := rand.New(rand.NewSource(7))
+	nw, err := nfvmcast.NewNetworkWithServers(
+		topo, nfvmcast.DefaultNetworkConfig(), []nfvmcast.NodeID{2}, rng)
+	if err != nil {
+		panic(err)
+	}
+	return nw
+}
+
+// ExampleNewEngine builds the v1 admission engine with functional
+// options — metrics plus the self-healing recovery subsystem — admits
+// a session, fails a link it uses, and reads the recovery report the
+// engine produced inside Update.
+func ExampleNewEngine() {
+	nw := square()
+	planner, err := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+	if err != nil {
+		fmt.Println("planner:", err)
+		return
+	}
+	eng := nfvmcast.NewEngine(nw, planner,
+		nfvmcast.WithWorkers(1),
+		nfvmcast.WithRecovery(nfvmcast.DefaultRecoveryPolicy()),
+	)
+	defer eng.Close()
+
+	req := &nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{1, 3},
+		BandwidthMbps: 50, Chain: nfvmcast.MustChain(nfvmcast.Firewall),
+	}
+	sol, err := eng.Admit(req)
+	if err != nil {
+		fmt.Println("admit:", err)
+		return
+	}
+
+	// Fail the first link the session's tree uses; recovery runs
+	// before Update returns.
+	var used []int
+	for e := range nfvmcast.AllocationFor(req, sol.Tree).Links {
+		used = append(used, int(e))
+	}
+	sort.Ints(used)
+	if err := eng.Update(func(n *nfvmcast.Network) error {
+		return n.SetLinkUp(nfvmcast.EdgeID(used[0]), false)
+	}); err != nil {
+		fmt.Println("update:", err)
+		return
+	}
+	rep := eng.LastRecovery()
+	for _, out := range rep.Outcomes {
+		fmt.Printf("session %d: %s\n", out.RequestID, out.Mode)
+	}
+	fmt.Printf("live sessions: %d\n", eng.LiveCount())
+	// Output:
+	// session 1: local
+	// live sessions: 1
+}
+
+func ExampleNewOptions() {
+	opts := nfvmcast.NewOptions(
+		nfvmcast.WithK(2),
+		nfvmcast.Capacitated(),
+		nfvmcast.WithMaxDeliveryHops(6),
+	)
+	fmt.Printf("K=%d capacitated=%v maxHops=%d\n", opts.K, opts.Capacitated, opts.MaxDeliveryHops)
+	// Output:
+	// K=2 capacitated=true maxHops=6
+}
+
+func ExampleNewController() {
+	nw := square()
+	req := &nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{3},
+		BandwidthMbps: 50, Chain: nfvmcast.MustChain(nfvmcast.NAT),
+	}
+	sol, err := nfvmcast.ApproMulti(nw, req, nfvmcast.NewOptions(nfvmcast.WithK(1)))
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	if err := nw.Allocate(nfvmcast.AllocationFor(req, sol.Tree)); err != nil {
+		fmt.Println("allocate:", err)
+		return
+	}
+	ctrl := nfvmcast.NewController(nw)
+	if err := ctrl.Install(req, sol.Tree); err != nil {
+		fmt.Println("install:", err)
+		return
+	}
+	if err := ctrl.VerifyDelivery(req.ID); err != nil {
+		fmt.Println("verify:", err)
+		return
+	}
+	fmt.Printf("installed %d rules, delivery verified\n", ctrl.TotalRules())
+	// Output:
+	// installed 5 rules, delivery verified
+}
+
+func ExampleNewMetricsRegistry() {
+	nw := square()
+	planner, _ := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+	reg := nfvmcast.NewMetricsRegistry()
+	eng := nfvmcast.NewEngine(nw, planner,
+		nfvmcast.WithMetrics(nfvmcast.NewAdmissionObs(reg, planner.Name(), nfvmcast.AdmissionObsOptions{})),
+	)
+	defer eng.Close()
+	_, _ = eng.Admit(&nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{1},
+		BandwidthMbps: 10, Chain: nfvmcast.MustChain(nfvmcast.Firewall),
+	})
+	fmt.Println("admitted:", reg.CounterValues()[`nfv_admitted_total{policy="Online_CP"}`])
+	// Output:
+	// admitted: 1
+}
+
+func ExampleNewGenerator() {
+	gen, err := nfvmcast.NewGenerator(40, nfvmcast.OnlineGeneratorConfig(), 1)
+	if err != nil {
+		fmt.Println("generator:", err)
+		return
+	}
+	for i := 0; i < 2; i++ {
+		req, _ := gen.Next()
+		fmt.Printf("request %d: %d destinations, chain %v\n", req.ID, len(req.Destinations), req.Chain)
+	}
+	// Output:
+	// request 1: 4 destinations, chain <Proxy>
+	// request 2: 5 destinations, chain <LoadBalancer, IDS>
+}
+
+func ExampleWriteTopologyDOT() {
+	g := nfvmcast.NewGraph(3)
+	g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 2)
+	topo := &nfvmcast.Topology{Name: "tiny", Graph: g, Servers: 1, NodeNames: []string{"a", "b", "c"}}
+	if err := nfvmcast.WriteTopologyDOT(os.Stdout, topo, []nfvmcast.NodeID{1}); err != nil {
+		fmt.Println("dot:", err)
+	}
+	// Output:
+	// graph "tiny" {
+	//   layout=neato;
+	//   overlap=false;
+	//   node [shape=circle, fontsize=10];
+	//   "a";
+	//   "b" [shape=box, style=filled, fillcolor=lightblue];
+	//   "c";
+	//   "a" -- "b" [label="1"];
+	//   "b" -- "c" [label="2"];
+	// }
+}
+
+func ExampleWriteTreeDOT() {
+	nw := square()
+	req := &nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{3},
+		BandwidthMbps: 50, Chain: nfvmcast.MustChain(nfvmcast.NAT),
+	}
+	sol, err := nfvmcast.ApproMulti(nw, req, nfvmcast.NewOptions(nfvmcast.WithK(1)))
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	if err := nfvmcast.WriteTreeDOT(os.Stdout, nw, nil, sol.Tree); err != nil {
+		fmt.Println("dot:", err)
+	}
+	// Output:
+	// digraph pseudomulticast {
+	//   rankdir=LR;
+	//   node [shape=circle, fontsize=10];
+	//   "v0" [shape=house, style=filled, fillcolor=palegreen];
+	//   "v2" [shape=box, style=filled, fillcolor=lightblue];
+	//   "v3" [shape=doublecircle];
+	//   "v0" -> "v3" [style="dashed, color=gray40"];
+	//   "v3" -> "v2" [style="dashed, color=gray40"];
+	//   "v2" -> "v3" [style="solid, color=blue"];
+	// }
 }

@@ -1,14 +1,19 @@
-// Failover: link failure, impact analysis, and session recovery.
+// Failover: link failure and self-healing session recovery.
 //
-// An operator runs live multicast sessions admitted by Online_CP.
-// A backbone link fails. The controller identifies the affected
-// sessions, tears down their state (departure frees their resources),
-// re-plans each on the degraded network, and re-installs the survivors
-// — demonstrating the failure-injection and departure extensions of
-// this library end to end.
+// An operator runs live multicast sessions admitted by Online_CP. A
+// backbone link fails. The engine's recovery subsystem — enabled with
+// WithRecovery — identifies the affected sessions inside the same
+// Update that injected the failure, re-routes each around the failure
+// (local repair, with the VM placement pinned, accepted while the new
+// tree costs at most γ× the old one), falls back to a full re-plan
+// where re-routing is too expensive or infeasible, and sheds what the
+// degraded network cannot host. The controller then reconciles flow
+// rules from the recovery report and verifies every repaired session
+// by packet replay.
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
@@ -38,20 +43,21 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// Admission runs through the engine; failure injection and repair
-	// go through its Update hatch so they never race a commit. The
-	// engine reports into a metrics registry, and the last events of
-	// the admission stream are kept in a ring for the closing audit.
+	// Admission runs through the engine; failure injection goes through
+	// its Update hatch so it never races a commit, and the recovery
+	// policy makes Update repair affected sessions before returning.
 	planner, err := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(networkSize))
 	if err != nil {
 		return err
 	}
+	policy := nfvmcast.DefaultRecoveryPolicy()
 	metrics := nfvmcast.NewMetricsRegistry()
 	ring := nfvmcast.NewRingSink(8)
-	cp := nfvmcast.NewEngine(nw, planner, nfvmcast.EngineOptions{
-		Obs: nfvmcast.NewAdmissionObs(metrics, planner.Name(),
-			nfvmcast.AdmissionObsOptions{Events: ring}),
-	})
+	cp := nfvmcast.NewEngine(nw, planner,
+		nfvmcast.WithMetrics(nfvmcast.NewAdmissionObs(metrics, planner.Name(),
+			nfvmcast.AdmissionObsOptions{Events: ring})),
+		nfvmcast.WithRecovery(policy),
+	)
 	defer cp.Close()
 	ctrl := nfvmcast.NewController(nw)
 
@@ -82,6 +88,8 @@ func run() error {
 
 	// Phase 2: fail the busiest link that is not a cut edge (losing a
 	// bridge partitions the network and nothing can be re-routed).
+	// Recovery runs inside this Update: when it returns, every
+	// affected session has been repaired or shed.
 	isBridge := make(map[nfvmcast.EdgeID]bool)
 	for _, e := range nfvmcast.Bridges(nw.Graph()) {
 		isBridge[e] = true
@@ -104,45 +112,49 @@ func run() error {
 	}
 	fmt.Printf("\n*** link %d (%d—%d, %.0f%% utilised) FAILED ***\n\n", hot, he.U, he.V, 100*hotUtil)
 
-	// Phase 3: find affected sessions, tear them down, re-plan.
-	var affected []*nfvmcast.Solution
-	for id, sol := range live {
-		if nw.AffectedBy(nfvmcast.AllocationFor(sol.Request, sol.Tree)) {
-			affected = append(affected, sol)
-			if _, err := cp.Depart(id); err != nil {
-				return err
-			}
-			if err := ctrl.Uninstall(id); err != nil {
-				return err
-			}
-			delete(live, id)
-		}
+	// Phase 3: reconcile flow rules from the recovery report. Repaired
+	// sessions keep their identity but carry a new tree; shed sessions
+	// are gone with ErrDegraded.
+	rep := cp.LastRecovery()
+	if rep == nil {
+		return fmt.Errorf("recovery did not run")
 	}
-	fmt.Printf("%d sessions crossed the failed link; torn down and re-planning...\n", len(affected))
-
-	recovered, dropped := 0, 0
-	for _, old := range affected {
-		req := old.Request.Clone()
-		req.ID += 100000 // new session identity on re-admission
-		sol, aerr := cp.Admit(req)
-		if aerr != nil {
-			dropped++
-			continue
-		}
-		if err := ctrl.Install(req, sol.Tree); err != nil {
+	for _, out := range rep.Outcomes {
+		if err := ctrl.Uninstall(out.RequestID); err != nil {
 			return err
 		}
-		if err := ctrl.VerifyDelivery(req.ID); err != nil {
-			return fmt.Errorf("recovered session %d broken: %w", req.ID, err)
+		if out.Mode == nfvmcast.RecoveryModeShed {
+			if !errors.Is(out.Err, nfvmcast.ErrDegraded) {
+				return fmt.Errorf("shed session %d missing ErrDegraded: %v", out.RequestID, out.Err)
+			}
+			delete(live, out.RequestID)
+			fmt.Printf("  session %d shed (no residual capacity)\n", out.RequestID)
+			continue
 		}
-		live[req.ID] = sol
-		recovered++
+		// The γ bound is the local-repair acceptance rule: a re-routed
+		// tree may cost at most Gamma times the damaged one.
+		if out.Mode == nfvmcast.RecoveryModeLocal && out.NewCost > policy.Gamma*out.OldCost {
+			return fmt.Errorf("local repair of %d broke the cost bound: %.1f > %.1f×%.1f",
+				out.RequestID, out.NewCost, policy.Gamma, out.OldCost)
+		}
+		sol := out.Solution
+		if err := ctrl.Install(sol.Request, sol.Tree); err != nil {
+			return err
+		}
+		if err := ctrl.VerifyDelivery(out.RequestID); err != nil {
+			return fmt.Errorf("repaired session %d broken: %w", out.RequestID, err)
+		}
+		live[out.RequestID] = sol
+		fmt.Printf("  session %d repaired (%s, cost %.1f -> %.1f)\n",
+			out.RequestID, out.Mode, out.OldCost, out.NewCost)
 	}
-	fmt.Printf("recovery: %d sessions re-routed (verified by packet replay), %d dropped\n",
-		recovered, dropped)
+	fmt.Printf("recovery: %d re-routed locally, %d re-planned, %d shed (repairs verified by packet replay)\n",
+		rep.Local, rep.Replanned, rep.Shed)
 	fmt.Printf("post-failure: %d live sessions, %d flow rules\n", len(live), ctrl.TotalRules())
 
-	// Phase 4: repair.
+	// Phase 4: repair the link. The restore bumps the structure version
+	// too; with no session touching a failed resource the recovery pass
+	// is an empty no-op.
 	if err := cp.Update(func(nw *nfvmcast.Network) error {
 		return nw.SetLinkUp(hot, true)
 	}); err != nil {
@@ -151,12 +163,14 @@ func run() error {
 	fmt.Printf("\nlink repaired; %d links down\n", len(nw.DownLinks()))
 
 	// Closing audit from the observability layer: lifecycle totals and
-	// the tail of the admission-event stream (the failure injections of
-	// phases 2 and 4 appear as failure_injected events).
+	// the tail of the admission-event stream (the repair_attempted /
+	// repaired / shed events of phase 2 appear alongside the two
+	// failure_injected markers).
 	counters := metrics.CounterValues()
-	fmt.Printf("\nmetrics: admitted=%d departed=%d failures_injected=%d\n",
+	fmt.Printf("\nmetrics: admitted=%d repairs=%d shed=%d failures_injected=%d\n",
 		counters[`nfv_admitted_total{policy="Online_CP"}`],
-		counters[`nfv_departed_total{policy="Online_CP"}`],
+		counters[`nfv_repairs_attempted_total{policy="Online_CP"}`],
+		counters[`nfv_shed_total{policy="Online_CP"}`],
 		counters[`nfv_failures_injected_total{policy="Online_CP"}`])
 	fmt.Printf("last %d of %d admission events:\n", len(ring.Events()), ring.Total())
 	for _, ev := range ring.Events() {

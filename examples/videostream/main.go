@@ -73,16 +73,16 @@ func run() error {
 	// Each policy runs behind an admission engine owning its replica.
 	// Sequential mode (zero workers) keeps decisions identical to the
 	// direct admitters; a provider ingesting concurrent channel-setup
-	// calls would raise EngineOptions.Workers instead.
+	// calls would add nfvmcast.WithWorkers(n) instead.
 	cpPlanner, err := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(networkSize))
 	if err != nil {
 		return err
 	}
-	cp := nfvmcast.NewEngine(nwCP, cpPlanner, nfvmcast.EngineOptions{})
+	cp := nfvmcast.NewEngine(nwCP, cpPlanner)
 	defer cp.Close()
-	sp := nfvmcast.NewEngine(nwSP, nfvmcast.NewSPPlanner(), nfvmcast.EngineOptions{})
+	sp := nfvmcast.NewEngine(nwSP, nfvmcast.NewSPPlanner())
 	defer sp.Close()
-	static := nfvmcast.NewEngine(nwStatic, nfvmcast.NewSPStaticPlanner(), nfvmcast.EngineOptions{})
+	static := nfvmcast.NewEngine(nwStatic, nfvmcast.NewSPStaticPlanner())
 	defer static.Close()
 
 	rng := rand.New(rand.NewSource(seed + 2))

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/obs"
@@ -64,20 +64,7 @@ func (a *Admitter) PlanOn(view *sdn.Network, req *multicast.Request) (*Solution,
 // The engine keeps one arena per planner slot so concurrent plans
 // reuse scratch without sharing it.
 func (a *Admitter) PlanOnWith(view *sdn.Network, req *multicast.Request, arena *PlanArena) (*Solution, error) {
-	start := a.obs.Now()
-	var sol *Solution
-	var err error
-	if ap, ok := a.planner.(ArenaPlanner); ok && arena != nil {
-		sol, err = ap.PlanWith(view, req, arena)
-	} else {
-		sol, err = a.planner.Plan(view, req)
-	}
-	if err != nil {
-		a.obs.PlanDone(start, req.ID, nil, 0, err)
-		return nil, err
-	}
-	a.obs.PlanDone(start, req.ID, sol.Servers, sol.OperationalCost, nil)
-	return sol, nil
+	return a.PlanOnContext(context.Background(), view, req, arena)
 }
 
 // Admit decides request req: on admission it returns the realised
@@ -91,21 +78,7 @@ func (a *Admitter) Admit(req *multicast.Request) (*Solution, error) {
 // AdmitWith is Admit with a caller-owned scratch arena for the plan
 // step (see PlanOnWith). Decisions are identical to Admit.
 func (a *Admitter) AdmitWith(req *multicast.Request, arena *PlanArena) (*Solution, error) {
-	sol, err := a.PlanOnWith(a.nw, req, arena)
-	if err != nil {
-		a.countRejection(req, err)
-		return nil, err
-	}
-	sol, err = a.Commit(req, sol)
-	if err != nil {
-		// Planners only propose trees that fit the residual view; a
-		// commit failure here means per-link aggregation of
-		// back-tracking traffic exceeded a residual, so reject.
-		err = fmt.Errorf("%w: %w", ErrRejected, err)
-		a.countRejection(req, err)
-		return nil, err
-	}
-	return sol, nil
+	return a.AdmitContext(context.Background(), req, arena)
 }
 
 // Commit validates a planned solution against the network's current

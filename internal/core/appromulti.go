@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nfvmcast/internal/graph"
@@ -43,6 +44,11 @@ type Options struct {
 	// (implementation cost, enumeration index) rule, so a parallel run
 	// returns exactly the sequential solution (see DESIGN.md §8).
 	Workers int
+
+	// ctx, when non-nil, cancels the candidate sweep between subset
+	// evaluations (set through ApproMultiContext; a nil ctx disables
+	// the per-candidate check entirely).
+	ctx context.Context
 }
 
 // DefaultOptions returns the evaluation defaults (K = 3).
@@ -114,8 +120,11 @@ func ApproMulti(nw *sdn.Network, req *multicast.Request, opts Options) (*Solutio
 	if err != nil {
 		return nil, err
 	}
-	best, sawDelayViolation := evaluateCandidates(
+	best, sawDelayViolation, err := evaluateCandidates(
 		nw, w, req, spSrc, omega, ev, opts, collectCandidates(reachSrv, opts.K))
+	if err != nil {
+		return nil, err
+	}
 	if best.tree == nil {
 		if sawDelayViolation {
 			return nil, fmt.Errorf("%w: no tree within %d hops", ErrDelayBound, opts.MaxDeliveryHops)
@@ -194,7 +203,7 @@ func evaluateCandidates(
 	ev *closureEvaluator,
 	opts Options,
 	cands []candidate,
-) (best bestCandidate, sawDelayViolation bool) {
+) (best bestCandidate, sawDelayViolation bool, err error) {
 	workers := parallel.Degree(opts.Workers)
 	if workers > len(cands) {
 		workers = len(cands)
@@ -253,14 +262,22 @@ func evaluateCandidates(
 			*local = bestCandidate{op: op, aux: auxCost, tree: tree, idx: idx}
 		}
 	}
-	// eval never fails (infeasible candidates are skipped), so the
-	// pool cannot return an error.
-	_ = parallel.ForEachIndex(workers, workers, func(wi int) error {
+	// eval never fails (infeasible candidates are skipped); the only
+	// error out of the pool is cancellation between candidates.
+	perr := parallel.ForEachIndex(workers, workers, func(wi int) error {
 		for idx := wi; idx < len(cands); idx += workers {
+			if opts.ctx != nil {
+				if cerr := opts.ctx.Err(); cerr != nil {
+					return canceled(cerr)
+				}
+			}
 			eval(idx, &locals[wi], &sawDelay[wi], &scratches[wi])
 		}
 		return nil
 	})
+	if perr != nil {
+		return bestCandidate{}, false, perr
+	}
 	best = bestCandidate{op: graph.Infinity, idx: -1}
 	for i := range locals {
 		sawDelayViolation = sawDelayViolation || sawDelay[i]
@@ -272,7 +289,7 @@ func evaluateCandidates(
 			best = lb
 		}
 	}
-	return best, sawDelayViolation
+	return best, sawDelayViolation, nil
 }
 
 // decompose converts an auxiliary Steiner tree — given as the used

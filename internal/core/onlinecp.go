@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -86,20 +87,30 @@ func (p *CPPlanner) view(nw *sdn.Network, req *multicast.Request) (*workGraph, *
 // Plan computes the cheapest feasible pseudo-multicast tree for req
 // under the exponential weights and the admission thresholds.
 func (p *CPPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
-	arena, _ := p.arenas.Get().(*PlanArena)
-	if arena == nil {
-		arena = NewPlanArena()
-	}
-	defer p.arenas.Put(arena)
-	return p.PlanWith(nw, req, arena)
+	return p.PlanContext(context.Background(), nw, req, nil)
 }
 
 // PlanWith is Plan with a caller-owned scratch arena (see PlanArena);
 // the engine hands each planner worker its own so concurrent plans
 // never share scratch. The result is identical to Plan.
 func (p *CPPlanner) PlanWith(nw *sdn.Network, req *multicast.Request, arena *PlanArena) (*Solution, error) {
+	return p.PlanContext(context.Background(), nw, req, arena)
+}
+
+// PlanContext is PlanWith with cancellation: ctx is checked between
+// candidate servers, so a canceled plan aborts after at most one more
+// Steiner construction. Results are identical to PlanWith whenever ctx
+// stays live.
+func (p *CPPlanner) PlanContext(
+	ctx context.Context, nw *sdn.Network, req *multicast.Request, arena *PlanArena,
+) (*Solution, error) {
 	if arena == nil {
-		return p.Plan(nw, req)
+		pooled, _ := p.arenas.Get().(*PlanArena)
+		if pooled == nil {
+			pooled = NewPlanArena()
+		}
+		defer p.arenas.Put(pooled)
+		arena = pooled
 	}
 	if err := validateInput(nw, req); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrRejected, err)
@@ -134,6 +145,9 @@ func (p *CPPlanner) PlanWith(nw *sdn.Network, req *multicast.Request, arena *Pla
 		bestServer    = graph.NodeID(-1)
 	)
 	for _, v := range w.servers {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, canceled(cerr)
+		}
 		// Threshold (a): overloaded servers are not considered
 		// (Algorithm 2, step 7).
 		if p.model.ServerWeight(nw, v) >= p.model.SigmaV {
@@ -199,14 +213,29 @@ func (p *CPPlanner) PlanWith(nw *sdn.Network, req *multicast.Request, arena *Pla
 }
 
 // realize turns a Steiner tree over {s_k, v} ∪ D_k into the pseudo
-// tree of paper §V.B: unprocessed traffic follows the tree path
-// s_k→v; processed traffic serves v's subtree directly and back-tracks
-// from v to u = LCA(v, d_1, ..., d_m) for the remaining destinations.
-// It returns the tree plus the absolute exponential cost of the
-// back-tracking path c(p_{v,u}).
+// tree of paper §V.B, pricing the back-tracking path with the model's
+// absolute exponential link cost.
 func (p *CPPlanner) realize(
 	nw *sdn.Network, w *workGraph, req *multicast.Request, v graph.NodeID, st *graph.SteinerTree,
 	arena *PlanArena,
+) (*multicast.PseudoTree, float64, error) {
+	return realizeSingleServer(w, req, v, st, arena, func(e graph.EdgeID) float64 {
+		return p.model.LinkCost(nw, e)
+	})
+}
+
+// realizeSingleServer turns a Steiner tree over {s_k, v} ∪ D_k into the
+// pseudo tree of paper §V.B: unprocessed traffic follows the tree path
+// s_k→v; processed traffic serves v's subtree directly and back-tracks
+// from v to u = LCA(v, d_1, ..., d_m) for the remaining destinations.
+// It returns the tree plus the cost of the back-tracking path c(p_{v,u})
+// priced by linkCost over host edge IDs — Online_CP prices it with the
+// exponential model, the repair planner with the operational unit cost.
+// Shared by CPPlanner.PlanContext and RepairReroute so a repaired tree
+// has exactly the structure a fresh plan would produce.
+func realizeSingleServer(
+	w *workGraph, req *multicast.Request, v graph.NodeID, st *graph.SteinerTree,
+	arena *PlanArena, linkCost func(e graph.EdgeID) float64,
 ) (*multicast.PseudoTree, float64, error) {
 	rt, err := graph.NewRootedTree(w.g, st.EdgeIDs, req.Source)
 	if err != nil {
@@ -240,7 +269,7 @@ func (p *CPPlanner) realize(
 		return nil, 0, err
 	}
 	for _, e := range edges {
-		retCost += p.model.LinkCost(nw, w.hostEdge(e))
+		retCost += linkCost(w.hostEdge(e))
 	}
 	for _, d := range req.Destinations {
 		start := u

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"nfvmcast/internal/multicast"
@@ -63,8 +64,21 @@ func (p *ApproCapPlanner) Name() string { return "Appro_Multi_Cap" }
 // reading of the offline algorithm), so errors satisfy IsRejection
 // while still matching the original sentinel via errors.Is.
 func (p *ApproCapPlanner) Plan(nw *sdn.Network, req *multicast.Request) (*Solution, error) {
-	sol, err := ApproMulti(nw, req, p.opts)
+	return p.PlanContext(context.Background(), nw, req, nil)
+}
+
+// PlanContext is Plan with cancellation between candidate server
+// subsets (the arena is ignored: Appro_Multi keeps its own per-worker
+// scratch). A canceled plan is not a rejection: the error wraps
+// ctx.Err(), not ErrRejected.
+func (p *ApproCapPlanner) PlanContext(
+	ctx context.Context, nw *sdn.Network, req *multicast.Request, _ *PlanArena,
+) (*Solution, error) {
+	sol, err := ApproMultiContext(ctx, nw, req, p.opts)
 	if err != nil {
+		if IsCanceled(err) {
+			return nil, err
+		}
 		return nil, fmt.Errorf("%w: %w", ErrRejected, err)
 	}
 	return sol, nil

@@ -21,6 +21,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,6 +30,7 @@ import (
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/obs"
 	"nfvmcast/internal/parallel"
+	recov "nfvmcast/internal/recover"
 	"nfvmcast/internal/sdn"
 )
 
@@ -62,6 +64,13 @@ type Options struct {
 	// admission-event stream. nil (the default) disables
 	// instrumentation; with sampling off no hot path reads the clock.
 	Obs *obs.AdmissionObs
+	// Recovery enables the self-healing subsystem: after failure
+	// injection through Update moves the network's StructureVersion,
+	// the engine automatically repairs or sheds every affected live
+	// session under this policy (see internal/recover). nil (the
+	// default) leaves damaged sessions alone, preserving the manual
+	// fail-release-readmit workflow.
+	Recovery *recov.Policy
 }
 
 // Engine is a single-writer admission engine: one goroutine owns the
@@ -82,6 +91,13 @@ type Engine struct {
 	// seqArena is the single-writer mode's scratch; only the writer
 	// goroutine plans in that mode, so one arena suffices.
 	seqArena *core.PlanArena
+
+	// Recovery state (nil unless Options.Recovery was set). rec and
+	// lastRec are touched only on the writer goroutine; recArena is the
+	// writer-owned planning scratch of recovery passes.
+	rec      *recov.Recoverer
+	recArena *core.PlanArena
+	lastRec  *recov.Report
 
 	// mutations counts state changes (commits, departs, replaces,
 	// updates) and is touched only on the writer goroutine. A commit
@@ -117,6 +133,10 @@ func New(nw *sdn.Network, planner core.Planner, opts Options) *Engine {
 		e.planSlots <- core.NewPlanArena()
 	}
 	e.adm.Observe(opts.Obs)
+	if opts.Recovery != nil {
+		e.rec = recov.New(e.adm, opts.Obs, *opts.Recovery)
+		e.recArena = core.NewPlanArena()
+	}
 	go e.writer()
 	return e
 }
@@ -161,6 +181,19 @@ func (e *Engine) exec(f func()) error {
 // the network untouched. Any number of goroutines may call Admit
 // concurrently; with Workers > 1 their planning overlaps.
 func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
+	return e.AdmitContext(context.Background(), req)
+}
+
+// AdmitContext is Admit with cancellation: ctx aborts planning between
+// candidate evaluations (when the planner supports it — see
+// core.ContextPlanner) and between the plan and re-plan rounds of the
+// concurrent path. A canceled admission leaves the network untouched,
+// is not counted as a rejection, and returns an error for which
+// core.IsCanceled holds; once the plan reaches commit, the commit runs
+// to completion regardless of ctx, so a request never ends up
+// half-admitted. Decisions are identical to Admit while ctx stays
+// live.
+func (e *Engine) AdmitContext(ctx context.Context, req *multicast.Request) (*core.Solution, error) {
 	e.obs.InflightAdd(1)
 	defer e.obs.InflightAdd(-1)
 
@@ -168,7 +201,7 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 		var sol *core.Solution
 		var err error
 		if xerr := e.exec(func() {
-			sol, err = e.adm.AdmitWith(req, e.seqArena)
+			sol, err = e.adm.AdmitContext(ctx, req, e.seqArena)
 			if err == nil {
 				e.mutations++
 			}
@@ -182,8 +215,11 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 	defer func() { e.planSlots <- arena }()
 
 	// Plan against a residual snapshot, commit against the live state.
-	sol, epoch, err := e.planOnSnapshot(req, arena)
+	sol, epoch, err := e.planOnSnapshot(ctx, req, arena)
 	if err != nil {
+		if core.IsCanceled(err) {
+			return nil, err
+		}
 		return nil, e.reject(req, fmt.Errorf("%w: %w", ErrNoPlan, err))
 	}
 	committed, stale, cerr := e.tryCommit(req, sol, epoch)
@@ -202,8 +238,11 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 	// then give up.
 	e.obs.CommitConflict(req.ID, core.RejectReason(cerr))
 	e.obs.Replanned(req.ID)
-	sol, epoch, err = e.planOnSnapshot(req, arena)
+	sol, epoch, err = e.planOnSnapshot(ctx, req, arena)
 	if err != nil {
+		if core.IsCanceled(err) {
+			return nil, err
+		}
 		return nil, e.reject(req, fmt.Errorf("%w: %w", ErrNoPlan, err))
 	}
 	committed, stale, cerr = e.tryCommit(req, sol, epoch)
@@ -222,7 +261,7 @@ func (e *Engine) Admit(req *multicast.Request) (*core.Solution, error) {
 // worker's scratch arena. It also returns the mutation epoch the
 // snapshot was taken at, so the commit can tell a concurrent
 // invalidation from a deterministic planner overcommit.
-func (e *Engine) planOnSnapshot(req *multicast.Request, arena *core.PlanArena) (*core.Solution, uint64, error) {
+func (e *Engine) planOnSnapshot(ctx context.Context, req *multicast.Request, arena *core.PlanArena) (*core.Solution, uint64, error) {
 	var view *sdn.Network
 	var epoch uint64
 	if xerr := e.exec(func() {
@@ -233,7 +272,7 @@ func (e *Engine) planOnSnapshot(req *multicast.Request, arena *core.PlanArena) (
 	}); xerr != nil {
 		return nil, 0, xerr
 	}
-	sol, err := e.adm.PlanOnWith(view, req, arena)
+	sol, err := e.adm.PlanOnContext(ctx, view, req, arena)
 	return sol, epoch, err
 }
 
@@ -306,8 +345,24 @@ func (e *Engine) Replace(reqID int, sol *core.Solution) error {
 // the hatch for maintenance that must not race in-flight commits:
 // failure injection, re-optimisation passes, metric snapshots. When f
 // alters the network's structure (failure injection bumps
-// StructureVersion), a FailureInjected event is emitted and counted.
+// StructureVersion), a FailureInjected event is emitted and counted,
+// and — when the engine was built with a recovery policy — a recovery
+// pass repairs or sheds every affected live session before Update
+// returns (inspect it with LastRecovery).
 func (e *Engine) Update(f func(nw *sdn.Network) error) error {
+	return e.UpdateContext(context.Background(), f)
+}
+
+// UpdateContext is Update with cancellation. A ctx already done on
+// entry aborts before f runs; once f has run, ctx only bounds the
+// automatic recovery pass (checked between sessions — see
+// recov.Recoverer.Recover), whose cancellation error is returned after
+// f's nil. Sessions the canceled pass did not reach stay damaged but
+// live; RecoverNow resumes them.
+func (e *Engine) UpdateContext(ctx context.Context, f func(nw *sdn.Network) error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return fmt.Errorf("engine: update canceled: %w", cerr)
+	}
 	var err error
 	if xerr := e.exec(func() {
 		nw := e.adm.Network()
@@ -317,7 +372,14 @@ func (e *Engine) Update(f func(nw *sdn.Network) error) error {
 		// in-flight plan straddling this update commits as stale.
 		e.mutations++
 		if after := nw.StructureVersion(); after != before {
-			e.obs.FailureInjected(fmt.Sprintf("structure version %d -> %d", before, after))
+			detail := fmt.Sprintf("structure version %d -> %d", before, after)
+			if s := describeEvents(nw.DrainResourceEvents()); s != "" {
+				detail += ": " + s
+			}
+			e.obs.FailureInjected(detail)
+			if rerr := e.recoverLocked(ctx); rerr != nil && err == nil {
+				err = rerr
+			}
 		}
 	}); xerr != nil {
 		return xerr

@@ -19,6 +19,14 @@ const (
 	ReasonOther          = "other"
 )
 
+// Repair-mode labels for the nfv_repaired_total counter: a local
+// repair re-routes the severed tree around the failure with the
+// original placement pinned; a replan ran the full planner path.
+const (
+	RepairModeLocal  = "local"
+	RepairModeReplan = "replan"
+)
+
 // AdmissionObs binds the instruments of one admission pipeline (one
 // engine or direct admitter): lifecycle counters, the live/in-flight
 // gauges, sampled latency histograms, and the event stream. All
@@ -44,12 +52,16 @@ type AdmissionObs struct {
 	conflicts *Counter
 	clones    *Counter
 	failures  *Counter
+	repairs   *Counter
+	repaired  map[string]*Counter
+	shed      *Counter
 	live      *Gauge
 	inflight  *Gauge
 
-	planLat   *Histogram
-	commitLat *Histogram
-	cloneLat  *Histogram
+	planLat     *Histogram
+	commitLat   *Histogram
+	cloneLat    *Histogram
+	recoveryLat *Histogram
 }
 
 // AdmissionObsOptions configures an AdmissionObs.
@@ -88,6 +100,11 @@ func NewAdmissionObs(reg *Registry, policy string, opts AdmissionObsOptions) *Ad
 			"Residual-network snapshot clones taken for planning.", pl),
 		failures: reg.Counter("nfv_failures_injected_total",
 			"Structural changes (link/server failure injection) applied through the engine.", pl),
+		repairs: reg.Counter("nfv_repairs_attempted_total",
+			"Live sessions a recovery pass tried to repair after a failure.", pl),
+		repaired: make(map[string]*Counter),
+		shed: reg.Counter("nfv_shed_total",
+			"Live sessions dropped by recovery because no residual capacity could host them.", pl),
 		live: reg.Gauge("nfv_live_sessions",
 			"Admitted sessions currently holding resources.", pl),
 		inflight: reg.Gauge("nfv_inflight_admissions",
@@ -98,6 +115,12 @@ func NewAdmissionObs(reg *Registry, policy string, opts AdmissionObsOptions) *Ad
 			"Commit (allocation + bookkeeping) latency on the writer (sampled).", nil, pl),
 		cloneLat: reg.Histogram("nfv_snapshot_clone_seconds",
 			"Residual-snapshot clone latency on the writer (sampled).", nil, pl),
+		recoveryLat: reg.Histogram("nfv_recovery_seconds",
+			"End-to-end latency of one recovery pass (always sampled; recovery is rare).", nil, pl),
+	}
+	for _, mode := range []string{RepairModeLocal, RepairModeReplan} {
+		o.repaired[mode] = reg.Counter("nfv_repaired_total",
+			"Sessions re-hosted by recovery, by repair mode.", pl, L("mode", mode))
 	}
 	for _, reason := range []string{
 		ReasonBandwidth, ReasonCompute, ReasonThreshold, ReasonUnreachable,
@@ -231,6 +254,50 @@ func (o *AdmissionObs) FailureInjected(detail string) {
 	}
 	o.failures.Inc()
 	o.emit(Event{Type: FailureInjected, Reason: detail})
+}
+
+// RepairAttempted records that a recovery pass is about to repair one
+// affected session.
+func (o *AdmissionObs) RepairAttempted(reqID int) {
+	if o == nil {
+		return
+	}
+	o.repairs.Inc()
+	o.emit(Event{Type: RepairAttempted, Request: reqID})
+}
+
+// Repaired records a session re-hosted by recovery under the given
+// mode (RepairModeLocal or RepairModeReplan) at the new tree's cost.
+func (o *AdmissionObs) Repaired(reqID int, mode string, cost float64) {
+	if o == nil {
+		return
+	}
+	if c, ok := o.repaired[mode]; ok {
+		c.Inc()
+	}
+	o.emit(Event{Type: Repaired, Request: reqID, Reason: mode, Cost: cost})
+}
+
+// SessionShed records a session recovery had to drop: its resources
+// are released and it no longer counts as live.
+func (o *AdmissionObs) SessionShed(reqID int, reason string) {
+	if o == nil {
+		return
+	}
+	o.shed.Inc()
+	o.live.Add(-1)
+	o.emit(Event{Type: Shed, Request: reqID, Reason: reason})
+}
+
+// RecoveryPass records the end-to-end latency of one recovery pass.
+// Unlike the admission latencies this is not gated on SampleLatency:
+// recovery is rare and its latency is the headline metric of the
+// subsystem.
+func (o *AdmissionObs) RecoveryPass(seconds float64) {
+	if o == nil {
+		return
+	}
+	o.recoveryLat.Observe(seconds)
 }
 
 // InflightAdd moves the in-flight admissions gauge (engine queue

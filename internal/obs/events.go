@@ -14,6 +14,11 @@ type EventType string
 // concurrent mode can interleave CommitConflict and Replanned between
 // them. Departed closes a session; FailureInjected marks a structural
 // change of the network (failure injection through Engine.Update).
+// The recovery subsystem (internal/recover) extends the vocabulary:
+// after a FailureInjected, each affected session emits RepairAttempted
+// followed by Repaired (Reason carries the mode, "local" or "replan")
+// or Shed (the session could not be re-hosted and was dropped with
+// ErrDegraded).
 const (
 	AdmitPlanned    EventType = "admit_planned"
 	CommitConflict  EventType = "commit_conflict"
@@ -22,6 +27,9 @@ const (
 	Rejected        EventType = "rejected"
 	Departed        EventType = "departed"
 	FailureInjected EventType = "failure_injected"
+	RepairAttempted EventType = "repair_attempted"
+	Repaired        EventType = "repaired"
+	Shed            EventType = "shed"
 )
 
 // Event is one structured admission event. Fields are value types so

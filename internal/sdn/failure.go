@@ -35,6 +35,7 @@ func (nw *Network) SetLinkUp(e graph.EdgeID, up bool) error {
 	}
 	nw.structVer++
 	nw.mutVer++
+	nw.recordResourceEvent(LinkResource, e, up)
 	return nil
 }
 
@@ -58,6 +59,7 @@ func (nw *Network) SetServerUp(v graph.NodeID, up bool) error {
 	}
 	nw.structVer++
 	nw.mutVer++
+	nw.recordResourceEvent(ServerResource, v, up)
 	return nil
 }
 

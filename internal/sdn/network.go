@@ -86,6 +86,10 @@ type Network struct {
 
 	structVer uint64 // bumped by failure injection (see StructureVersion)
 	mutVer    uint64 // bumped by every residual mutation (see MutationVersion)
+
+	// pending buffers failure/restore notifications until the owning
+	// goroutine drains them (see events.go). Clones start empty.
+	pending []ResourceEvent
 }
 
 // NewNetwork builds a network over topo with the given config, drawing

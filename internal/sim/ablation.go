@@ -177,6 +177,7 @@ var Experiments = []struct {
 	{"ext-onlinek", "extension: online admission with K-server chains (open problem)", ExtOnlineK},
 	{"ext-reoptimize", "extension: batch re-placement of admitted sessions", ExtReoptimize},
 	{"ext-optgap", "extension: measured optimality gaps vs exact solutions", ExtOptGap},
+	{"ext-recover", "extension: self-healing recovery after link failures (repair vs replan)", ExtRecover},
 }
 
 // RunExperiment runs one named experiment.

@@ -43,6 +43,7 @@ import (
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/nfv"
 	"nfvmcast/internal/obs"
+	recov "nfvmcast/internal/recover"
 	"nfvmcast/internal/sdn"
 	"nfvmcast/internal/topology"
 	"nfvmcast/internal/viz"
@@ -220,6 +221,7 @@ type (
 // Algorithm entry points.
 var (
 	ApproMulti          = core.ApproMulti
+	ApproMultiContext   = core.ApproMultiContext
 	AlgOneServer        = core.AlgOneServer
 	AlgOneServerNearest = core.AlgOneServerNearest
 	NewOnlineCP         = core.NewOnlineCP
@@ -232,7 +234,52 @@ var (
 	OperationalCost     = core.OperationalCost
 	AllocationFor       = core.AllocationFor
 	IsRejection         = core.IsRejection
+	// IsCanceled reports whether an Admit/Plan error stems from
+	// context cancellation rather than an admission decision.
+	IsCanceled = core.IsCanceled
 )
+
+// SolveOption configures ApproMulti functionally; build the Options
+// value with NewOptions. The bare Options struct remains supported,
+// but new call sites should prefer
+//
+//	sol, err := nfvmcast.ApproMulti(nw, req,
+//	    nfvmcast.NewOptions(nfvmcast.WithK(3), nfvmcast.Capacitated()))
+type SolveOption func(*Options)
+
+// NewOptions builds ApproMulti options from the evaluation defaults
+// (K = 3) plus the given settings.
+func NewOptions(opts ...SolveOption) Options {
+	o := core.DefaultOptions()
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// WithK bounds the server subsets ApproMulti enumerates to size K.
+func WithK(k int) SolveOption {
+	return func(o *Options) { o.K = k }
+}
+
+// Capacitated selects the Appro_Multi_Cap variant: plan on the
+// residual network, keeping only links and servers that can host the
+// request.
+func Capacitated() SolveOption {
+	return func(o *Options) { o.Capacitated = true }
+}
+
+// WithMaxDeliveryHops adds an end-to-end delivery-depth bound.
+func WithMaxDeliveryHops(h int) SolveOption {
+	return func(o *Options) { o.MaxDeliveryHops = h }
+}
+
+// WithSolveWorkers bounds concurrent candidate evaluation inside one
+// ApproMulti call (0/1 sequential, negative one per CPU); results are
+// byte-identical at every setting.
+func WithSolveWorkers(n int) SolveOption {
+	return func(o *Options) { o.Workers = n }
+}
 
 // Admission planners (plan/commit split): each proposes solutions
 // against a read-only network view and pairs with NewAdmitter or
@@ -249,19 +296,87 @@ var (
 // Admission engine (single-writer concurrency over a capacitated SDN).
 type (
 	// Engine serializes all network mutations through one writer
-	// goroutine while planning fans out across callers.
+	// goroutine while planning fans out across callers. Its Admit and
+	// Update carry context-aware variants (AdmitContext,
+	// UpdateContext): cancellation aborts planning between candidate
+	// evaluations, is never counted as a rejection, and never leaves a
+	// request half-admitted.
 	Engine = engine.Engine
-	// EngineOptions configures an Engine's planning concurrency.
+	// EngineOption configures an Engine at construction (see
+	// WithWorkers, WithMetrics, WithRecovery, WithRepairCostFactor).
+	EngineOption = engine.Option
+	// EngineOptions configures an Engine as a bare struct.
+	//
+	// Deprecated: use NewEngine with EngineOption functions instead;
+	// the struct form cannot grow without breaking callers and is kept
+	// only for v0 compatibility (construct via NewEngineFromOptions).
 	EngineOptions = engine.Options
 )
 
+// Engine construction options (the v1 API).
+var (
+	// WithWorkers bounds concurrent planning: 0 or 1 is sequential
+	// mode (byte-identical to the direct admitters), n > 1 overlaps n
+	// planners on residual snapshots, negative uses one per CPU.
+	WithWorkers = engine.WithWorkers
+	// WithMetrics attaches an AdmissionObs (counters, gauges, sampled
+	// latencies, the admission-event stream).
+	WithMetrics = engine.WithMetrics
+	// WithRecovery enables self-healing failure recovery: after
+	// failure injection through Update, affected live sessions are
+	// repaired (local re-route first, full re-plan second) or shed
+	// before Update returns.
+	WithRecovery = engine.WithRecovery
+	// WithRepairCostFactor sets the local-repair acceptance factor γ
+	// (accept a re-route only at cost <= γ× the damaged tree's);
+	// γ <= 0 forces every repair through the full re-plan path.
+	WithRepairCostFactor = engine.WithRepairCostFactor
+)
+
 // NewEngine returns an admission engine owning nw that admits with
-// planner's policy. Close it when done. With EngineOptions{Workers: 1}
-// its decisions are byte-identical to the direct admitters; larger
-// worker counts overlap planning across concurrent Admit calls.
-func NewEngine(nw *Network, planner Planner, opts EngineOptions) *Engine {
+// planner's policy; Close it when done. Without options the engine is
+// sequential — byte-identical to the direct admitters — and unobserved:
+//
+//	eng := nfvmcast.NewEngine(nw, planner,
+//	    nfvmcast.WithWorkers(8),
+//	    nfvmcast.WithRecovery(nfvmcast.DefaultRecoveryPolicy()))
+func NewEngine(nw *Network, planner Planner, opts ...EngineOption) *Engine {
+	return engine.NewWith(nw, planner, opts...)
+}
+
+// NewEngineFromOptions is the v0 constructor taking the bare options
+// struct.
+//
+// Deprecated: use NewEngine with EngineOption functions.
+func NewEngineFromOptions(nw *Network, planner Planner, opts EngineOptions) *Engine {
 	return engine.New(nw, planner, opts)
 }
+
+// Failure recovery (internal/recover): the self-healing subsystem
+// behind WithRecovery.
+type (
+	// RecoveryPolicy tunes repair-vs-replan (γ), the re-plan retry
+	// budget, and its exponential backoff.
+	RecoveryPolicy = recov.Policy
+	// RecoveryReport summarises one recovery pass (per-session
+	// outcomes in ascending request-ID order).
+	RecoveryReport = recov.Report
+	// RecoveryOutcome records how one affected session was resolved.
+	RecoveryOutcome = recov.Outcome
+	// RecoveryMode names an outcome: local repair, full re-plan, shed.
+	RecoveryMode = recov.Mode
+)
+
+// The recovery outcome modes.
+const (
+	RecoveryModeLocal  = recov.ModeLocal
+	RecoveryModeReplan = recov.ModeReplan
+	RecoveryModeShed   = recov.ModeShed
+)
+
+// DefaultRecoveryPolicy returns the recovery defaults (γ = 1.5, two
+// re-plan retries, no backoff).
+var DefaultRecoveryPolicy = recov.DefaultPolicy
 
 // Observability (internal/obs): a lock-cheap metrics registry plus a
 // structured admission-event stream, attachable to any Engine through
@@ -323,6 +438,7 @@ var (
 	ErrEngineClosed     = engine.ErrClosed
 	ErrNoPlan           = engine.ErrNoPlan
 	ErrCommitConflict   = engine.ErrCommitConflict
+	ErrDegraded         = recov.ErrDegraded
 	ErrUndelivered      = multicast.ErrUndelivered
 	ErrDisconnected     = graph.ErrDisconnected
 	ErrTableFull        = sdn.ErrTableFull
