@@ -8,6 +8,10 @@
 //	nfvsim -experiment fig8 -metrics-addr :9090 -metrics-dir results/
 //	nfvsim -metrics-addr :9090   # serve an idle metrics endpoint
 //	nfvsim -list
+//	nfvsim -scenario flash-crowd            # shipped scenario by name
+//	nfvsim -scenario path/to/scenario.json  # declarative JSON scenario
+//	nfvsim -scenario all -json results/
+//	nfvsim -scenario-list
 //
 // Each experiment prints one aligned text table per figure panel; see
 // DESIGN.md §3 for the figure index and EXPERIMENTS.md for recorded
@@ -56,9 +60,19 @@ func run(args []string) error {
 		reps        = fs.Int("reps", 1, "repetitions per experiment (mean ± 95% CI when > 1)")
 		metricsAddr = fs.String("metrics-addr", "", "serve engine metrics over HTTP at this address (/metrics Prometheus text, /metrics.json, /debug/pprof/); with no -experiment, serve until interrupted")
 		metricsDir  = fs.String("metrics-dir", "", "write one metrics-<experiment>.json summary per experiment into this directory")
+		scenarioRun = fs.String("scenario", "", "run a scenario: a shipped name (see -scenario-list), 'all', or a JSON config path")
+		scenarioLs  = fs.Bool("scenario-list", false, "list the shipped scenario library")
+		scenarioWk  = fs.Int("scenario-workers", -1, "override the scenario's engine worker count (-1 = keep the config's)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scenarioLs {
+		listScenarios()
+		return nil
+	}
+	if *scenarioRun != "" {
+		return runScenarios(*scenarioRun, *scenarioWk, *jsonDir)
 	}
 	if *list || (*experiment == "" && *metricsAddr == "") {
 		fmt.Println("available experiments:")

@@ -55,3 +55,51 @@ func TestRunReplicated(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestScenarioList(t *testing.T) {
+	if err := run([]string{"-scenario-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-scenario", "multi-tenant", "-json", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scenario-multi-tenant.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("empty scenario result JSON")
+	}
+}
+
+func TestScenarioFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.json")
+	doc := `{
+		"name": "tiny",
+		"topology": {"name": "geant"},
+		"policy": "SP",
+		"seed": 2,
+		"horizonHours": 0.5,
+		"tenants": [{
+			"name": "a",
+			"phases": [{"kind": "steady", "startHours": 0, "endHours": 0.5, "ratePerHour": 20}]
+		}]
+	}`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-scenario", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScenarioUnknownName(t *testing.T) {
+	if err := run([]string{"-scenario", "no-such-scenario"}); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nfvmcast/internal/scenario"
+)
+
+// Scenario-harness subcommands: -scenario runs one scenario (a shipped
+// library name, "all", or a path to a JSON config) and prints the
+// result as JSON; -scenario-list shows the shipped library. A run with
+// invariant violations exits non-zero — the harness is a test driver
+// first.
+
+// listScenarios prints the shipped scenario library.
+func listScenarios() {
+	fmt.Println("shipped scenarios (run with -scenario <name>, or pass a JSON config path):")
+	for _, cfg := range scenario.Library() {
+		extras := ""
+		if len(cfg.Failures) > 0 {
+			extras = fmt.Sprintf(", %d failure steps", len(cfg.Failures))
+		}
+		if cfg.MaxRulesPerSwitch > 0 {
+			extras += fmt.Sprintf(", <=%d rules/switch", cfg.MaxRulesPerSwitch)
+		}
+		fmt.Printf("  %-18s %s/%s, %gh horizon, %d tenants%s\n",
+			cfg.Name, cfg.Topology.Name, cfg.Policy, cfg.HorizonHours, len(cfg.Tenants), extras)
+	}
+	fmt.Println("  all                run the whole library")
+}
+
+// scenarioConfigs resolves the -scenario argument: "all", a library
+// name, or a config file path.
+func scenarioConfigs(spec string) ([]*scenario.Config, error) {
+	if spec == "all" {
+		return scenario.Library(), nil
+	}
+	if cfg, ok := scenario.LibraryConfig(spec); ok {
+		return []*scenario.Config{cfg}, nil
+	}
+	cfg, err := scenario.Load(spec)
+	if err != nil {
+		if _, serr := os.Stat(spec); os.IsNotExist(serr) && filepath.Ext(spec) == "" {
+			return nil, fmt.Errorf("scenario %q: not a shipped scenario (see -scenario-list) and no such file", spec)
+		}
+		return nil, err
+	}
+	return []*scenario.Config{cfg}, nil
+}
+
+// runScenarios drives each resolved scenario and prints one JSON
+// result per run. workers < 0 keeps each config's own worker count.
+func runScenarios(spec string, workers int, jsonDir string) error {
+	cfgs, err := scenarioConfigs(spec)
+	if err != nil {
+		return err
+	}
+	violations := 0
+	for _, cfg := range cfgs {
+		if workers >= 0 {
+			cfg.Workers = workers
+		}
+		res, err := scenario.Run(cfg)
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		if jsonDir != "" {
+			path := filepath.Join(jsonDir, "scenario-"+cfg.Name+".json")
+			if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+				return err
+			}
+		}
+		violations += len(res.Violations)
+	}
+	if violations > 0 {
+		return fmt.Errorf("scenario run finished with %d invariant violations", violations)
+	}
+	return nil
+}

@@ -135,6 +135,14 @@ func (a *Admitter) Replace(reqID int, sol *Solution) error {
 // resources.
 func (a *Admitter) LiveCount() int { return a.lives.live() }
 
+// Lives returns the solutions currently holding resources, in
+// ascending request-ID order. Unlike Admitted it excludes departed and
+// shed sessions, so recomputing every returned tree's allocation must
+// exactly account for capacity minus residual on every link and server
+// — the conservation invariant the scenario harness and the engine
+// fuzz targets check continuously.
+func (a *Admitter) Lives() []*Solution { return a.lives.solutions() }
+
 // Admitted returns the solutions admitted so far (shared slice copy).
 func (a *Admitter) Admitted() []*Solution {
 	out := make([]*Solution, len(a.admitted))

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/sdn"
@@ -57,6 +58,23 @@ func (l *liveTable) depart(reqID int) (*Solution, error) {
 }
 
 func (l *liveTable) live() int { return len(l.byID) }
+
+// solutions returns the live sessions' realisations in ascending
+// request-ID order — the deterministic view consistency oracles (the
+// scenario harness, the engine fuzz targets) compare against residual
+// capacities.
+func (l *liveTable) solutions() []*Solution {
+	ids := make([]int, 0, len(l.solBy))
+	for id := range l.solBy {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*Solution, len(ids))
+	for i, id := range ids {
+		out[i] = l.solBy[id]
+	}
+	return out
+}
 
 // replace swaps the recorded solution and allocation of an admitted
 // request after an external re-placement (Reoptimize) has already

@@ -9,6 +9,7 @@ package multicast
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -55,8 +56,10 @@ func (r *Request) Validate(n int) error {
 		}
 		seen[d] = struct{}{}
 	}
-	if r.BandwidthMbps <= 0 {
-		return fmt.Errorf("multicast: request %d: non-positive bandwidth %v", r.ID, r.BandwidthMbps)
+	// NaN fails every ordered comparison, so a plain <= 0 check would
+	// wave it through and let it poison residual arithmetic downstream.
+	if math.IsNaN(r.BandwidthMbps) || math.IsInf(r.BandwidthMbps, 0) || r.BandwidthMbps <= 0 {
+		return fmt.Errorf("multicast: request %d: invalid bandwidth %v", r.ID, r.BandwidthMbps)
 	}
 	if r.Chain.Empty() {
 		return fmt.Errorf("multicast: request %d: %w", r.ID, nfv.ErrEmptyChain)

@@ -332,3 +332,14 @@ func (o *AdmissionObs) LiveSessions() float64 {
 	}
 	return o.live.Value()
 }
+
+// ShedCount returns the shed counter's value (0 on nil). Together with
+// AdmittedCount and DepartedCount it closes the session-conservation
+// equation admitted - departed - shed = live that the scenario
+// harness checks against the engine's live table.
+func (o *AdmissionObs) ShedCount() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.shed.Value()
+}

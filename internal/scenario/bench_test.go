@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"sort"
+	"testing"
+)
+
+// Scenario-harness benchmarks, recorded in results/BENCH_scenario.json.
+// They measure the two headline rates of the harness itself: how fast
+// a full flash-crowd scenario (admission + departure churn at spike
+// load, all invariants checked) drives the engine, and the latency
+// distribution of automatic recovery passes under correlated and
+// rolling failures.
+
+// BenchmarkScenarioFlashCrowd runs the full flash-crowd scenario per
+// iteration and reports end-to-end admission throughput.
+func BenchmarkScenarioFlashCrowd(b *testing.B) {
+	admitted, arrivals := 0, 0
+	for i := 0; i < b.N; i++ {
+		cfg, _ := LibraryConfig("flash-crowd")
+		res, err := Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			b.Fatalf("invariant violations during bench: %v", res.Violations[0])
+		}
+		admitted += res.Admitted
+		arrivals += res.Arrivals
+	}
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(float64(admitted)/secs, "admits/sec")
+	b.ReportMetric(float64(arrivals)/secs, "arrivals/sec")
+}
+
+// percentile returns the p-th percentile (0..100) of sorted samples.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// BenchmarkScenarioRecovery runs the two failure scenarios per
+// iteration and reports recovery-pass latency percentiles across every
+// pass observed.
+func BenchmarkScenarioRecovery(b *testing.B) {
+	var samples []float64
+	for i := 0; i < b.N; i++ {
+		for _, name := range []string{"regional-failure", "rolling-drain"} {
+			cfg, _ := LibraryConfig(name)
+			res, err := Run(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Violations) > 0 {
+				b.Fatalf("invariant violations during bench: %v", res.Violations[0])
+			}
+			samples = append(samples, res.RecoverySeconds...)
+		}
+	}
+	sort.Float64s(samples)
+	b.ReportMetric(percentile(samples, 50)*1e6, "recovery_p50_us")
+	b.ReportMetric(percentile(samples, 90)*1e6, "recovery_p90_us")
+	b.ReportMetric(percentile(samples, 99)*1e6, "recovery_p99_us")
+	b.ReportMetric(float64(len(samples))/float64(b.N), "passes/op")
+}

@@ -1,0 +1,147 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"nfvmcast/internal/core"
+)
+
+// The harness's continuous invariants. Each breach is recorded in
+// Result.Violations rather than aborting the run, so one run surfaces
+// every breach; tests then assert the list is empty.
+//
+//   - residual bounds (every event): 0 <= free <= cap on every link
+//     and server — an allocator double-release or over-commit shows up
+//     here first;
+//   - conservation (every checkEvery events and at the end): for every
+//     link and server, cap − free equals the sum of allocations of the
+//     engine's live table, and that table matches the runner's
+//     independent live view — the live table and the residual network
+//     must tell the same story;
+//   - session accounting: the obs counters close the equation
+//     admitted − departed − shed = live, and the live gauge and the
+//     engine agree on the count.
+
+// tolerance for float residual comparisons: allocations are sums of
+// O(live·tree) float64 terms.
+const eps = 1e-6
+
+// maxViolations caps the report so a systemic breach doesn't drown the
+// run in millions of identical lines.
+const maxViolations = 32
+
+func (r *runner) violatef(format string, args ...any) {
+	if len(r.res.Violations) < maxViolations {
+		r.res.Violations = append(r.res.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// checkBounds runs the cheap residual-bounds sweep.
+func (r *runner) checkBounds(at float64) {
+	for e := 0; e < r.nw.NumEdges(); e++ {
+		free, cap := r.nw.ResidualBandwidth(e), r.nw.BandwidthCap(e)
+		if free < -eps || free > cap+eps || math.IsNaN(free) {
+			r.violatef("t=%s link %d residual %g outside [0, %g]", fmtG(at), e, free, cap)
+		}
+	}
+	for _, v := range r.nw.Servers() {
+		free, cap := r.nw.ResidualCompute(v), r.nw.ComputeCap(v)
+		if free < -eps || free > cap+eps || math.IsNaN(free) {
+			r.violatef("t=%s server %d residual %g outside [0, %g]", fmtG(at), v, free, cap)
+		}
+	}
+}
+
+// checkConservation reconciles three independent views of "who holds
+// what": the engine's live table, the network's residuals, and the
+// runner's own live set plus the obs counters. The error return is for
+// watchdog trips only; inconsistencies land in Violations.
+func (r *runner) checkConservation(at float64) error {
+	var lives []*core.Solution
+	if gerr := r.guard("Lives", at, func() { lives = r.eng.Lives() }); gerr != nil {
+		return gerr
+	}
+
+	// Live-table membership == the runner's independent view.
+	if len(lives) != len(r.live) {
+		r.violatef("t=%s live table has %d sessions, runner tracks %d", fmtG(at), len(lives), len(r.live))
+	}
+	wantLink := make([]float64, r.nw.NumEdges())
+	wantSrv := make(map[int]float64)
+	for _, sol := range lives {
+		if _, ok := r.live[sol.Request.ID]; !ok {
+			r.violatef("t=%s live table holds req %d the runner departed", fmtG(at), sol.Request.ID)
+		}
+		alloc := core.AllocationFor(sol.Request, sol.Tree)
+		for e, bw := range alloc.Links {
+			wantLink[e] += bw
+		}
+		for v, mhz := range alloc.Servers {
+			wantSrv[v] += mhz
+		}
+	}
+
+	// cap − free on every resource must equal the live table's sum. The
+	// tolerance carries a term in the capacity's own magnitude: cap −
+	// free cannot be more precise than cap's ulp.
+	tol := func(want, cap float64) float64 {
+		return eps*math.Max(1, math.Abs(want)) + 1e-9*math.Abs(cap)
+	}
+	for e := 0; e < r.nw.NumEdges(); e++ {
+		cap := r.nw.BandwidthCap(e)
+		got := cap - r.nw.ResidualBandwidth(e)
+		if math.Abs(got-wantLink[e]) > tol(wantLink[e], cap) {
+			r.violatef("t=%s link %d allocated %g but live table sums to %g", fmtG(at), e, got, wantLink[e])
+		}
+	}
+	for _, v := range r.nw.Servers() {
+		cap := r.nw.ComputeCap(v)
+		got := cap - r.nw.ResidualCompute(v)
+		if math.Abs(got-wantSrv[v]) > tol(wantSrv[v], cap) {
+			r.violatef("t=%s server %d allocated %g but live table sums to %g", fmtG(at), v, got, wantSrv[v])
+		}
+	}
+
+	// Session accounting: counters close admitted − departed − shed =
+	// live, and every view agrees on the count.
+	adm, dep, shed := r.aobs.AdmittedCount(), r.aobs.DepartedCount(), r.aobs.ShedCount()
+	if int(adm)-int(dep)-int(shed) != len(lives) {
+		r.violatef("t=%s obs counters admitted=%d departed=%d shed=%d but %d sessions live",
+			fmtG(at), adm, dep, shed, len(lives))
+	}
+	if gauge := int(r.aobs.LiveSessions()); gauge != len(lives) {
+		r.violatef("t=%s live gauge %d disagrees with live table %d", fmtG(at), gauge, len(lives))
+	}
+	var count int
+	if gerr := r.guard("LiveCount", at, func() { count = r.eng.LiveCount() }); gerr != nil {
+		return gerr
+	}
+	if count != len(lives) {
+		r.violatef("t=%s LiveCount %d disagrees with live table %d", fmtG(at), count, len(lives))
+	}
+	return nil
+}
+
+// checkDrained asserts the end state: with every session departed the
+// residual network must be whole again (free == cap everywhere) and
+// the flow tables empty.
+func (r *runner) checkDrained() {
+	if len(r.live) != 0 {
+		r.violatef("end: %d sessions still live after horizon drain", len(r.live))
+		return
+	}
+	for e := 0; e < r.nw.NumEdges(); e++ {
+		if diff := r.nw.BandwidthCap(e) - r.nw.ResidualBandwidth(e); math.Abs(diff) > eps {
+			r.violatef("end: link %d still has %g Mbps allocated after all departures", e, diff)
+		}
+	}
+	for _, v := range r.nw.Servers() {
+		if diff := r.nw.ComputeCap(v) - r.nw.ResidualCompute(v); math.Abs(diff) > eps {
+			r.violatef("end: server %d still has %g MHz allocated after all departures", v, diff)
+		}
+	}
+	if r.ctrl != nil && r.ctrl.TotalRules() != 0 {
+		r.violatef("end: %d flow rules still installed after all departures", r.ctrl.TotalRules())
+	}
+}

@@ -1,0 +1,491 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
+	"nfvmcast/internal/obs"
+	recov "nfvmcast/internal/recover"
+	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/topology"
+)
+
+// TenantStats aggregates one workload class's outcomes.
+type TenantStats struct {
+	Arrivals int `json:"arrivals"`
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+}
+
+// Result is what one scenario run produced. Fingerprint is a SHA-256
+// over the decision transcript (every admit/reject/depart/failure/
+// recovery outcome with exact costs) and contains no timing, so it is
+// byte-identical across engine worker counts, machines and runs;
+// RecoverySeconds and ElapsedSeconds carry the wall-clock side.
+type Result struct {
+	Name           string                  `json:"name"`
+	Policy         string                  `json:"policy"`
+	Workers        int                     `json:"workers"`
+	Arrivals       int                     `json:"arrivals"`
+	Admitted       int                     `json:"admitted"`
+	Rejected       int                     `json:"rejected"`
+	RuleRejected   int                     `json:"ruleRejected"`
+	Departed       int                     `json:"departed"`
+	Shed           int                     `json:"shed"`
+	RepairedLocal  int                     `json:"repairedLocal"`
+	RepairedReplan int                     `json:"repairedReplan"`
+	FailureBatches int                     `json:"failureBatches"`
+	RecoveryPasses int                     `json:"recoveryPasses"`
+	PeakLive       int                     `json:"peakLive"`
+	FinalLive      int                     `json:"finalLive"`
+	PerTenant      map[string]*TenantStats `json:"perTenant"`
+	// Violations holds every invariant breach observed during the run;
+	// a clean run has none. Violations are reported, not fatal, so one
+	// run surfaces every breach at once.
+	Violations      []string  `json:"violations,omitempty"`
+	Fingerprint     string    `json:"fingerprint"`
+	RecoverySeconds []float64 `json:"recoverySeconds,omitempty"`
+	ElapsedSeconds  float64   `json:"elapsedSeconds"`
+
+	transcript string
+}
+
+// Transcript returns the full decision transcript the fingerprint
+// hashes — the artifact to diff when two runs disagree.
+func (r *Result) Transcript() string { return r.transcript }
+
+// watchdogTimeout bounds every engine call the runner makes. The
+// single-writer engine must never wedge: a call that does not return
+// within this budget is a liveness violation, not slowness.
+const watchdogTimeout = 2 * time.Minute
+
+// defaultCheckEvery is the cadence of the O(live·tree) conservation
+// check; cheap residual-bounds checks run every event.
+const defaultCheckEvery = 32
+
+// runner drives one expanded timeline through one engine.
+type runner struct {
+	cfg  *Config
+	nw   *sdn.Network
+	eng  *engine.Engine
+	ctrl *sdn.Controller
+	aobs *obs.AdmissionObs
+	res  *Result
+
+	live       map[int]string // request ID -> tenant name, runner-side live view
+	caps0      []float64      // original link capacities, resize baseline
+	lastRec    *recov.Report
+	tb         strings.Builder
+	checkEvery int
+	events     int
+	watchdog   time.Duration
+}
+
+// networkFor builds the scenario's substrate network. The seed feeds
+// both topology synthesis (waxman/fattree) and capacity/server
+// placement, so one (config, seed) pair names one concrete network.
+func networkFor(cfg *Config) (*sdn.Network, error) {
+	var (
+		topo *topology.Topology
+		err  error
+	)
+	switch cfg.Topology.Name {
+	case "geant":
+		topo = topology.GEANT()
+	case "as1755":
+		topo = topology.AS1755()
+	case "as4755":
+		topo = topology.AS4755()
+	case "waxman":
+		topo, err = topology.WaxmanDegree(cfg.Topology.Size, topology.DefaultAvgDegree, 0.14, cfg.Seed)
+	case "fattree":
+		topo, err = topology.FatTree(4, cfg.Seed)
+	default:
+		err = fmt.Errorf("scenario %q: unknown topology %q", cfg.Name, cfg.Topology.Name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return sdn.NewNetwork(topo, sdn.DefaultConfig(), rand.New(rand.NewSource(cfg.Seed)))
+}
+
+// plannerFor builds the scenario's admission planner.
+func plannerFor(cfg *Config, n int) (core.Planner, error) {
+	switch cfg.Policy {
+	case "Online_CP":
+		return core.NewCPPlanner(core.DefaultCostModel(n))
+	case "SP":
+		return core.NewSPPlanner(), nil
+	case "SP_Static":
+		return core.NewSPStaticPlanner(), nil
+	default:
+		return nil, fmt.Errorf("scenario %q: unknown policy %q", cfg.Name, cfg.Policy)
+	}
+}
+
+// recoveryPolicy maps the config's recovery mode onto an engine
+// policy. An empty mode means self-healing on exactly when the
+// scenario injects failures.
+func recoveryPolicy(cfg *Config) *recov.Policy {
+	mode := cfg.Recovery
+	if mode == "" {
+		if len(cfg.Failures) == 0 {
+			mode = "off"
+		} else {
+			mode = "default"
+		}
+	}
+	switch mode {
+	case "default":
+		pol := recov.DefaultPolicy()
+		return &pol
+	case "replan":
+		return &recov.Policy{Gamma: 0, RetryBudget: 2}
+	default:
+		return nil
+	}
+}
+
+// fmtG renders a float exactly (shortest round-trip form), the only
+// float format allowed into the transcript.
+func fmtG(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+
+// Run validates cfg, expands its timeline and drives the engine
+// through it, checking invariants as it goes. The error return is for
+// broken configs and harness-level failures (a wedged writer, an
+// inconsistent recovery report); engine-level invariant breaches land
+// in Result.Violations so a run reports them all.
+func Run(cfg *Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	nw, err := networkFor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	events, err := buildTimeline(cfg, nw)
+	if err != nil {
+		return nil, err
+	}
+	planner, err := plannerFor(cfg, nw.NumNodes())
+	if err != nil {
+		return nil, err
+	}
+	reg := obs.NewRegistry()
+	aobs := obs.NewAdmissionObs(reg, cfg.Policy, obs.AdmissionObsOptions{})
+	eng := engine.New(nw, planner, engine.Options{
+		Workers:  cfg.Workers,
+		Obs:      aobs,
+		Recovery: recoveryPolicy(cfg),
+	})
+	defer eng.Close()
+	var ctrl *sdn.Controller
+	if cfg.MaxRulesPerSwitch > 0 {
+		if ctrl, err = sdn.NewControllerWithRuleLimit(nw, cfg.MaxRulesPerSwitch); err != nil {
+			return nil, err
+		}
+	}
+	r := &runner{
+		cfg:  cfg,
+		nw:   nw,
+		eng:  eng,
+		ctrl: ctrl,
+		aobs: aobs,
+		res: &Result{
+			Name:      cfg.Name,
+			Policy:    cfg.Policy,
+			Workers:   cfg.Workers,
+			PerTenant: make(map[string]*TenantStats),
+		},
+		live:       make(map[int]string),
+		checkEvery: cfg.CheckEveryEvents,
+		watchdog:   watchdogTimeout,
+	}
+	if r.checkEvery == 0 {
+		r.checkEvery = defaultCheckEvery
+	}
+	for _, t := range cfg.Tenants {
+		r.res.PerTenant[t.Name] = &TenantStats{}
+	}
+	r.caps0 = make([]float64, nw.NumEdges())
+	for e := range r.caps0 {
+		r.caps0[e] = nw.BandwidthCap(e)
+	}
+	start := time.Now()
+	if err := r.drive(events); err != nil {
+		return nil, err
+	}
+	r.res.ElapsedSeconds = time.Since(start).Seconds()
+	r.res.FinalLive = len(r.live)
+	r.res.transcript = r.tb.String()
+	sum := sha256.Sum256([]byte(r.res.transcript))
+	r.res.Fingerprint = hex.EncodeToString(sum[:])
+	return r.res, nil
+}
+
+// linef appends one transcript line.
+func (r *runner) linef(format string, args ...any) {
+	fmt.Fprintf(&r.tb, format+"\n", args...)
+}
+
+// guard runs one engine call under the liveness watchdog. The engine
+// owns a single writer goroutine; any call that fails to return is a
+// wedged writer — the one failure mode a black-box harness cannot
+// observe from return values alone.
+func (r *runner) guard(op string, at float64, f func()) error {
+	done := make(chan struct{})
+	go func() {
+		f()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(r.watchdog):
+		return fmt.Errorf("scenario %q: liveness violation: engine %s wedged at t=%s (no response in %v)",
+			r.cfg.Name, op, fmtG(at), r.watchdog)
+	}
+}
+
+// drive processes the timeline in order, departs every session still
+// live at the horizon, and closes with a full invariant sweep.
+func (r *runner) drive(events []event) error {
+	for i := range events {
+		ev := &events[i]
+		var err error
+		switch ev.kind {
+		case evArrival:
+			err = r.arrive(ev)
+		case evDeparture:
+			err = r.depart(ev.at, ev.reqID)
+		case evFailure:
+			err = r.failure(ev)
+		}
+		if err != nil {
+			return err
+		}
+		r.events++
+		r.checkBounds(ev.at)
+		if r.events%r.checkEvery == 0 {
+			if err := r.checkConservation(ev.at); err != nil {
+				return err
+			}
+		}
+	}
+	// Horizon: everything still holding resources departs, in ID order
+	// (the iteration below is over live IDs sorted by the caller's
+	// insertion pattern — depart explicitly sorted to stay deterministic).
+	for _, id := range r.liveIDs() {
+		if err := r.depart(r.cfg.HorizonHours, id); err != nil {
+			return err
+		}
+	}
+	r.checkBounds(r.cfg.HorizonHours)
+	if err := r.checkConservation(r.cfg.HorizonHours); err != nil {
+		return err
+	}
+	r.checkDrained()
+	r.linef("end admitted=%d rejected=%d rule-rejected=%d departed=%d shed=%d repaired=%d+%d live=%d",
+		r.res.Admitted, r.res.Rejected, r.res.RuleRejected, r.res.Departed,
+		r.res.Shed, r.res.RepairedLocal, r.res.RepairedReplan, len(r.live))
+	return nil
+}
+
+// arrive admits one request and, under a rule-limited controller,
+// compiles the admitted tree into flow rules (departing the session
+// again if a switch table overflows).
+func (r *runner) arrive(ev *event) error {
+	req := ev.req
+	tenant := r.cfg.Tenants[ev.tenant].Name
+	ts := r.res.PerTenant[tenant]
+	ts.Arrivals++
+	r.res.Arrivals++
+	var (
+		sol *core.Solution
+		err error
+	)
+	if gerr := r.guard("Admit", ev.at, func() { sol, err = r.eng.Admit(req) }); gerr != nil {
+		return gerr
+	}
+	if err != nil {
+		ts.Rejected++
+		r.res.Rejected++
+		r.linef("t=%s reject req=%d tenant=%s reason=%s", fmtG(ev.at), req.ID, tenant, core.RejectReason(err))
+		return nil
+	}
+	if r.ctrl != nil {
+		if ierr := r.ctrl.Install(req, sol.Tree); ierr != nil {
+			if !errors.Is(ierr, sdn.ErrTableFull) {
+				return fmt.Errorf("scenario %q: install req %d: %w", r.cfg.Name, req.ID, ierr)
+			}
+			if gerr := r.guard("Depart", ev.at, func() { _, err = r.eng.Depart(req.ID) }); gerr != nil {
+				return gerr
+			}
+			if err != nil {
+				return fmt.Errorf("scenario %q: depart rule-rejected req %d: %w", r.cfg.Name, req.ID, err)
+			}
+			ts.Rejected++
+			r.res.RuleRejected++
+			r.linef("t=%s rule-reject req=%d tenant=%s", fmtG(ev.at), req.ID, tenant)
+			return nil
+		}
+	}
+	r.live[req.ID] = tenant
+	ts.Admitted++
+	r.res.Admitted++
+	if len(r.live) > r.res.PeakLive {
+		r.res.PeakLive = len(r.live)
+	}
+	r.linef("t=%s admit req=%d tenant=%s cost=%s servers=%v",
+		fmtG(ev.at), req.ID, tenant, fmtG(sol.OperationalCost), sol.Servers)
+	return nil
+}
+
+// depart releases one session if it is still live; sessions shed by
+// recovery or bounced by the rule budget have already released.
+func (r *runner) depart(at float64, reqID int) error {
+	if _, ok := r.live[reqID]; !ok {
+		return nil
+	}
+	var err error
+	if gerr := r.guard("Depart", at, func() { _, err = r.eng.Depart(reqID) }); gerr != nil {
+		return gerr
+	}
+	if err != nil {
+		return fmt.Errorf("scenario %q: depart req %d: %w", r.cfg.Name, reqID, err)
+	}
+	if r.ctrl != nil && r.ctrl.Installed(reqID) {
+		if err := r.ctrl.Uninstall(reqID); err != nil {
+			return fmt.Errorf("scenario %q: uninstall req %d: %w", r.cfg.Name, reqID, err)
+		}
+	}
+	delete(r.live, reqID)
+	r.res.Departed++
+	r.linef("t=%s depart req=%d", fmtG(at), reqID)
+	return nil
+}
+
+// failure applies one failure-script action through the typed Apply
+// surface and reconciles the runner's live view (and the flow tables)
+// with whatever the automatic recovery pass decided.
+func (r *runner) failure(ev *event) error {
+	fa := ev.fail
+	muts := fa.muts
+	if fa.scale != 0 {
+		muts = r.resizeMuts(fa.scale)
+	}
+	if len(muts) == 0 {
+		r.linef("t=%s fail %s (no-op)", fmtG(ev.at), fa.label)
+		return nil
+	}
+	var err error
+	if gerr := r.guard("Apply", ev.at, func() { err = r.eng.Apply(muts...) }); gerr != nil {
+		return gerr
+	}
+	if err != nil {
+		return fmt.Errorf("scenario %q: failure script step %q: %w", r.cfg.Name, fa.label, err)
+	}
+	r.res.FailureBatches++
+	r.linef("t=%s fail %s (%d mutations)", fmtG(ev.at), fa.label, len(muts))
+	return r.absorbRecovery(ev.at)
+}
+
+// resizeMuts builds the LinkCapacity batch for a resize step: every
+// link moves to scale× its original capacity (scale < 0 restores the
+// original), clamped so live allocations are never cut — right-sizing
+// is a capacity decision, not an implicit failure.
+func (r *runner) resizeMuts(scale float64) []engine.Mutation {
+	muts := make([]engine.Mutation, 0, r.nw.NumEdges())
+	for e := 0; e < r.nw.NumEdges(); e++ {
+		target := scale * r.caps0[e]
+		if scale < 0 {
+			target = r.caps0[e]
+		}
+		if alloc := r.nw.BandwidthCap(e) - r.nw.ResidualBandwidth(e); target < alloc {
+			target = alloc
+		}
+		if target == r.nw.BandwidthCap(e) {
+			continue
+		}
+		muts = append(muts, engine.Mutation{Kind: engine.LinkCapacity, ID: e, Capacity: target})
+	}
+	return muts
+}
+
+// absorbRecovery folds the engine's latest recovery pass (if the last
+// failure triggered one) into the runner's bookkeeping: shed sessions
+// leave the live view and the flow tables, repaired sessions get their
+// replacement trees re-compiled into rules.
+func (r *runner) absorbRecovery(at float64) error {
+	rep := r.eng.LastRecovery()
+	if rep == nil || rep == r.lastRec {
+		return nil
+	}
+	r.lastRec = rep
+	r.res.RecoveryPasses++
+	r.res.RepairedLocal += rep.Local
+	r.res.RepairedReplan += rep.Replanned
+	r.res.Shed += rep.Shed
+	r.res.RecoverySeconds = append(r.res.RecoverySeconds, rep.Duration.Seconds())
+	for _, o := range rep.Outcomes {
+		if o.Mode == recov.ModeShed {
+			if _, ok := r.live[o.RequestID]; !ok {
+				return fmt.Errorf("scenario %q: recovery shed req %d the runner never saw live", r.cfg.Name, o.RequestID)
+			}
+			delete(r.live, o.RequestID)
+			if r.ctrl != nil && r.ctrl.Installed(o.RequestID) {
+				if err := r.ctrl.Uninstall(o.RequestID); err != nil {
+					return fmt.Errorf("scenario %q: uninstall shed req %d: %w", r.cfg.Name, o.RequestID, err)
+				}
+			}
+			continue
+		}
+		if r.ctrl == nil || o.Solution == nil {
+			continue
+		}
+		// Re-compile the replacement tree. A replacement that overflows
+		// a flow table is departed like any other rule rejection.
+		if r.ctrl.Installed(o.RequestID) {
+			if err := r.ctrl.Uninstall(o.RequestID); err != nil {
+				return fmt.Errorf("scenario %q: uninstall repaired req %d: %w", r.cfg.Name, o.RequestID, err)
+			}
+		}
+		if err := r.ctrl.Install(o.Solution.Request, o.Solution.Tree); err != nil {
+			if !errors.Is(err, sdn.ErrTableFull) {
+				return fmt.Errorf("scenario %q: reinstall repaired req %d: %w", r.cfg.Name, o.RequestID, err)
+			}
+			var derr error
+			if gerr := r.guard("Depart", at, func() { _, derr = r.eng.Depart(o.RequestID) }); gerr != nil {
+				return gerr
+			}
+			if derr != nil {
+				return fmt.Errorf("scenario %q: depart rule-bounced repair req %d: %w", r.cfg.Name, o.RequestID, derr)
+			}
+			delete(r.live, o.RequestID)
+			r.res.RuleRejected++
+			r.linef("t=%s rule-reject repaired req=%d", fmtG(at), o.RequestID)
+		}
+	}
+	r.linef("t=%s recovery local=%d replan=%d shed=%d\n%s",
+		fmtG(at), rep.Local, rep.Replanned, rep.Shed, rep.Fingerprint())
+	return nil
+}
+
+// liveIDs returns the runner's live request IDs in ascending order.
+func (r *runner) liveIDs() []int {
+	ids := make([]int, 0, len(r.live))
+	for id := range r.live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

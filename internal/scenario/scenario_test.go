@@ -1,0 +1,165 @@
+package scenario
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestLibraryScenarios runs every shipped scenario and asserts, per
+// scenario, at least one engine-behaviour invariant beyond "no error"
+// — on top of the harness's own continuous invariants (residual
+// bounds, live-table/residual conservation, session accounting), which
+// must all hold: Violations empty.
+func TestLibraryScenarios(t *testing.T) {
+	checks := map[string]func(*testing.T, *Result){
+		"flash-crowd": func(t *testing.T, res *Result) {
+			ev := res.PerTenant["event"]
+			if ev.Admitted == 0 {
+				t.Error("flash crowd admitted nothing")
+			}
+			if ev.Rejected == 0 {
+				t.Error("flash-crowd peak never saturated: no event-tenant rejections")
+			}
+			if bg := res.PerTenant["background"]; bg.Admitted == 0 {
+				t.Error("background tenant starved entirely")
+			}
+		},
+		"diurnal-rightsize": func(t *testing.T, res *Result) {
+			if res.FailureBatches < 1 {
+				t.Error("right-sizing steps never applied")
+			}
+			if res.RecoveryPasses != 0 {
+				t.Errorf("capacity resize triggered %d recovery passes; resizes are residual-only",
+					res.RecoveryPasses)
+			}
+			if res.Admitted == 0 || res.Rejected == 0 {
+				t.Errorf("diurnal peak should both admit and reject: admitted=%d rejected=%d",
+					res.Admitted, res.Rejected)
+			}
+		},
+		"regional-failure": func(t *testing.T, res *Result) {
+			if res.RecoveryPasses == 0 {
+				t.Fatal("regional outage triggered no recovery pass")
+			}
+			if affected := res.RepairedLocal + res.RepairedReplan + res.Shed; affected == 0 {
+				t.Error("recovery pass resolved no sessions; outage should hit live trees")
+			}
+		},
+		"rolling-drain": func(t *testing.T, res *Result) {
+			if res.FailureBatches != 6 {
+				t.Errorf("drain of 3 servers should apply 6 batches (down+up each), got %d",
+					res.FailureBatches)
+			}
+			if res.RecoveryPasses < 3 {
+				t.Errorf("each drain step must trigger its own recovery pass, got %d", res.RecoveryPasses)
+			}
+		},
+		"multi-tenant": func(t *testing.T, res *Result) {
+			for _, tenant := range []string{"gold", "bronze"} {
+				if res.PerTenant[tenant].Admitted == 0 {
+					t.Errorf("tenant %s admitted nothing", tenant)
+				}
+			}
+		},
+		"rule-limited": func(t *testing.T, res *Result) {
+			if res.RuleRejected == 0 {
+				t.Error("rule budget never bounced an admission; limit is not binding")
+			}
+			if res.Admitted == 0 {
+				t.Error("nothing admitted under the rule budget")
+			}
+		},
+	}
+	for _, cfg := range Library() {
+		cfg := cfg
+		t.Run(cfg.Name, func(t *testing.T) {
+			t.Parallel()
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range res.Violations {
+				t.Errorf("invariant violation: %s", v)
+			}
+			if res.FinalLive != 0 {
+				t.Errorf("final live = %d, want 0 after horizon drain", res.FinalLive)
+			}
+			if res.Admitted != res.Departed+res.Shed {
+				t.Errorf("session conservation: admitted %d != departed %d + shed %d",
+					res.Admitted, res.Departed, res.Shed)
+			}
+			check, ok := checks[cfg.Name]
+			if !ok {
+				t.Fatalf("library scenario %q has no behaviour check", cfg.Name)
+			}
+			check(t, res)
+		})
+	}
+}
+
+// TestFingerprintDeterminismAcrossWorkers pins the harness's headline
+// property: because the runner drives arrivals sequentially and all
+// decision state lives behind the single writer, the full decision
+// transcript is byte-identical at any engine worker count.
+func TestFingerprintDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full runs per scenario")
+	}
+	for _, name := range []string{"flash-crowd", "regional-failure"} {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var base *Result
+			for _, workers := range []int{1, 4, 8} {
+				cfg, ok := LibraryConfig(name)
+				if !ok {
+					t.Fatalf("library scenario %q missing", name)
+				}
+				cfg.Workers = workers
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if base == nil {
+					base = res
+					continue
+				}
+				if res.Fingerprint != base.Fingerprint {
+					t.Errorf("workers=%d fingerprint %s != workers=1 %s\ntranscript diff hint:\n%s",
+						workers, res.Fingerprint, base.Fingerprint,
+						firstTranscriptDiff(base.Transcript(), res.Transcript()))
+				}
+			}
+		})
+	}
+}
+
+// firstTranscriptDiff locates the first line two transcripts disagree
+// on, for actionable failure output.
+func firstTranscriptDiff(a, b string) string {
+	la, lb := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(la) && i < len(lb); i++ {
+		if la[i] != lb[i] {
+			return "line " + strconv.Itoa(i) + ": " + la[i] + " vs " + lb[i]
+		}
+	}
+	return "transcripts are a prefix of each other"
+}
+
+// TestRunIsReproducible: same config, same process, twice — identical
+// fingerprints (no hidden global state, clocks or map-order leaks).
+func TestRunIsReproducible(t *testing.T) {
+	cfg, _ := LibraryConfig("multi-tenant")
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2, _ := LibraryConfig("multi-tenant")
+	r2, err := Run(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Errorf("same config, different fingerprints: %s vs %s", r1.Fingerprint, r2.Fingerprint)
+	}
+}
