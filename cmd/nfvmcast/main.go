@@ -46,6 +46,8 @@ func run(args []string) error {
 		k           = fs.Int("k", 3, "server budget K")
 		workers     = fs.Int("workers", -1, "concurrent subset evaluations for appro (-1 = all CPUs, 0/1 = sequential)")
 		algorithm   = fs.String("algorithm", "appro", "appro | oneserver | nearest | onlinecp")
+		shards      = fs.Int("shards", 0, "route admission through a shard router over this many identical substrate replicas (onlinecp only; 0 = direct engine)")
+		tenant      = fs.String("tenant", "default", "tenant key for shard routing (rendezvous-hashed to a shard; only with -shards)")
 		dotPath     = fs.String("dot", "", "write the routing graph as Graphviz DOT to this file")
 		metricsAddr = fs.String("metrics-addr", "", "after solving, serve metrics over HTTP at this address until interrupted (/metrics Prometheus text, /metrics.json, /debug/pprof/)")
 	)
@@ -55,6 +57,12 @@ func run(args []string) error {
 	if *destsFlag == "" {
 		fs.Usage()
 		return fmt.Errorf("missing -dest")
+	}
+	if *shards < 0 {
+		return fmt.Errorf("-shards %d must be >= 0", *shards)
+	}
+	if *shards > 0 && *algorithm != "onlinecp" {
+		return fmt.Errorf("-shards requires -algorithm onlinecp (admission routing is an online-engine feature)")
 	}
 
 	topo, err := buildTopology(*topoName, *nodes, *seed)
@@ -112,6 +120,42 @@ func run(args []string) error {
 	case "nearest":
 		sol, err = nfvmcast.AlgOneServerNearest(nw, req, false)
 	case "onlinecp":
+		if *shards > 0 {
+			// Shard-routed admission: every shard owns an identical
+			// replica of the substrate (same topology, seed-identical
+			// capacities); the tenant key picks the owning shard by
+			// rendezvous hash and the session lands on that shard's
+			// network for the verification below.
+			ids := make([]string, *shards)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("s%d", i)
+			}
+			var router *nfvmcast.ShardRouter
+			router, err = nfvmcast.NewShardRouter(nfvmcast.ShardOptions{
+				Shards: ids,
+				Build: func(string) (*nfvmcast.Network, nfvmcast.Planner, error) {
+					snw, berr := nfvmcast.NewNetwork(topo, nfvmcast.DefaultNetworkConfig(),
+						rand.New(rand.NewSource(*seed+1)))
+					if berr != nil {
+						return nil, nil, berr
+					}
+					planner, berr := nfvmcast.NewCPPlanner(model)
+					return snw, planner, berr
+				},
+			})
+			if err != nil {
+				return err
+			}
+			defer router.Close()
+			sol, err = router.Admit(*tenant, req)
+			if err == nil {
+				owner := router.Owner(req.ID)
+				fmt.Printf("tenant %q routed to shard %s of %d\n", *tenant, owner, *shards)
+				nw = router.Network(owner)
+			}
+			allocated = err == nil
+			break
+		}
 		var planner *nfvmcast.CPPlanner
 		planner, err = nfvmcast.NewCPPlanner(model)
 		if err != nil {

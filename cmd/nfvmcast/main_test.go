@@ -38,11 +38,26 @@ func TestRunErrors(t *testing.T) {
 		{"-dest", "1", "-algorithm", "magic"},
 		{"-dest", "999"}, // destination out of range on GEANT
 		{"-nonsense-flag"},
+		{"-dest", "1", "-shards", "-1"}, // negative shard count
+		{"-dest", "1", "-shards", "2", "-algorithm", "appro"}, // sharding is engine-only
 	}
 	for i, args := range cases {
 		if err := run(args); err == nil {
 			t.Fatalf("case %d (%v): error expected", i, args)
 		}
+	}
+}
+
+// TestRunShardedAdmission drives the shard-routed onlinecp path:
+// admission lands on one of the replica networks and the controller
+// verification replays packets on the owning shard's substrate.
+func TestRunShardedAdmission(t *testing.T) {
+	err := run([]string{
+		"-topology", "geant", "-source", "17", "-dest", "1,5,30",
+		"-algorithm", "onlinecp", "-shards", "2", "-tenant", "gold",
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -61,8 +61,10 @@ func run(args []string) error {
 		metricsAddr = fs.String("metrics-addr", "", "serve engine metrics over HTTP at this address (/metrics Prometheus text, /metrics.json, /debug/pprof/); with no -experiment, serve until interrupted")
 		metricsDir  = fs.String("metrics-dir", "", "write one metrics-<experiment>.json summary per experiment into this directory")
 		scenarioRun = fs.String("scenario", "", "run a scenario: a shipped name (see -scenario-list), 'all', or a JSON config path")
-		scenarioLs  = fs.Bool("scenario-list", false, "list the shipped scenario library")
-		scenarioWk  = fs.Int("scenario-workers", -1, "override the scenario's engine worker count (-1 = keep the config's)")
+		scenarioLs  = fs.Bool("scenario-list", false, "list the shipped scenario library (tenants, shards, failure steps per scenario)")
+		scenarioWk  = fs.Int("scenario-workers", -1, "override the scenario's engine worker count (-1 = keep the config's; 0/1 = sequential; applies per shard engine when the scenario is sharded — decisions are identical at any value)")
+		shards      = fs.Int("shards", -1, "override the scenario's shard count (-1 = keep the config's; 0/1 = single engine; >1 routes through the shard router, one engine per identical substrate replica)")
+		tenantOnly  = fs.String("tenant", "", "restrict the scenario to one tenant class by name (default: run every class)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +74,11 @@ func run(args []string) error {
 		return nil
 	}
 	if *scenarioRun != "" {
-		return runScenarios(*scenarioRun, *scenarioWk, *jsonDir)
+		return runScenarios(*scenarioRun, scenarioOverrides{
+			workers: *scenarioWk,
+			shards:  *shards,
+			tenant:  *tenantOnly,
+		}, *jsonDir)
 	}
 	if *list || (*experiment == "" && *metricsAddr == "") {
 		fmt.Println("available experiments:")

@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -101,5 +102,45 @@ func TestScenarioFromFile(t *testing.T) {
 func TestScenarioUnknownName(t *testing.T) {
 	if err := run([]string{"-scenario", "no-such-scenario"}); err == nil {
 		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// TestScenarioShardOverride forces a library scenario through the
+// shard router (and back down to a single engine) from the CLI.
+func TestScenarioShardOverride(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-scenario", "multi-tenant", "-shards", "2", "-json", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scenario-multi-tenant.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"shards": 2`) {
+		t.Fatal("result JSON missing shard count")
+	}
+	// Forcing shards onto the rule-limited scenario must surface the
+	// config validator's incompatibility error, not crash.
+	if err := run([]string{"-scenario", "rule-limited", "-shards", "2"}); err == nil {
+		t.Fatal("sharded rule-limited scenario accepted")
+	}
+}
+
+// TestScenarioTenantFilter restricts a run to one tenant class and
+// rejects names the scenario does not define.
+func TestScenarioTenantFilter(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-scenario", "multi-tenant", "-tenant", "bronze", "-json", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scenario-multi-tenant.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), `"gold"`) {
+		t.Fatal("tenant filter leaked another class's sessions")
+	}
+	if err := run([]string{"-scenario", "multi-tenant", "-tenant", "nope"}); err == nil {
+		t.Fatal("unknown tenant accepted")
 	}
 }

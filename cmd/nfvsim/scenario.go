@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 
 	"nfvmcast/internal/scenario"
 )
@@ -25,6 +26,9 @@ func listScenarios() {
 		}
 		if cfg.MaxRulesPerSwitch > 0 {
 			extras += fmt.Sprintf(", <=%d rules/switch", cfg.MaxRulesPerSwitch)
+		}
+		if cfg.Shards > 1 {
+			extras += fmt.Sprintf(", %d shards", cfg.Shards)
 		}
 		fmt.Printf("  %-18s %s/%s, %gh horizon, %d tenants%s\n",
 			cfg.Name, cfg.Topology.Name, cfg.Policy, cfg.HorizonHours, len(cfg.Tenants), extras)
@@ -51,17 +55,55 @@ func scenarioConfigs(spec string) ([]*scenario.Config, error) {
 	return []*scenario.Config{cfg}, nil
 }
 
+// scenarioOverrides carries the CLI knobs that rewrite a resolved
+// scenario config before it runs. Negative ints and the empty tenant
+// string mean "keep the config's own value".
+type scenarioOverrides struct {
+	workers int
+	shards  int
+	tenant  string
+}
+
+// apply rewrites cfg in place; it errors when -tenant names a class the
+// scenario does not define.
+func (o scenarioOverrides) apply(cfg *scenario.Config) error {
+	if o.workers >= 0 {
+		cfg.Workers = o.workers
+	}
+	if o.shards >= 0 {
+		cfg.Shards = o.shards
+	}
+	if o.tenant != "" {
+		kept := cfg.Tenants[:0]
+		for _, t := range cfg.Tenants {
+			if t.Name == o.tenant {
+				kept = append(kept, t)
+			}
+		}
+		if len(kept) == 0 {
+			names := make([]string, len(cfg.Tenants))
+			for i, t := range cfg.Tenants {
+				names[i] = t.Name
+			}
+			return fmt.Errorf("scenario %q has no tenant %q (tenants: %s)",
+				cfg.Name, o.tenant, strings.Join(names, ", "))
+		}
+		cfg.Tenants = kept
+	}
+	return nil
+}
+
 // runScenarios drives each resolved scenario and prints one JSON
-// result per run. workers < 0 keeps each config's own worker count.
-func runScenarios(spec string, workers int, jsonDir string) error {
+// result per run.
+func runScenarios(spec string, over scenarioOverrides, jsonDir string) error {
 	cfgs, err := scenarioConfigs(spec)
 	if err != nil {
 		return err
 	}
 	violations := 0
 	for _, cfg := range cfgs {
-		if workers >= 0 {
-			cfg.Workers = workers
+		if err := over.apply(cfg); err != nil {
+			return err
 		}
 		res, err := scenario.Run(cfg)
 		if err != nil {

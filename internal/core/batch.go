@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"nfvmcast/internal/multicast"
+)
+
+// Epoch-batched commits. The admission engine collects a window of
+// concurrently-planned requests and commits them back to back in one
+// epoch: validation still happens per member (a member whose plan no
+// longer fits the residuals fails alone), but the ordering is pinned
+// to ascending request ID — the arrival order the deterministic
+// drivers use — and the network's MutationVersion moves once for the
+// whole epoch instead of once per member, so planner caches keyed on
+// it see a single residual transition.
+
+// BatchResult reports one member's outcome from CommitBatch, in the
+// order the members were committed (ascending request ID).
+type BatchResult struct {
+	Index int                // position in the caller's reqs slice
+	Req   *multicast.Request // the member's request
+	Sol   *Solution          // realised solution, nil when Err != nil
+	Err   error              // nil on commit, the Commit error otherwise
+}
+
+// CommitBatch commits a window of planned solutions in ascending
+// request-ID order within one network mutation batch: every member is
+// validated against the residuals left by the members before it, and
+// MutationVersion is bumped exactly once if any member committed.
+// reqs and sols are parallel slices. Failures are per-member — a
+// member whose solution no longer fits is reported in its BatchResult
+// and the rest of the batch proceeds; CommitBatch itself only errors
+// on malformed input. Like Commit, it does not count failures as
+// rejections (callers re-plan or CountRejection).
+func (a *Admitter) CommitBatch(reqs []*multicast.Request, sols []*Solution) ([]BatchResult, error) {
+	if len(reqs) != len(sols) {
+		return nil, fmt.Errorf("core: CommitBatch with %d requests but %d solutions", len(reqs), len(sols))
+	}
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	results := make([]BatchResult, len(reqs))
+	order := make([]int, len(reqs))
+	for i := range order {
+		if reqs[i] == nil || sols[i] == nil {
+			return nil, fmt.Errorf("core: CommitBatch member %d is nil", i)
+		}
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		ix, iy := order[x], order[y]
+		if reqs[ix].ID != reqs[iy].ID {
+			return reqs[ix].ID < reqs[iy].ID
+		}
+		return ix < iy
+	})
+
+	a.nw.BeginMutationBatch()
+	for pos, i := range order {
+		sol, err := a.Commit(reqs[i], sols[i])
+		results[pos] = BatchResult{Index: i, Req: reqs[i], Sol: sol, Err: err}
+	}
+	a.nw.EndMutationBatch()
+	return results, nil
+}

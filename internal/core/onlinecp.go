@@ -183,18 +183,29 @@ func (p *CPPlanner) PlanContext(
 		if overloaded {
 			continue
 		}
-		tree, retCost, err := p.realize(nw, w, req, v, st, arena)
-		if err != nil {
-			continue
-		}
 		// Selection cost (Algorithm 2, step 12):
 		// cost(k) = c(T) + c_v(SC_k) + c(p_{v,u}) in absolute
-		// exponential costs.
+		// exponential costs. The back-tracking term c(p_{v,u}) is a sum
+		// of non-negative link costs, so c(T) + c_v(SC_k) lower-bounds
+		// the selection cost — candidates that cannot beat the incumbent
+		// skip pseudo-tree realization entirely. A skipped candidate's
+		// true cost satisfies sel >= lower >= bestSelection, so it would
+		// have lost the strict `sel < bestSelection` comparison anyway:
+		// the chosen server and tree are bit-identical with or without
+		// the pruning.
 		var cT float64
 		for _, e := range st.EdgeIDs {
 			cT += p.model.LinkCost(nw, w.hostEdge(e))
 		}
-		sel := cT + p.model.ServerCost(nw, v) + retCost
+		lower := cT + p.model.ServerCost(nw, v)
+		if lower >= bestSelection {
+			continue
+		}
+		tree, retCost, err := p.realize(nw, w, req, v, st, arena)
+		if err != nil {
+			continue
+		}
+		sel := lower + retCost
 		if sel < bestSelection {
 			bestSelection, bestTree, bestServer = sel, tree, v
 		}

@@ -1,0 +1,95 @@
+package engine
+
+// Epoch-batched commits. With Options.BatchWindow > 1 the concurrent
+// admission path stops submitting commits as individual writer ops:
+// finished plans queue commit tickets, and the writer drains up to one
+// window of waiting tickets per loop iteration, committing them in
+// ascending request-ID order inside one network mutation batch — the
+// residuals move per commit (each member validates against what the
+// members before it left), but MutationVersion moves once per epoch,
+// so planner caches keyed on it see a single transition per burst
+// instead of one per request.
+//
+// The whole epoch runs inside one writer critical section: no snapshot
+// clone, depart or update can interleave with the members of a batch,
+// which is what makes the per-epoch version bump safe — a clone can
+// only ever observe the pre- or post-epoch residual state, never a
+// mid-batch one that would alias the pre-batch (structure, mutation)
+// cache key with different residuals.
+//
+// Determinism: a sequentially-driven engine (one in-flight Admit) has
+// at most one waiting ticket, so every epoch has size 1 and decisions
+// are byte-identical across batch windows — the shard determinism
+// oracle pins this. Under concurrency the window only changes how
+// conflicts interleave, never the per-member validation order (always
+// ascending request ID within an epoch).
+
+import (
+	"sort"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+)
+
+// commitTicket is one planned solution waiting for an epoch commit.
+type commitTicket struct {
+	req   *multicast.Request
+	sol   *core.Solution
+	epoch uint64
+	done  chan commitVerdict
+}
+
+type commitVerdict struct {
+	sol   *core.Solution
+	stale bool
+	err   error
+}
+
+// submitCommit queues sol for the next commit epoch and waits for its
+// verdict. Only called on the batched concurrent path.
+func (e *Engine) submitCommit(req *multicast.Request, sol *core.Solution, epoch uint64) (*core.Solution, bool, error) {
+	t := &commitTicket{req: req, sol: sol, epoch: epoch, done: make(chan commitVerdict, 1)}
+	select {
+	case e.commits <- t:
+		// The writer has the ticket and always answers it.
+		v := <-t.done
+		return v.sol, v.stale, v.err
+	case <-e.quit:
+		return nil, false, ErrClosed
+	}
+}
+
+// commitEpoch runs on the writer: starting from the ticket just
+// received, it drains whatever other tickets are already waiting (up
+// to the window), orders the epoch by ascending request ID and commits
+// every member inside one network mutation batch.
+func (e *Engine) commitEpoch(first *commitTicket) {
+	batch := append(e.batchScratch[:0], first)
+	for len(batch) < e.batchWindow {
+		select {
+		case t := <-e.commits:
+			batch = append(batch, t)
+		default:
+			goto drained
+		}
+	}
+drained:
+	e.batchScratch = batch
+
+	sort.SliceStable(batch, func(i, j int) bool {
+		return batch[i].req.ID < batch[j].req.ID
+	})
+	nw := e.adm.Network()
+	nw.BeginMutationBatch()
+	for _, t := range batch {
+		var v commitVerdict
+		v.stale = e.mutations != t.epoch
+		v.sol, v.err = e.adm.Commit(t.req, t.sol)
+		if v.err == nil {
+			e.mutations++
+		}
+		t.done <- v
+	}
+	nw.EndMutationBatch()
+	e.obs.BatchCommitted(len(batch))
+}

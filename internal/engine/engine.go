@@ -71,6 +71,15 @@ type Options struct {
 	// default) leaves damaged sessions alone, preserving the manual
 	// fail-release-readmit workflow.
 	Recovery *recov.Policy
+	// BatchWindow bounds how many finished plans one commit epoch may
+	// absorb (see batch.go): the writer drains up to this many waiting
+	// commits per loop iteration, validates them in ascending
+	// request-ID order and bumps the network's MutationVersion once
+	// for the whole epoch. 0 or 1 keeps per-commit epochs (the
+	// pre-batching behaviour); the window is ignored in sequential
+	// mode, where plan and commit are one atomic step. Decisions of a
+	// sequentially-driven engine are byte-identical across windows.
+	BatchWindow int
 }
 
 // Engine is a single-writer admission engine: one goroutine owns the
@@ -91,6 +100,13 @@ type Engine struct {
 	// seqArena is the single-writer mode's scratch; only the writer
 	// goroutine plans in that mode, so one arena suffices.
 	seqArena *core.PlanArena
+
+	// Epoch batching (see batch.go). batchWindow > 1 routes concurrent
+	// commits through the ticket channel; batchScratch is the writer's
+	// reusable epoch buffer.
+	batchWindow  int
+	commits      chan *commitTicket
+	batchScratch []*commitTicket
 
 	// Recovery state (nil unless Options.Recovery was set). rec and
 	// lastRec are touched only on the writer goroutine; recArena is the
@@ -119,15 +135,21 @@ type Engine struct {
 // or from inside Update.
 func New(nw *sdn.Network, planner core.Planner, opts Options) *Engine {
 	workers := parallel.Degree(opts.Workers)
+	window := opts.BatchWindow
+	if window < 1 {
+		window = 1
+	}
 	e := &Engine{
-		adm:        core.NewAdmitter(nw, planner),
-		obs:        opts.Obs,
-		sequential: workers <= 1,
-		planSlots:  make(chan *core.PlanArena, workers),
-		seqArena:   core.NewPlanArena(),
-		ops:        make(chan func()),
-		quit:       make(chan struct{}),
-		done:       make(chan struct{}),
+		adm:         core.NewAdmitter(nw, planner),
+		obs:         opts.Obs,
+		sequential:  workers <= 1,
+		planSlots:   make(chan *core.PlanArena, workers),
+		seqArena:    core.NewPlanArena(),
+		batchWindow: window,
+		commits:     make(chan *commitTicket),
+		ops:         make(chan func()),
+		quit:        make(chan struct{}),
+		done:        make(chan struct{}),
 	}
 	for i := 0; i < workers; i++ {
 		e.planSlots <- core.NewPlanArena()
@@ -149,6 +171,8 @@ func (e *Engine) writer() {
 		select {
 		case f := <-e.ops:
 			f()
+		case t := <-e.commits:
+			e.commitEpoch(t)
 		case <-e.quit:
 			return
 		}
@@ -279,8 +303,13 @@ func (e *Engine) planOnSnapshot(ctx context.Context, req *multicast.Request, are
 // tryCommit validates sol against the live residuals on the writer.
 // The error is nil on success, ErrClosed, or the allocation violation;
 // stale reports whether the live state had moved past the plan's
-// snapshot epoch by commit time.
+// snapshot epoch by commit time. With BatchWindow > 1 the commit joins
+// the writer's next epoch batch (see batch.go) — same verdicts, with
+// MutationVersion amortized across the epoch.
 func (e *Engine) tryCommit(req *multicast.Request, sol *core.Solution, epoch uint64) (*core.Solution, bool, error) {
+	if e.batchWindow > 1 {
+		return e.submitCommit(req, sol, epoch)
+	}
 	var out *core.Solution
 	var stale bool
 	var cerr error

@@ -255,6 +255,19 @@ func FuzzEngineUpdate(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{0x03, 0x00, 0x00, 0x01, 0x05, 0x10, 0x00, 0x00, 0x02, 0x00, 0x07})
 	f.Add([]byte("\x01\x02\x03\x02\x09\x7f\xff\xff\xff\xff\xff\xff\xff\xff\x00\x01\x02"))
+	// Cross-shard seed: the batch shape the shard router's ApplyAll
+	// fans out during fleet maintenance — a link resize, a server
+	// failure and a link restore, then a malformed tail (negative
+	// server ID). The whole batch must reject with zero state change;
+	// internal/shard's TestMalformedBatchShardIsolation asserts the
+	// sibling-shard side of the same contract.
+	f.Add([]byte{
+		0x02, 0x03, // workers, then a 4-mutation batch
+		0x00, 0x02, 0x00, 0x05, 0x10, 0x27, // valid: resize link 5
+		0x00, 0x01, 0x01, 0x03, 0x00, 0x00, // valid: fail server (3rd)
+		0x00, 0x00, 0x00, 0x07, 0x01, 0x00, // valid: restore link 7
+		0x01, 0x03, 0x00, 0x02, 0xE8, 0x03, // malformed: server ID -3
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1024 {
 			data = data[:1024]

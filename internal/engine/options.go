@@ -45,6 +45,17 @@ func WithRecovery(pol recov.Policy) Option {
 	}
 }
 
+// WithBatchWindow bounds how many finished plans one commit epoch may
+// absorb: the writer drains up to n waiting commits per loop
+// iteration, validates them in ascending request-ID order and bumps
+// the network's MutationVersion once per epoch. n <= 1 keeps
+// per-commit epochs; the window only matters with WithWorkers(> 1),
+// and a sequentially-driven engine decides identically at every
+// window.
+func WithBatchWindow(n int) Option {
+	return func(o *Options) { o.BatchWindow = n }
+}
+
 // WithRepairCostFactor sets the local-repair acceptance factor γ: a
 // re-routed tree is kept only when its operational cost is at most
 // gamma times the damaged tree's; gamma <= 0 forces every repair

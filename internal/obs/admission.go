@@ -39,6 +39,7 @@ const (
 // instruments are concurrency-safe).
 type AdmissionObs struct {
 	policy string
+	shard  string
 	sink   Sink
 	sample bool
 	seq    atomic.Uint64
@@ -51,6 +52,7 @@ type AdmissionObs struct {
 	replans   *Counter
 	conflicts *Counter
 	clones    *Counter
+	batches   *Counter
 	failures  *Counter
 	repairs   *Counter
 	repaired  map[string]*Counter
@@ -62,6 +64,7 @@ type AdmissionObs struct {
 	commitLat   *Histogram
 	cloneLat    *Histogram
 	recoveryLat *Histogram
+	batchSize   *Histogram
 }
 
 // AdmissionObsOptions configures an AdmissionObs.
@@ -73,6 +76,11 @@ type AdmissionObsOptions struct {
 	// histograms. Off by default: latency sampling is the only
 	// instrument that reads time.Now() on the hot path.
 	SampleLatency bool
+	// Shard adds a shard label to every instrument and stamps the
+	// Shard field on every emitted event, so the pipelines of a shard
+	// router stay attributable on one shared Registry. "" (the
+	// default) registers the unsharded series exactly as before.
+	Shard string
 }
 
 // NewAdmissionObs registers the admission instrument set for one
@@ -80,57 +88,77 @@ type AdmissionObsOptions struct {
 // counters are pre-registered for every canonical reason so exposition
 // output has a stable series set from the first scrape.
 func NewAdmissionObs(reg *Registry, policy string, opts AdmissionObsOptions) *AdmissionObs {
-	pl := L("policy", policy)
+	base := []Label{L("policy", policy)}
+	if opts.Shard != "" {
+		base = append(base, L("shard", opts.Shard))
+	}
+	with := func(extra Label) []Label {
+		return append(append(make([]Label, 0, len(base)+1), base...), extra)
+	}
 	o := &AdmissionObs{
 		policy: policy,
+		shard:  opts.Shard,
 		sink:   opts.Events,
 		sample: opts.SampleLatency,
 		admitted: reg.Counter("nfv_admitted_total",
-			"Requests admitted (allocated and live).", pl),
+			"Requests admitted (allocated and live).", base...),
 		rejected: make(map[string]*Counter),
 		departed: reg.Counter("nfv_departed_total",
-			"Admitted sessions that departed and released their resources.", pl),
+			"Admitted sessions that departed and released their resources.", base...),
 		plans: reg.Counter("nfv_plans_total",
-			"Planner invocations (initial plans and re-plans).", pl),
+			"Planner invocations (initial plans and re-plans).", base...),
 		replans: reg.Counter("nfv_replans_total",
-			"Plans recomputed after an optimistic-commit conflict.", pl),
+			"Plans recomputed after an optimistic-commit conflict.", base...),
 		conflicts: reg.Counter("nfv_commit_conflicts_total",
-			"Commit-time validation failures (plan invalidated by a concurrent commit).", pl),
+			"Commit-time validation failures (plan invalidated by a concurrent commit).", base...),
 		clones: reg.Counter("nfv_snapshot_clones_total",
-			"Residual-network snapshot clones taken for planning.", pl),
+			"Residual-network snapshot clones taken for planning.", base...),
+		batches: reg.Counter("nfv_commit_batches_total",
+			"Commit epochs processed by the writer (each batches >= 1 commit tickets).", base...),
 		failures: reg.Counter("nfv_failures_injected_total",
-			"Structural changes (link/server failure injection) applied through the engine.", pl),
+			"Structural changes (link/server failure injection) applied through the engine.", base...),
 		repairs: reg.Counter("nfv_repairs_attempted_total",
-			"Live sessions a recovery pass tried to repair after a failure.", pl),
+			"Live sessions a recovery pass tried to repair after a failure.", base...),
 		repaired: make(map[string]*Counter),
 		shed: reg.Counter("nfv_shed_total",
-			"Live sessions dropped by recovery because no residual capacity could host them.", pl),
+			"Live sessions dropped by recovery because no residual capacity could host them.", base...),
 		live: reg.Gauge("nfv_live_sessions",
-			"Admitted sessions currently holding resources.", pl),
+			"Admitted sessions currently holding resources.", base...),
 		inflight: reg.Gauge("nfv_inflight_admissions",
-			"Admit calls currently planning or committing (engine queue depth).", pl),
+			"Admit calls currently planning or committing (engine queue depth).", base...),
 		planLat: reg.Histogram("nfv_plan_seconds",
-			"Planner latency (sampled; empty unless SampleLatency).", nil, pl),
+			"Planner latency (sampled; empty unless SampleLatency).", nil, base...),
 		commitLat: reg.Histogram("nfv_commit_seconds",
-			"Commit (allocation + bookkeeping) latency on the writer (sampled).", nil, pl),
+			"Commit (allocation + bookkeeping) latency on the writer (sampled).", nil, base...),
 		cloneLat: reg.Histogram("nfv_snapshot_clone_seconds",
-			"Residual-snapshot clone latency on the writer (sampled).", nil, pl),
+			"Residual-snapshot clone latency on the writer (sampled).", nil, base...),
 		recoveryLat: reg.Histogram("nfv_recovery_seconds",
-			"End-to-end latency of one recovery pass (always sampled; recovery is rare).", nil, pl),
+			"End-to-end latency of one recovery pass (always sampled; recovery is rare).", nil, base...),
+		batchSize: reg.Histogram("nfv_commit_batch_size",
+			"Commit tickets per epoch batch.",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}, base...),
 	}
 	for _, mode := range []string{RepairModeLocal, RepairModeReplan} {
 		o.repaired[mode] = reg.Counter("nfv_repaired_total",
-			"Sessions re-hosted by recovery, by repair mode.", pl, L("mode", mode))
+			"Sessions re-hosted by recovery, by repair mode.", with(L("mode", mode))...)
 	}
 	for _, reason := range []string{
 		ReasonBandwidth, ReasonCompute, ReasonThreshold, ReasonUnreachable,
 		ReasonDelayBound, ReasonResourceDown, ReasonCommitConflict, ReasonOther,
 	} {
 		o.rejected[reason] = reg.Counter("nfv_rejected_total",
-			"Requests rejected, by canonical reason.", pl, L("reason", reason))
+			"Requests rejected, by canonical reason.", with(L("reason", reason))...)
 	}
 	o.rejOther = o.rejected[ReasonOther]
 	return o
+}
+
+// Shard returns the shard label, "" on a nil or unsharded receiver.
+func (o *AdmissionObs) Shard() string {
+	if o == nil {
+		return ""
+	}
+	return o.shard
 }
 
 // Policy returns the policy label, "" on a nil receiver.
@@ -148,6 +176,7 @@ func (o *AdmissionObs) emit(ev Event) {
 	}
 	ev.Seq = o.seq.Add(1)
 	ev.Policy = o.policy
+	ev.Shard = o.shard
 	o.sink.Emit(ev)
 }
 
@@ -244,6 +273,17 @@ func (o *AdmissionObs) CloneDone(start time.Time) {
 	}
 	o.clones.Inc()
 	observe(o.cloneLat, start)
+}
+
+// BatchCommitted records one commit epoch processed by the writer:
+// the batch counter and the tickets-per-batch histogram. size counts
+// every ticket in the epoch, committed or failed.
+func (o *AdmissionObs) BatchCommitted(size int) {
+	if o == nil {
+		return
+	}
+	o.batches.Inc()
+	o.batchSize.Observe(float64(size))
 }
 
 // FailureInjected records a structural change applied through the

@@ -45,6 +45,9 @@ type Event struct {
 	Type EventType `json:"type"`
 	// Policy is the planner name (Online_CP, SP, ...).
 	Policy string `json:"policy,omitempty"`
+	// Shard names the shard whose pipeline emitted the event, when the
+	// admission runs behind a shard router ("" for unsharded engines).
+	Shard string `json:"shard,omitempty"`
 	// Request is the request ID the event concerns.
 	Request int `json:"request,omitempty"`
 	// Reason is the canonical rejection reason (Rejected), or a short

@@ -47,6 +47,12 @@ func TestConfigValidationGoldens(t *testing.T) {
 			`scenario "t": maxRulesPerSwitch -1 must be >= 0`},
 		{"negative check cadence", func(c *Config) { c.CheckEveryEvents = -2 },
 			`scenario "t": checkEveryEvents -2 must be >= 0`},
+		{"negative shards", func(c *Config) { c.Shards = -2 },
+			`scenario "t": shards -2 must be >= 0`},
+		{"sharded rule budget", func(c *Config) { c.Shards = 2; c.MaxRulesPerSwitch = 8 },
+			`scenario "t": sharded runs cannot attach a rule-limited controller (shards=2, maxRulesPerSwitch=8)`},
+		{"negative batch window", func(c *Config) { c.BatchWindow = -1 },
+			`scenario "t": batchWindow -1 must be >= 0`},
 		{"tenant without name", func(c *Config) { c.Tenants[0].Name = "" },
 			`scenario "t": tenant 0 needs a name`},
 		{"duplicate tenant", func(c *Config) { c.Tenants = append(c.Tenants, c.Tenants[0]) },

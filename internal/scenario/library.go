@@ -18,6 +18,7 @@ func Library() []*Config {
 		rollingDrain(),
 		multiTenant(),
 		ruleLimited(),
+		shardedTenants(),
 	}
 }
 
@@ -158,6 +159,39 @@ func multiTenant() *Config {
 				MeanHoldingHours: 0.4,
 			},
 		},
+	}
+}
+
+// shardedTenants spreads six tenant classes across a four-shard router
+// (each shard an identical GÉANT replica with its own engine, commits
+// epoch-batched), then takes down the links around Frankfurt fleet-wide
+// — every shard applies the outage batch and runs its own recovery
+// pass. The harness's per-shard and cross-shard conservation checks do
+// the heavy lifting; the scenario exists so they run on every suite.
+func shardedTenants() *Config {
+	tenants := make([]Tenant, 6)
+	for i := range tenants {
+		tenants[i] = Tenant{
+			Name:             string(rune('a' + i)),
+			Phases:           []Phase{{Kind: PhaseSteady, StartHours: 0, EndHours: 3, RatePerHour: 25}},
+			MeanHoldingHours: 1.5,
+		}
+	}
+	return &Config{
+		Name:         "sharded-tenants",
+		Topology:     TopologySpec{Name: "geant"},
+		Policy:       "Online_CP",
+		Seed:         17,
+		HorizonHours: 3,
+		Shards:       4,
+		BatchWindow:  16,
+		Recovery:     "default",
+		Tenants:      tenants,
+		Failures: []FailureStep{{
+			// Frankfurt (node 10) again, but fleet-wide: the same batch
+			// strikes every shard's replica.
+			Kind: FailRegion, Epicenter: 10, RadiusHops: 1, AtHours: 1.5, DurationHours: 1,
+		}},
 	}
 }
 

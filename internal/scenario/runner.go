@@ -16,6 +16,7 @@ import (
 	"nfvmcast/internal/obs"
 	recov "nfvmcast/internal/recover"
 	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/shard"
 	"nfvmcast/internal/topology"
 )
 
@@ -35,6 +36,7 @@ type Result struct {
 	Name           string                  `json:"name"`
 	Policy         string                  `json:"policy"`
 	Workers        int                     `json:"workers"`
+	Shards         int                     `json:"shards,omitempty"`
 	Arrivals       int                     `json:"arrivals"`
 	Admitted       int                     `json:"admitted"`
 	Rejected       int                     `json:"rejected"`
@@ -55,6 +57,10 @@ type Result struct {
 	Fingerprint     string    `json:"fingerprint"`
 	RecoverySeconds []float64 `json:"recoverySeconds,omitempty"`
 	ElapsedSeconds  float64   `json:"elapsedSeconds"`
+	// ShardReports carries the router's per-shard fan-in (sharded runs
+	// only): per-shard decision counts and transcript fingerprints in
+	// ascending shard-ID order.
+	ShardReports []shard.ShardReport `json:"shardReports,omitempty"`
 
 	transcript string
 }
@@ -168,6 +174,9 @@ func Run(cfg *Config) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.Shards > 1 {
+		return runSharded(cfg)
+	}
 	nw, err := networkFor(cfg)
 	if err != nil {
 		return nil, err
@@ -183,9 +192,10 @@ func Run(cfg *Config) (*Result, error) {
 	reg := obs.NewRegistry()
 	aobs := obs.NewAdmissionObs(reg, cfg.Policy, obs.AdmissionObsOptions{})
 	eng := engine.New(nw, planner, engine.Options{
-		Workers:  cfg.Workers,
-		Obs:      aobs,
-		Recovery: recoveryPolicy(cfg),
+		Workers:     cfg.Workers,
+		Obs:         aobs,
+		Recovery:    recoveryPolicy(cfg),
+		BatchWindow: cfg.BatchWindow,
 	})
 	defer eng.Close()
 	var ctrl *sdn.Controller
@@ -204,6 +214,7 @@ func Run(cfg *Config) (*Result, error) {
 			Name:      cfg.Name,
 			Policy:    cfg.Policy,
 			Workers:   cfg.Workers,
+			Shards:    cfg.Shards,
 			PerTenant: make(map[string]*TenantStats),
 		},
 		live:       make(map[int]string),

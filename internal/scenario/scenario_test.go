@@ -70,6 +70,26 @@ func TestLibraryScenarios(t *testing.T) {
 				t.Error("nothing admitted under the rule budget")
 			}
 		},
+		"sharded-tenants": func(t *testing.T, res *Result) {
+			if res.Shards != 4 || len(res.ShardReports) != 4 {
+				t.Fatalf("want 4 shard reports, got shards=%d reports=%d", res.Shards, len(res.ShardReports))
+			}
+			busy := 0
+			for _, sr := range res.ShardReports {
+				if sr.Admitted > 0 {
+					busy++
+				}
+			}
+			if busy < 2 {
+				t.Errorf("tenants spread over only %d of 4 shards", busy)
+			}
+			if res.FailureBatches == 0 {
+				t.Error("fleet-wide outage never applied")
+			}
+			if res.RecoveryPasses == 0 {
+				t.Error("fleet-wide outage triggered no recovery pass on any shard")
+			}
+		},
 	}
 	for _, cfg := range Library() {
 		cfg := cfg

@@ -1,0 +1,507 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
+	"nfvmcast/internal/obs"
+	recov "nfvmcast/internal/recover"
+	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/shard"
+)
+
+// The sharded runner drives one scenario through a shard.Router: each
+// shard owns an identical replica of the scenario substrate (same
+// topology, same capacities — networkFor is a pure function of the
+// config) and its own engine; tenants spread across shards by the
+// router's rendezvous hash. The timeline is the same one the
+// single-engine path would run — request node IDs and failure-script
+// mutations are valid on every replica — so a sharded run is the same
+// workload horizontally scaled across S independent admission cells.
+//
+// Failure-script steps fan out fleet-wide: state batches go through
+// ApplyAll, capacity resizes are clamped per shard against that
+// shard's own live allocations. Invariants extend the single-engine
+// set with per-shard conservation (each engine's live table vs its own
+// network's residuals vs the runner's shard-tagged live view) and
+// cross-shard conservation (no session owned by two shards, fleet
+// totals closing against the router's Report).
+
+// shardRunner drives one expanded timeline through a shard router.
+type shardRunner struct {
+	cfg    *Config
+	router *shard.Router
+	ids    []string
+	res    *Result
+
+	live       map[int]string           // request ID -> tenant name
+	liveShard  map[int]string           // request ID -> admitting shard
+	caps0      map[string][]float64     // per-shard original link capacities
+	lastRec    map[string]*recov.Report // per-shard last absorbed recovery pass
+	tb         strings.Builder
+	checkEvery int
+	events     int
+	watchdog   time.Duration
+}
+
+// linef appends one transcript line.
+func (r *shardRunner) linef(format string, args ...any) {
+	fmt.Fprintf(&r.tb, format+"\n", args...)
+}
+
+// shardIDs names the router's shards: shard00, shard01, ... — zero-
+// padded so lexicographic report order matches numeric order up to 100
+// shards.
+func shardIDs(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("shard%02d", i)
+	}
+	return ids
+}
+
+// runSharded is Run for cfg.Shards > 1.
+func runSharded(cfg *Config) (*Result, error) {
+	ids := shardIDs(cfg.Shards)
+	reg := obs.NewRegistry()
+	router, err := shard.New(shard.Options{
+		Shards: ids,
+		Build: func(string) (*sdn.Network, core.Planner, error) {
+			// Every shard builds the same substrate replica: networkFor
+			// draws topology and capacities from cfg.Seed alone.
+			nw, err := networkFor(cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			planner, err := plannerFor(cfg, nw.NumNodes())
+			if err != nil {
+				return nil, nil, err
+			}
+			return nw, planner, nil
+		},
+		Workers:     cfg.Workers,
+		BatchWindow: cfg.BatchWindow,
+		Recovery:    recoveryPolicy(cfg),
+		Registry:    reg,
+		Policy:      cfg.Policy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer router.Close()
+
+	events, err := buildTimeline(cfg, router.Network(ids[0]))
+	if err != nil {
+		return nil, err
+	}
+	r := &shardRunner{
+		cfg:    cfg,
+		router: router,
+		ids:    ids,
+		res: &Result{
+			Name:      cfg.Name,
+			Policy:    cfg.Policy,
+			Workers:   cfg.Workers,
+			Shards:    cfg.Shards,
+			PerTenant: make(map[string]*TenantStats),
+		},
+		live:       make(map[int]string),
+		liveShard:  make(map[int]string),
+		caps0:      make(map[string][]float64, len(ids)),
+		lastRec:    make(map[string]*recov.Report, len(ids)),
+		checkEvery: cfg.CheckEveryEvents,
+		watchdog:   watchdogTimeout,
+	}
+	if r.checkEvery == 0 {
+		r.checkEvery = defaultCheckEvery
+	}
+	for _, t := range cfg.Tenants {
+		r.res.PerTenant[t.Name] = &TenantStats{}
+	}
+	for _, id := range ids {
+		nw := router.Network(id)
+		caps := make([]float64, nw.NumEdges())
+		for e := range caps {
+			caps[e] = nw.BandwidthCap(e)
+		}
+		r.caps0[id] = caps
+	}
+	start := time.Now()
+	if err := r.drive(events); err != nil {
+		return nil, err
+	}
+	r.res.ElapsedSeconds = time.Since(start).Seconds()
+	r.res.FinalLive = len(r.live)
+	rep := router.Report()
+	r.res.ShardReports = rep.Shards
+	// The runner transcript already interleaves every shard's decisions
+	// in arrival order; folding the router's merged per-shard digest in
+	// ties the fingerprint to both views of the run.
+	r.linef("router merged=%s", rep.Merged)
+	r.res.transcript = r.tb.String()
+	sum := sha256.Sum256([]byte(r.res.transcript))
+	r.res.Fingerprint = hex.EncodeToString(sum[:])
+	return r.res, nil
+}
+
+// guard runs one router call under the liveness watchdog (the same
+// contract as the single-engine runner's guard).
+func (r *shardRunner) guard(op string, at float64, f func()) error {
+	done := make(chan struct{})
+	go func() {
+		f()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(r.watchdog):
+		return fmt.Errorf("scenario %q: liveness violation: router %s wedged at t=%s (no response in %v)",
+			r.cfg.Name, op, fmtG(at), r.watchdog)
+	}
+}
+
+func (r *shardRunner) violatef(format string, args ...any) {
+	if len(r.res.Violations) < maxViolations {
+		r.res.Violations = append(r.res.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+// drive processes the timeline in order, departs every session still
+// live at the horizon, and closes with a full invariant sweep.
+func (r *shardRunner) drive(events []event) error {
+	for i := range events {
+		ev := &events[i]
+		var err error
+		switch ev.kind {
+		case evArrival:
+			err = r.arrive(ev)
+		case evDeparture:
+			err = r.depart(ev.at, ev.reqID)
+		case evFailure:
+			err = r.failure(ev)
+		}
+		if err != nil {
+			return err
+		}
+		r.events++
+		r.checkBounds(ev.at)
+		if r.events%r.checkEvery == 0 {
+			if err := r.checkConservation(ev.at); err != nil {
+				return err
+			}
+		}
+	}
+	for _, id := range r.liveIDs() {
+		if err := r.depart(r.cfg.HorizonHours, id); err != nil {
+			return err
+		}
+	}
+	r.checkBounds(r.cfg.HorizonHours)
+	if err := r.checkConservation(r.cfg.HorizonHours); err != nil {
+		return err
+	}
+	r.checkDrained()
+	r.linef("end admitted=%d rejected=%d departed=%d shed=%d repaired=%d+%d live=%d shards=%d",
+		r.res.Admitted, r.res.Rejected, r.res.Departed,
+		r.res.Shed, r.res.RepairedLocal, r.res.RepairedReplan, len(r.live), r.cfg.Shards)
+	return nil
+}
+
+// arrive routes one request to its tenant's shard.
+func (r *shardRunner) arrive(ev *event) error {
+	req := ev.req
+	tenant := r.cfg.Tenants[ev.tenant].Name
+	ts := r.res.PerTenant[tenant]
+	ts.Arrivals++
+	r.res.Arrivals++
+	var (
+		sol *core.Solution
+		err error
+	)
+	if gerr := r.guard("Admit", ev.at, func() { sol, err = r.router.Admit(tenant, req) }); gerr != nil {
+		return gerr
+	}
+	if err != nil {
+		ts.Rejected++
+		r.res.Rejected++
+		r.linef("t=%s reject req=%d tenant=%s reason=%s", fmtG(ev.at), req.ID, tenant, core.RejectReason(err))
+		return nil
+	}
+	owner := r.router.Owner(req.ID)
+	r.live[req.ID] = tenant
+	r.liveShard[req.ID] = owner
+	ts.Admitted++
+	r.res.Admitted++
+	if len(r.live) > r.res.PeakLive {
+		r.res.PeakLive = len(r.live)
+	}
+	r.linef("t=%s admit req=%d tenant=%s shard=%s cost=%s servers=%v",
+		fmtG(ev.at), req.ID, tenant, owner, fmtG(sol.OperationalCost), sol.Servers)
+	return nil
+}
+
+// depart releases one session through the router's session-owner map.
+func (r *shardRunner) depart(at float64, reqID int) error {
+	if _, ok := r.live[reqID]; !ok {
+		return nil
+	}
+	var err error
+	if gerr := r.guard("Release", at, func() { _, err = r.router.Release(reqID) }); gerr != nil {
+		return gerr
+	}
+	if err != nil {
+		return fmt.Errorf("scenario %q: release req %d: %w", r.cfg.Name, reqID, err)
+	}
+	delete(r.live, reqID)
+	delete(r.liveShard, reqID)
+	r.res.Departed++
+	r.linef("t=%s depart req=%d", fmtG(at), reqID)
+	return nil
+}
+
+// failure fans one failure-script action out fleet-wide: state batches
+// apply to every shard atomically per shard, resizes are clamped
+// against each shard's own live allocations.
+func (r *shardRunner) failure(ev *event) error {
+	fa := ev.fail
+	if fa.scale != 0 {
+		applied := 0
+		for _, id := range r.ids {
+			muts := r.resizeMuts(id, fa.scale)
+			if len(muts) == 0 {
+				continue
+			}
+			var err error
+			if gerr := r.guard("ApplyShard", ev.at, func() { err = r.router.ApplyShard(id, muts...) }); gerr != nil {
+				return gerr
+			}
+			if err != nil {
+				return fmt.Errorf("scenario %q: failure script step %q on %s: %w", r.cfg.Name, fa.label, id, err)
+			}
+			applied++
+		}
+		if applied == 0 {
+			r.linef("t=%s fail %s (no-op)", fmtG(ev.at), fa.label)
+			return nil
+		}
+		r.res.FailureBatches++
+		r.linef("t=%s fail %s (%d shards)", fmtG(ev.at), fa.label, applied)
+		return r.absorbRecovery(ev.at)
+	}
+	if len(fa.muts) == 0 {
+		r.linef("t=%s fail %s (no-op)", fmtG(ev.at), fa.label)
+		return nil
+	}
+	var err error
+	if gerr := r.guard("ApplyAll", ev.at, func() { err = r.router.ApplyAll(fa.muts...) }); gerr != nil {
+		return gerr
+	}
+	if err != nil {
+		return fmt.Errorf("scenario %q: failure script step %q: %w", r.cfg.Name, fa.label, err)
+	}
+	r.res.FailureBatches++
+	r.linef("t=%s fail %s (%d mutations x %d shards)", fmtG(ev.at), fa.label, len(fa.muts), len(r.ids))
+	return r.absorbRecovery(ev.at)
+}
+
+// resizeMuts builds one shard's LinkCapacity batch for a resize step,
+// clamped so that shard's live allocations are never cut.
+func (r *shardRunner) resizeMuts(id string, scale float64) []engine.Mutation {
+	nw := r.router.Network(id)
+	caps0 := r.caps0[id]
+	muts := make([]engine.Mutation, 0, nw.NumEdges())
+	for e := 0; e < nw.NumEdges(); e++ {
+		target := scale * caps0[e]
+		if scale < 0 {
+			target = caps0[e]
+		}
+		if alloc := nw.BandwidthCap(e) - nw.ResidualBandwidth(e); target < alloc {
+			target = alloc
+		}
+		if target == nw.BandwidthCap(e) {
+			continue
+		}
+		muts = append(muts, engine.Mutation{Kind: engine.LinkCapacity, ID: e, Capacity: target})
+	}
+	return muts
+}
+
+// absorbRecovery folds every shard's latest recovery pass into the
+// runner's bookkeeping, in ascending shard-ID order so the transcript
+// stays deterministic.
+func (r *shardRunner) absorbRecovery(at float64) error {
+	for _, id := range r.ids {
+		eng := r.router.Engine(id)
+		if eng == nil {
+			continue
+		}
+		rep := eng.LastRecovery()
+		if rep == nil || rep == r.lastRec[id] {
+			continue
+		}
+		r.lastRec[id] = rep
+		r.res.RecoveryPasses++
+		r.res.RepairedLocal += rep.Local
+		r.res.RepairedReplan += rep.Replanned
+		r.res.Shed += rep.Shed
+		r.res.RecoverySeconds = append(r.res.RecoverySeconds, rep.Duration.Seconds())
+		for _, o := range rep.Outcomes {
+			if o.Mode != recov.ModeShed {
+				continue
+			}
+			if _, ok := r.live[o.RequestID]; !ok {
+				return fmt.Errorf("scenario %q: shard %s shed req %d the runner never saw live", r.cfg.Name, id, o.RequestID)
+			}
+			if owner := r.liveShard[o.RequestID]; owner != id {
+				return fmt.Errorf("scenario %q: shard %s shed req %d owned by %s", r.cfg.Name, id, o.RequestID, owner)
+			}
+			delete(r.live, o.RequestID)
+			delete(r.liveShard, o.RequestID)
+		}
+		r.linef("t=%s recovery shard=%s local=%d replan=%d shed=%d\n%s",
+			fmtG(at), id, rep.Local, rep.Replanned, rep.Shed, rep.Fingerprint())
+	}
+	return nil
+}
+
+// checkBounds runs the cheap residual-bounds sweep on every shard.
+func (r *shardRunner) checkBounds(at float64) {
+	for _, id := range r.ids {
+		nw := r.router.Network(id)
+		for e := 0; e < nw.NumEdges(); e++ {
+			free, cap := nw.ResidualBandwidth(e), nw.BandwidthCap(e)
+			if free < -eps || free > cap+eps || math.IsNaN(free) {
+				r.violatef("t=%s shard %s link %d residual %g outside [0, %g]", fmtG(at), id, e, free, cap)
+			}
+		}
+		for _, v := range nw.Servers() {
+			free, cap := nw.ResidualCompute(v), nw.ComputeCap(v)
+			if free < -eps || free > cap+eps || math.IsNaN(free) {
+				r.violatef("t=%s shard %s server %d residual %g outside [0, %g]", fmtG(at), id, v, free, cap)
+			}
+		}
+	}
+}
+
+// checkConservation reconciles, per shard, the engine's live table
+// against that shard's network residuals and the runner's shard-tagged
+// live view — then closes the cross-shard equation: every live session
+// is owned by exactly one shard and the fleet totals match the
+// router's report.
+func (r *shardRunner) checkConservation(at float64) error {
+	tol := func(want, cap float64) float64 {
+		return eps*math.Max(1, math.Abs(want)) + 1e-9*math.Abs(cap)
+	}
+	totalLive := 0
+	for _, id := range r.ids {
+		eng := r.router.Engine(id)
+		nw := r.router.Network(id)
+		var lives []*core.Solution
+		if gerr := r.guard("Lives", at, func() { lives = eng.Lives() }); gerr != nil {
+			return gerr
+		}
+		totalLive += len(lives)
+
+		mine := 0
+		for _, owner := range r.liveShard {
+			if owner == id {
+				mine++
+			}
+		}
+		if len(lives) != mine {
+			r.violatef("t=%s shard %s live table has %d sessions, runner tracks %d", fmtG(at), id, len(lives), mine)
+		}
+		wantLink := make([]float64, nw.NumEdges())
+		wantSrv := make(map[int]float64)
+		for _, sol := range lives {
+			owner, ok := r.liveShard[sol.Request.ID]
+			if !ok {
+				r.violatef("t=%s shard %s live table holds req %d the runner departed", fmtG(at), id, sol.Request.ID)
+			} else if owner != id {
+				r.violatef("t=%s req %d live on shard %s but owned by %s", fmtG(at), sol.Request.ID, id, owner)
+			}
+			alloc := core.AllocationFor(sol.Request, sol.Tree)
+			for e, bw := range alloc.Links {
+				wantLink[e] += bw
+			}
+			for v, mhz := range alloc.Servers {
+				wantSrv[v] += mhz
+			}
+		}
+		for e := 0; e < nw.NumEdges(); e++ {
+			cap := nw.BandwidthCap(e)
+			got := cap - nw.ResidualBandwidth(e)
+			if math.Abs(got-wantLink[e]) > tol(wantLink[e], cap) {
+				r.violatef("t=%s shard %s link %d allocated %g but live table sums to %g", fmtG(at), id, e, got, wantLink[e])
+			}
+		}
+		for _, v := range nw.Servers() {
+			cap := nw.ComputeCap(v)
+			got := cap - nw.ResidualCompute(v)
+			if math.Abs(got-wantSrv[v]) > tol(wantSrv[v], cap) {
+				r.violatef("t=%s shard %s server %d allocated %g but live table sums to %g", fmtG(at), id, v, got, wantSrv[v])
+			}
+		}
+		// Cross-shard session ownership: the router must agree with the
+		// runner on who admitted every session this shard holds.
+		for _, sol := range lives {
+			if owner := r.router.Owner(sol.Request.ID); owner != id {
+				r.violatef("t=%s router owner map says req %d belongs to %q, engine %s holds it",
+					fmtG(at), sol.Request.ID, owner, id)
+			}
+		}
+	}
+	if totalLive != len(r.live) {
+		r.violatef("t=%s shards hold %d sessions total, runner tracks %d", fmtG(at), totalLive, len(r.live))
+	}
+	rep := r.router.Report()
+	if rep.Live != len(r.live) {
+		r.violatef("t=%s router report live=%d, runner tracks %d", fmtG(at), rep.Live, len(r.live))
+	}
+	if rep.Admitted != r.res.Admitted || rep.Rejected != r.res.Rejected || rep.Departed != r.res.Departed {
+		r.violatef("t=%s router report admitted=%d rejected=%d departed=%d, runner counts %d/%d/%d",
+			fmtG(at), rep.Admitted, rep.Rejected, rep.Departed,
+			r.res.Admitted, r.res.Rejected, r.res.Departed)
+	}
+	return nil
+}
+
+// checkDrained asserts the end state on every shard: residuals whole
+// again once every session has departed.
+func (r *shardRunner) checkDrained() {
+	if len(r.live) != 0 {
+		r.violatef("end: %d sessions still live after horizon drain", len(r.live))
+		return
+	}
+	for _, id := range r.ids {
+		nw := r.router.Network(id)
+		for e := 0; e < nw.NumEdges(); e++ {
+			if diff := nw.BandwidthCap(e) - nw.ResidualBandwidth(e); math.Abs(diff) > eps {
+				r.violatef("end: shard %s link %d still has %g Mbps allocated after all departures", id, e, diff)
+			}
+		}
+		for _, v := range nw.Servers() {
+			if diff := nw.ComputeCap(v) - nw.ResidualCompute(v); math.Abs(diff) > eps {
+				r.violatef("end: shard %s server %d still has %g MHz allocated after all departures", id, v, diff)
+			}
+		}
+	}
+}
+
+// liveIDs returns the runner's live request IDs in ascending order.
+func (r *shardRunner) liveIDs() []int {
+	ids := make([]int, 0, len(r.live))
+	for id := range r.live {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}

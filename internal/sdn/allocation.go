@@ -99,7 +99,7 @@ func (nw *Network) Allocate(a Allocation) error {
 	for v, need := range a.Servers {
 		nw.srvFree[v] -= need
 	}
-	nw.mutVer++
+	nw.bumpMutation()
 	return nil
 }
 
@@ -139,7 +139,7 @@ func (nw *Network) Release(a Allocation) error {
 			nw.srvFree[v] = nw.srvCap[v]
 		}
 	}
-	nw.mutVer++
+	nw.bumpMutation()
 	return nil
 }
 

@@ -1,0 +1,55 @@
+package sdn
+
+// Mutation batching. MutationVersion exists so planners can cache
+// residual-derived structures (re-priced work graphs, shortest-path
+// trees) and invalidate them exactly when the residuals move. When the
+// admission engine commits an epoch of requests — a batch validated
+// and allocated back to back on the writer — bumping the version once
+// per allocation would invalidate those caches several times for what
+// is, to every outside observer, a single residual transition: no
+// reader can see the intermediate states, because the writer holds the
+// network for the whole batch. BeginMutationBatch/EndMutationBatch
+// make that transition explicit: mutations inside a batch mark the
+// network dirty, and the version moves once when the outermost batch
+// ends.
+//
+// Batching is a single-goroutine affair (the sdn mutators already
+// are): the caller that opened the batch must close it before any
+// other goroutine may observe the network. Batches nest; only the
+// outermost End bumps. Clones taken outside a batch are unaffected;
+// cloning mid-batch is a caller bug (the clone would alias a version
+// that still identifies the pre-batch residuals).
+
+// BeginMutationBatch opens a mutation batch: residual mutations until
+// the matching EndMutationBatch mark the network dirty instead of
+// bumping MutationVersion. Batches nest.
+func (nw *Network) BeginMutationBatch() { nw.batchDepth++ }
+
+// EndMutationBatch closes the innermost open batch. Closing the
+// outermost batch bumps MutationVersion once if any mutation ran
+// inside it, and not at all for an empty batch. EndMutationBatch
+// without an open batch is a no-op.
+func (nw *Network) EndMutationBatch() {
+	if nw.batchDepth == 0 {
+		return
+	}
+	nw.batchDepth--
+	if nw.batchDepth == 0 && nw.batchDirty {
+		nw.batchDirty = false
+		nw.mutVer++
+	}
+}
+
+// InMutationBatch reports whether a mutation batch is open.
+func (nw *Network) InMutationBatch() bool { return nw.batchDepth > 0 }
+
+// bumpMutation advances MutationVersion, or defers the bump to the
+// enclosing batch's end. Every residual mutator calls it exactly once
+// per successful state change.
+func (nw *Network) bumpMutation() {
+	if nw.batchDepth > 0 {
+		nw.batchDirty = true
+		return
+	}
+	nw.mutVer++
+}

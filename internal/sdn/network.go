@@ -87,6 +87,11 @@ type Network struct {
 	structVer uint64 // bumped by failure injection (see StructureVersion)
 	mutVer    uint64 // bumped by every residual mutation (see MutationVersion)
 
+	// Open-mutation-batch state (see batch.go). Not cloned: a clone
+	// starts outside any batch.
+	batchDepth int
+	batchDirty bool
+
 	// pending buffers failure/restore notifications until the owning
 	// goroutine drains them (see events.go). Clones start empty.
 	pending []ResourceEvent
@@ -309,6 +314,6 @@ func (nw *Network) Restore(s *Snapshot) error {
 		}
 		nw.srvFree[k] = v
 	}
-	nw.mutVer++
+	nw.bumpMutation()
 	return nil
 }

@@ -1,0 +1,112 @@
+package shard_test
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
+	"nfvmcast/internal/sdn"
+)
+
+// networkImage captures a network's observable state bit-exactly —
+// versions, every link's up/cap/residual, every server's up/cap/
+// residual — formatted with %x on the float bits so two images are
+// equal only when the states are bit-identical, not merely close.
+func networkImage(nw *sdn.Network) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "mut=%d struct=%d\n", nw.MutationVersion(), nw.StructureVersion())
+	for e := 0; e < nw.NumEdges(); e++ {
+		fmt.Fprintf(&b, "e%d up=%t cap=%x free=%x\n",
+			e, nw.LinkUp(e), nw.BandwidthCap(e), nw.ResidualBandwidth(e))
+	}
+	for _, v := range nw.Servers() {
+		fmt.Fprintf(&b, "v%d up=%t cap=%x free=%x\n",
+			v, nw.ServerUp(v), nw.ComputeCap(v), nw.ResidualCompute(v))
+	}
+	return b.String()
+}
+
+// TestMalformedBatchShardIsolation pins the blast-radius contract the
+// router's per-shard ownership exists to provide: a malformed
+// maintenance batch aimed at one shard is rejected all-or-nothing by
+// that shard's engine AND every other shard's network stays
+// bit-identical — tenant B cannot be perturbed by tenant A's bad
+// batch, because no code path even reaches B's network.
+func TestMalformedBatchShardIsolation(t *testing.T) {
+	r := testRouter(t, []string{"s0", "s1", "s2"})
+
+	// Put live sessions on every shard so "untouched" is a statement
+	// about allocated state, not empty substrate.
+	for i, req := range testRequests(t, 24, 11) {
+		if _, err := r.Admit(fmt.Sprintf("tenant-%d", i%6), req); err != nil &&
+			!errors.Is(err, core.ErrRejected) {
+			t.Fatalf("admit %d: %v", req.ID, err)
+		}
+	}
+
+	before := make(map[string]string)
+	for _, id := range r.ShardIDs() {
+		before[id] = networkImage(r.Network(id))
+	}
+
+	// The batch mixes valid mutations with a malformed tail — the
+	// shape a fleet-maintenance script produces when one entry is
+	// corrupt. Validation must reject the whole batch.
+	bad := []engine.Mutation{
+		{Kind: engine.LinkCapacity, ID: 0, Capacity: 9000},
+		{Kind: engine.ServerState, ID: -3},
+	}
+
+	var merr *engine.MalformedMutationError
+	if err := r.ApplyShard("s1", bad...); !errors.As(err, &merr) {
+		t.Fatalf("ApplyShard(s1, malformed) error = %v, want *engine.MalformedMutationError", err)
+	}
+	for _, id := range r.ShardIDs() {
+		if got := networkImage(r.Network(id)); got != before[id] {
+			t.Errorf("shard %s network changed after rejected batch targeting s1:\n%s",
+				id, firstLineDiff(before[id], got))
+		}
+	}
+
+	// Tenant-routed path: the same guarantee keyed by tenant.
+	if err := r.Apply("tenant-0", bad...); !errors.As(err, &merr) {
+		t.Fatalf("Apply(tenant-0, malformed) error = %v, want *engine.MalformedMutationError", err)
+	}
+	// Fleet-wide path: the sweep aborts at the first shard in ID order
+	// and no shard — visited or not — may retain any effect.
+	if err := r.ApplyAll(bad...); !errors.As(err, &merr) {
+		t.Fatalf("ApplyAll(malformed) error = %v, want *engine.MalformedMutationError", err)
+	}
+	for _, id := range r.ShardIDs() {
+		if got := networkImage(r.Network(id)); got != before[id] {
+			t.Errorf("shard %s network changed after rejected tenant/fleet batches:\n%s",
+				id, firstLineDiff(before[id], got))
+		}
+	}
+
+	// Control: the valid prefix alone must apply — proving the images
+	// above would have caught a real mutation.
+	if err := r.ApplyShard("s1", bad[0]); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if networkImage(r.Network("s1")) == before["s1"] {
+		t.Fatal("control mutation left no trace; the isolation check is not sensitive")
+	}
+	if got := networkImage(r.Network("s0")); got != before["s0"] {
+		t.Errorf("s0 changed when a valid batch targeted s1:\n%s", firstLineDiff(before["s0"], got))
+	}
+}
+
+// firstLineDiff locates the first diverging line of two images.
+func firstLineDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d: %q -> %q", i, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

@@ -45,6 +45,7 @@ import (
 	"nfvmcast/internal/obs"
 	recov "nfvmcast/internal/recover"
 	"nfvmcast/internal/sdn"
+	"nfvmcast/internal/shard"
 	"nfvmcast/internal/topology"
 	"nfvmcast/internal/viz"
 )
@@ -331,6 +332,11 @@ var (
 	// (accept a re-route only at cost <= γ× the damaged tree's);
 	// γ <= 0 forces every repair through the full re-plan path.
 	WithRepairCostFactor = engine.WithRepairCostFactor
+	// WithBatchWindow enables epoch-batched commits: up to n finished
+	// plans commit under one mutation-version bump, amortising planner
+	// cache invalidation. 0 or 1 commits every decision in its own
+	// epoch; decisions are identical at every window.
+	WithBatchWindow = engine.WithBatchWindow
 )
 
 // NewEngine returns an admission engine owning nw that admits with
@@ -351,6 +357,45 @@ func NewEngine(nw *Network, planner Planner, opts ...EngineOption) *Engine {
 func NewEngineFromOptions(nw *Network, planner Planner, opts EngineOptions) *Engine {
 	return engine.New(nw, planner, opts)
 }
+
+// Sharded multi-tenant admission (internal/shard): a router over N
+// independent engines, one per tenant partition. Tenants map to shards
+// by rendezvous hashing (or a ShardOptions.Assign pin for
+// data-locality placement), sessions stay pinned to their admitting
+// shard for release, and Report fans per-shard decision-transcript
+// fingerprints into one deterministic merged digest.
+type (
+	// ShardRouter fans Admit/Release/Apply across shards by tenant key.
+	ShardRouter = shard.Router
+	// ShardOptions configures NewShardRouter (shard IDs, the per-shard
+	// substrate Builder, engine knobs, the Assign placement hook).
+	ShardOptions = shard.Options
+	// ShardBuilder constructs one shard's network and planner.
+	ShardBuilder = shard.Builder
+	// ShardState is a shard's lifecycle position (active, draining,
+	// stopped).
+	ShardState = shard.State
+	// ShardRouterReport is the deterministic fan-in over every shard.
+	ShardRouterReport = shard.Report
+	// ShardReport is one shard's view at Report time.
+	ShardReport = shard.ShardReport
+)
+
+// Shard lifecycle states.
+const (
+	ShardActive   = shard.Active
+	ShardDraining = shard.Draining
+	ShardStopped  = shard.Stopped
+)
+
+// NewShardRouter builds a router with one engine per shard ID:
+//
+//	r, err := nfvmcast.NewShardRouter(nfvmcast.ShardOptions{
+//	    Shards: []string{"eu", "us"},
+//	    Build: func(id string) (*nfvmcast.Network, nfvmcast.Planner, error) { ... },
+//	})
+//	sol, err := r.Admit("tenant-a", req) // routed by rendezvous hash
+func NewShardRouter(opts ShardOptions) (*ShardRouter, error) { return shard.New(opts) }
 
 // Failure recovery (internal/recover): the self-healing subsystem
 // behind WithRecovery.
@@ -444,4 +489,11 @@ var (
 	ErrTableFull        = sdn.ErrTableFull
 	ErrLinkDown         = sdn.ErrLinkDown
 	ErrServerDown       = sdn.ErrServerDown
+	// Shard-router sentinels.
+	ErrNoActiveShards   = shard.ErrNoActiveShards
+	ErrUnknownShard     = shard.ErrUnknownShard
+	ErrUnknownSession   = shard.ErrUnknownSession
+	ErrShardStopped     = shard.ErrShardStopped
+	ErrShardUnavailable = shard.ErrShardUnavailable
+	ErrShardNotDrained  = shard.ErrNotDrained
 )

@@ -1,0 +1,116 @@
+package nfvmcast
+
+// The recorded benchmark artifacts under results/BENCH_*.json share
+// one schema (the shape BENCH_plan.json introduced) so tooling — the
+// CI bench-smoke step, benchstat extraction scripts, the EXPERIMENTS
+// tables — can parse every file the same way. This test is that
+// schema's executable definition: top-level keys, a flat results list
+// of named entries with ns_per_op, and a correctness_gates statement
+// tying the numbers to the suite that validates the mechanism.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// benchDoc mirrors the unified BENCH_*.json schema. Extra per-entry
+// metric keys (admits_per_sec, bytes_per_op, rounds, ...) are
+// free-form; the envelope is not.
+type benchDoc struct {
+	Benchmark        string           `json:"benchmark"`
+	Workload         string           `json:"workload"`
+	Command          string           `json:"command"`
+	Date             string           `json:"date"`
+	Environment      map[string]any   `json:"environment"`
+	Results          []map[string]any `json:"results"`
+	CorrectnessGates any              `json:"correctness_gates"`
+	Mechanism        string           `json:"mechanism"` // optional
+}
+
+func TestBenchResultsSchema(t *testing.T) {
+	paths, err := filepath.Glob("results/BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 8 {
+		t.Fatalf("found %d results/BENCH_*.json files, want >= 8 — moved?", len(paths))
+	}
+	for _, path := range paths {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Strict pass: a results value that is not a list (the
+			// pre-unification BENCH_recover.json shape) must fail
+			// loudly here, not decode to nil.
+			var doc benchDoc
+			if err := json.Unmarshal(raw, &doc); err != nil {
+				t.Fatalf("does not match the unified schema: %v", err)
+			}
+			for field, v := range map[string]string{
+				"benchmark": doc.Benchmark,
+				"workload":  doc.Workload,
+				"command":   doc.Command,
+				"date":      doc.Date,
+			} {
+				if v == "" {
+					t.Errorf("missing or empty %q", field)
+				}
+			}
+			if len(doc.Environment) == 0 {
+				t.Error("missing environment")
+			}
+			if doc.CorrectnessGates == nil {
+				t.Error("missing correctness_gates — numbers without a validating suite are not evidence")
+			}
+			if len(doc.Results) == 0 {
+				t.Fatal("results must be a non-empty list")
+			}
+			for i, entry := range doc.Results {
+				name, _ := entry["name"].(string)
+				if name == "" {
+					t.Errorf("results[%d]: missing name", i)
+				}
+				ns, ok := entry["ns_per_op"].(float64)
+				if !ok || ns <= 0 {
+					t.Errorf("results[%d] (%s): ns_per_op missing or not positive: %v",
+						i, name, entry["ns_per_op"])
+				}
+			}
+			// No stray top-level keys: the envelope is closed so a new
+			// bespoke key (identity_check, summary, ...) cannot creep
+			// back in unnoticed.
+			var loose map[string]any
+			if err := json.Unmarshal(raw, &loose); err != nil {
+				t.Fatal(err)
+			}
+			known := map[string]bool{
+				"benchmark": true, "workload": true, "command": true,
+				"date": true, "environment": true, "results": true,
+				"correctness_gates": true, "mechanism": true,
+			}
+			for k := range loose {
+				if !known[k] {
+					t.Errorf("unknown top-level key %q — extend the schema deliberately or fold it into an existing key", k)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchSchemaRejectsLegacyShapes pins the failure mode the schema
+// exists to catch: a dict-shaped results section must not decode.
+func TestBenchSchemaRejectsLegacyShapes(t *testing.T) {
+	legacy := `{"benchmark": "x", "results": {"timing": {"sessions": 1}}}`
+	var doc benchDoc
+	if err := json.Unmarshal([]byte(legacy), &doc); err == nil {
+		t.Fatal("dict-shaped results decoded silently; the schema gate is toothless")
+	}
+	if err := json.Unmarshal([]byte(fmt.Sprintf(`{"results": [{"name": "a", "ns_per_op": %d}]}`, 12)), &doc); err != nil {
+		t.Fatalf("list-shaped results must decode: %v", err)
+	}
+}
