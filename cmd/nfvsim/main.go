@@ -11,6 +11,7 @@
 //	nfvsim -scenario flash-crowd            # shipped scenario by name
 //	nfvsim -scenario path/to/scenario.json  # declarative JSON scenario
 //	nfvsim -scenario all -json results/
+//	nfvsim -scenario flash-crowd -daemon http://127.0.0.1:8080
 //	nfvsim -scenario-list
 //
 // Each experiment prints one aligned text table per figure panel; see
@@ -65,6 +66,7 @@ func run(args []string) error {
 		scenarioWk  = fs.Int("scenario-workers", -1, "override the scenario's engine worker count (-1 = keep the config's; 0/1 = sequential; applies per shard engine when the scenario is sharded — decisions are identical at any value)")
 		shards      = fs.Int("shards", -1, "override the scenario's shard count (-1 = keep the config's; 0/1 = single engine; >1 routes through the shard router, one engine per identical substrate replica)")
 		tenantOnly  = fs.String("tenant", "", "restrict the scenario to one tenant class by name (default: run every class)")
+		daemonURL   = fs.String("daemon", "", "drive the scenario against a live nfvmcastd at this base URL (e.g. http://127.0.0.1:8080) instead of in-process; the daemon must be serving the scenario's topology and seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +80,7 @@ func run(args []string) error {
 			workers: *scenarioWk,
 			shards:  *shards,
 			tenant:  *tenantOnly,
+			daemon:  *daemonURL,
 		}, *jsonDir)
 	}
 	if *list || (*experiment == "" && *metricsAddr == "") {

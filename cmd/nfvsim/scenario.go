@@ -62,6 +62,7 @@ type scenarioOverrides struct {
 	workers int
 	shards  int
 	tenant  string
+	daemon  string // non-empty: drive a live nfvmcastd at this base URL
 }
 
 // apply rewrites cfg in place; it errors when -tenant names a class the
@@ -105,7 +106,12 @@ func runScenarios(spec string, over scenarioOverrides, jsonDir string) error {
 		if err := over.apply(cfg); err != nil {
 			return err
 		}
-		res, err := scenario.Run(cfg)
+		var res *scenario.Result
+		if over.daemon != "" {
+			res, err = scenario.RunDaemon(cfg, over.daemon)
+		} else {
+			res, err = scenario.Run(cfg)
+		}
 		if err != nil {
 			return err
 		}

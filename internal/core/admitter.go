@@ -123,6 +123,55 @@ func (a *Admitter) Depart(reqID int) (*Solution, error) {
 	return sol, nil
 }
 
+// Restore re-installs a previously-committed session without
+// planning: sol's resource bundle is allocated and the session
+// recorded live, exactly as Commit left it. It is the replay primitive
+// of the write-ahead log (internal/wal) — recovery rebuilds the live
+// table from logged solutions instead of re-running planners, so a
+// replayed engine is byte-identical to the pre-crash one regardless of
+// planner or policy. Restore deliberately skips the observability
+// hooks: replay reconstructs state, not history, and must not inflate
+// the lifecycle counters or re-emit admission events.
+func (a *Admitter) Restore(req *multicast.Request, sol *Solution) error {
+	alloc := AllocationFor(req, sol.Tree)
+	if err := a.nw.Allocate(alloc); err != nil {
+		return err
+	}
+	a.lives.record(req, sol, alloc)
+	a.admitted = append(a.admitted, sol)
+	return nil
+}
+
+// RestoreReplace is the replay form of a repair or re-optimisation
+// outcome: the live session reqID releases its current bundle and is
+// re-recorded as realised by sol (allocated fresh). On an allocation
+// failure the original bundle is re-installed, so the table never ends
+// up half-swapped.
+func (a *Admitter) RestoreReplace(reqID int, sol *Solution) error {
+	old, err := a.lives.depart(reqID)
+	if err != nil {
+		return err
+	}
+	alloc := AllocationFor(sol.Request, sol.Tree)
+	if err := a.nw.Allocate(alloc); err != nil {
+		oldAlloc := AllocationFor(old.Request, old.Tree)
+		if rerr := a.nw.Allocate(oldAlloc); rerr == nil {
+			a.lives.record(old.Request, old, oldAlloc)
+		}
+		return err
+	}
+	a.lives.record(sol.Request, sol, alloc)
+	return nil
+}
+
+// RestoreDrop is the replay form of a departure or shed: the live
+// session's bundle is released and the session forgotten, without the
+// observability hooks (see Restore).
+func (a *Admitter) RestoreDrop(reqID int) error {
+	_, err := a.lives.depart(reqID)
+	return err
+}
+
 // Replace records that an admitted request is now realised by sol
 // (its ID must match a live session) — used after Reoptimize, which
 // re-places sessions directly on the network. A later Depart then

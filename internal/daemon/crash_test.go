@@ -1,0 +1,351 @@
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"nfvmcast/internal/testutil"
+)
+
+// Crash injection against a real nfvmcastd process. The test binary
+// re-executes itself as the daemon child (TestCrashDaemonChild below),
+// the parent drives admissions over HTTP and SIGKILLs the child at a
+// seeded random point mid-workload. The durability contract under
+// test: every operation the child ACKED before the kill is in the
+// recovered state — acked admissions are live (unless an acked release
+// ended them), acked releases stay released — and recovery itself is
+// deterministic (two boots from the same disk image agree bit-exactly
+// on every shard fingerprint).
+
+const (
+	crashChildEnv = "NFVMCAST_CRASH_CHILD"
+	crashAddrEnv  = "NFVMCAST_CRASH_ADDRFILE"
+	crashWALEnv   = "NFVMCAST_CRASH_WALDIR"
+	crashTopoEnv  = "NFVMCAST_CRASH_TOPOLOGY"
+	crashNodesEnv = "NFVMCAST_CRASH_NODES"
+	crashSeedEnv  = "NFVMCAST_CRASH_SEED"
+	crashShardEnv = "NFVMCAST_CRASH_SHARDS"
+)
+
+// TestCrashDaemonChild is not a test: it is the daemon process the
+// crash harness SIGKILLs. It only runs re-executed with the child
+// environment set, serves until killed, and never exits voluntarily.
+func TestCrashDaemonChild(t *testing.T) {
+	if os.Getenv(crashChildEnv) == "" {
+		t.Skip("crash-harness child entry point")
+	}
+	nodes, _ := strconv.Atoi(os.Getenv(crashNodesEnv))
+	seed, _ := strconv.ParseInt(os.Getenv(crashSeedEnv), 10, 64)
+	shards, _ := strconv.Atoi(os.Getenv(crashShardEnv))
+	srv, err := New(Config{
+		Topology:      os.Getenv(crashTopoEnv),
+		Nodes:         nodes,
+		Seed:          seed,
+		Policy:        "SP",
+		Shards:        shards,
+		WALDir:        os.Getenv(crashWALEnv),
+		SegmentBytes:  8 << 10, // rotate often so kills land across segments
+		SnapshotEvery: 16,
+		NoSync:        true, // SIGKILL does not lose OS-buffered writes
+	})
+	if err != nil {
+		t.Fatalf("child boot: %v", err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Publish the address atomically: write-then-rename so the parent
+	// never reads a half-written file.
+	addrFile := os.Getenv(crashAddrEnv)
+	tmp := addrFile + ".tmp"
+	if err := os.WriteFile(tmp, []byte(ln.Addr().String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, addrFile); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv.Serve(ln) // until SIGKILL
+}
+
+// spawnChild starts the daemon child and waits for its address.
+func spawnChild(t *testing.T, walDir, topo string, nodes int, seed int64, shards int) (*exec.Cmd, string) {
+	t.Helper()
+	addrFile := filepath.Join(t.TempDir(), "addr")
+	cmd := exec.Command(os.Args[0], "-test.run=TestCrashDaemonChild")
+	cmd.Env = append(os.Environ(),
+		crashChildEnv+"=1",
+		crashAddrEnv+"="+addrFile,
+		crashWALEnv+"="+walDir,
+		crashTopoEnv+"="+topo,
+		crashNodesEnv+"="+strconv.Itoa(nodes),
+		crashSeedEnv+"="+strconv.FormatInt(seed, 10),
+		crashShardEnv+"="+strconv.Itoa(shards),
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(testutil.WatchdogFor(t))
+	for {
+		data, err := os.ReadFile(addrFile)
+		if err == nil && len(data) > 0 {
+			return cmd, "http://" + strings.TrimSpace(string(data))
+		}
+		if time.Now().After(deadline) {
+			_ = cmd.Process.Kill()
+			t.Fatal("child never published its address")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// ackLog tracks operations the child acknowledged, keyed by request
+// ID. Only 200-acked operations enter it — an ack the parent never saw
+// may or may not have been logged, and the contract says nothing about
+// it.
+type ackLog struct {
+	mu       sync.Mutex
+	admitted map[int]bool // acked submits
+	released map[int]bool // acked releases
+}
+
+func (a *ackLog) admit(id int)   { a.mu.Lock(); a.admitted[id] = true; a.mu.Unlock() }
+func (a *ackLog) release(id int) { a.mu.Lock(); a.released[id] = true; a.mu.Unlock() }
+
+// liveAcked returns acked-admitted IDs with no acked release.
+func (a *ackLog) liveAcked() []int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []int
+	for id := range a.admitted {
+		if !a.released[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+func TestCrashInjectionSIGKILL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns and kills child processes")
+	}
+	cases := []struct {
+		name   string
+		topo   string
+		nodes  int
+		shards int
+		seed   int64
+	}{
+		{"geant/shards=1", "geant", 0, 1, 101},
+		{"geant/shards=4", "geant", 0, 4, 102},
+		{"waxman/shards=1", "waxman", 50, 1, 103},
+		{"waxman/shards=4", "waxman", 50, 4, 104},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			walDir := filepath.Join(t.TempDir(), "wal")
+			cmd, base := spawnChild(t, walDir, tc.topo, tc.nodes, tc.seed, tc.shards)
+			childDead := false
+			defer func() {
+				if !childDead {
+					_ = cmd.Process.Kill()
+					_ = cmd.Wait()
+				}
+			}()
+
+			rng := rand.New(rand.NewSource(tc.seed))
+			acks := &ackLog{admitted: make(map[int]bool), released: make(map[int]bool)}
+			client := &http.Client{Timeout: testutil.WatchdogFor(t)}
+
+			// Serial phase: a seeded random number of acked operations
+			// before the kill, so each case dies at a different log
+			// position (including mid-segment and just-past-snapshot).
+			preKill := 20 + rng.Intn(40)
+			nextID := 1
+			for ops := 0; ops < preKill; {
+				if nextID > 2000 {
+					t.Fatalf("only %d of %d ops acked after 2000 attempts — substrate exhausted?", ops, preKill)
+				}
+				if live := acks.liveAcked(); len(live) > 3 && rng.Intn(100) < 30 {
+					id := live[rng.Intn(len(live))]
+					resp, err := client.Post(base+"/v1/release", "application/json",
+						strings.NewReader(fmt.Sprintf(`{"id":%d}`, id)))
+					if err != nil {
+						t.Fatalf("release during pre-kill phase: %v", err)
+					}
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusOK {
+						acks.release(id)
+						ops++
+					}
+					continue
+				}
+				id := nextID
+				nextID++
+				resp, err := client.Post(base+"/v1/submit", "application/json",
+					strings.NewReader(submitBody(fmt.Sprintf("tenant-%d", rng.Intn(6)), id)))
+				if err != nil {
+					t.Fatalf("submit during pre-kill phase: %v", err)
+				}
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					acks.admit(id)
+					ops++
+				}
+			}
+
+			// Kill phase: SIGKILL lands while concurrent submissions are
+			// in flight, so the child dies mid-commit for some of them.
+			// In-flight acks are collected right up to the kill.
+			var wg sync.WaitGroup
+			stop := make(chan struct{})
+			for w := 0; w < 4; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for id := 1000 + w*1000; ; id++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						resp, err := http.Post(base+"/v1/submit", "application/json",
+							strings.NewReader(submitBody(fmt.Sprintf("tenant-%d", id%6), id)))
+						if err != nil {
+							return // connection died with the child
+						}
+						code := resp.StatusCode
+						resp.Body.Close()
+						if code == http.StatusOK {
+							acks.admit(id)
+						}
+					}
+				}()
+			}
+			time.Sleep(time.Duration(1+rng.Intn(40)) * time.Millisecond)
+			if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+				t.Fatal(err)
+			}
+			_ = cmd.Wait()
+			childDead = true
+			close(stop)
+			wg.Wait()
+
+			// Recovery: boot in-process from the child's WAL. The torn
+			// tail (a record half-written at the kill) must be tolerated,
+			// and every acked operation must be in the recovered state.
+			srv, err := New(Config{
+				Topology: tc.topo, Nodes: tc.nodes, Seed: tc.seed, Policy: "SP",
+				Shards: tc.shards, WALDir: walDir,
+				SegmentBytes: 8 << 10, SnapshotEvery: 16, NoSync: true,
+			})
+			if err != nil {
+				t.Fatalf("recovery boot: %v", err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				if err := srv.Shutdown(ctx); err != nil {
+					t.Errorf("shutdown: %v", err)
+				}
+			}()
+
+			recovered := make(map[int]bool)
+			for _, id := range shardIDs(tc.shards) {
+				for _, sol := range srv.Router().Engine(id).Lives() {
+					recovered[sol.Request.ID] = true
+				}
+			}
+			for _, id := range acks.liveAcked() {
+				if !recovered[id] {
+					t.Errorf("session %d was acked before the kill but is not in the recovered state", id)
+				}
+			}
+			acks.mu.Lock()
+			for id := range acks.released {
+				if recovered[id] {
+					t.Errorf("session %d had an acked release but is live after recovery", id)
+				}
+			}
+			ackCount := len(acks.admitted) + len(acks.released)
+			acks.mu.Unlock()
+			var lsnSum uint64
+			for _, b := range srv.Boot() {
+				lsnSum += b.LastLSN
+			}
+			// Every acked op wrote >= 1 record before its ack.
+			if lsnSum < uint64(ackCount) {
+				t.Errorf("recovered %d records total for %d acked operations — acked state was lost", lsnSum, ackCount)
+			}
+
+			// Determinism: an independent boot from a copy of the same
+			// disk image must land on identical shard fingerprints.
+			walCopy := filepath.Join(t.TempDir(), "walcopy")
+			copyTreeDir(t, walDir, walCopy)
+			srv2, err := New(Config{
+				Topology: tc.topo, Nodes: tc.nodes, Seed: tc.seed, Policy: "SP",
+				Shards: tc.shards, WALDir: walCopy,
+				SegmentBytes: 8 << 10, SnapshotEvery: 16, NoSync: true,
+			})
+			if err != nil {
+				t.Fatalf("second recovery boot: %v", err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+				defer cancel()
+				_ = srv2.Shutdown(ctx)
+			}()
+			b1, b2 := srv.Boot(), srv2.Boot()
+			if len(b1) != len(b2) {
+				t.Fatalf("boot stats differ in length: %d vs %d", len(b1), len(b2))
+			}
+			for i := range b1 {
+				if b1[i].Fingerprint != b2[i].Fingerprint || b1[i].LastLSN != b2[i].LastLSN {
+					t.Errorf("shard %s: replay not deterministic:\n  %+v\n  %+v", b1[i].Shard, b1[i], b2[i])
+				}
+			}
+		})
+	}
+}
+
+// copyTreeDir copies a directory tree (regular files only).
+func copyTreeDir(t *testing.T, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			copyTreeDir(t, filepath.Join(src, e.Name()), filepath.Join(dst, e.Name()))
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -164,7 +165,18 @@ func applyMutation(nw *sdn.Network, m Mutation) error {
 // changes then trigger the same FailureInjected accounting and
 // automatic recovery pass as a manual Update would.
 func (e *Engine) Apply(muts ...Mutation) error {
-	return e.Update(func(nw *sdn.Network) error {
+	return e.ApplyContext(context.Background(), muts...)
+}
+
+// ApplyContext is Apply with cancellation (the same contract as
+// UpdateContext: ctx bounds the automatic recovery pass once the batch
+// has applied). With a journal attached, Apply is the only maintenance
+// surface whose effects replay exactly — the validated batch is logged
+// as a typed mutation_applied record, where a raw Update closure is
+// opaque to the log. Durable deployments must therefore mutate through
+// Apply.
+func (e *Engine) ApplyContext(ctx context.Context, muts ...Mutation) error {
+	return e.updateContext(ctx, func(nw *sdn.Network) error {
 		for i, m := range muts {
 			if reason := validateMutation(nw, m); reason != "" {
 				return &MalformedMutationError{Index: i, Mutation: m, Reason: reason}
@@ -176,7 +188,7 @@ func (e *Engine) Apply(muts ...Mutation) error {
 			}
 		}
 		return nil
-	})
+	}, muts)
 }
 
 // Lives returns the solutions currently holding resources, in

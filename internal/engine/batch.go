@@ -25,6 +25,7 @@ package engine
 // ascending request ID within an epoch).
 
 import (
+	"fmt"
 	"sort"
 
 	"nfvmcast/internal/core"
@@ -32,11 +33,15 @@ import (
 )
 
 // commitTicket is one planned solution waiting for an epoch commit.
+// verdict is filled on the writer during the epoch and sent on done
+// only after the epoch's journal barrier — acks never precede
+// durability (see commitEpoch).
 type commitTicket struct {
-	req   *multicast.Request
-	sol   *core.Solution
-	epoch uint64
-	done  chan commitVerdict
+	req     *multicast.Request
+	sol     *core.Solution
+	epoch   uint64
+	verdict commitVerdict
+	done    chan commitVerdict
 }
 
 type commitVerdict struct {
@@ -82,14 +87,64 @@ drained:
 	nw := e.adm.Network()
 	nw.BeginMutationBatch()
 	for _, t := range batch {
-		var v commitVerdict
-		v.stale = e.mutations != t.epoch
-		v.sol, v.err = e.adm.Commit(t.req, t.sol)
-		if v.err == nil {
+		t.verdict.stale = e.mutations != t.epoch
+		t.verdict.sol, t.verdict.err = e.adm.Commit(t.req, t.sol)
+		if t.verdict.err == nil {
 			e.mutations++
 		}
-		t.done <- v
 	}
 	nw.EndMutationBatch()
+	e.journalEpoch(batch)
+	for _, t := range batch {
+		t.done <- t.verdict
+	}
 	e.obs.BatchCommitted(len(batch))
+}
+
+// journalEpoch makes an epoch's successful commits durable under one
+// barrier — the group-commit amortisation: the journal buffers one
+// Admitted append per member and fsyncs once for the whole epoch. A
+// member whose append failed, and every member after it (append order
+// is ack order; a later member may not be durable before an earlier
+// hole), is unwound — departed again, its verdict rewritten to
+// ErrDurability — as is the whole epoch when the barrier itself fails.
+// Verdicts have not been sent yet, so no caller ever holds an ack for
+// an operation the log missed.
+func (e *Engine) journalEpoch(batch []*commitTicket) {
+	if e.journal == nil {
+		return
+	}
+	failedAt := len(batch)
+	var jerr error
+	for i, t := range batch {
+		if t.verdict.err != nil {
+			continue
+		}
+		if jerr = e.journal.Admitted(t.req, t.verdict.sol); jerr != nil {
+			failedAt = i
+			break
+		}
+	}
+	var berr error
+	if failedAt > 0 {
+		berr = e.journal.Barrier()
+	}
+	if failedAt == len(batch) && berr == nil {
+		return
+	}
+	if jerr == nil {
+		jerr = berr
+	}
+	for i, t := range batch {
+		if t.verdict.err != nil {
+			continue
+		}
+		if i < failedAt && berr == nil {
+			continue
+		}
+		if _, derr := e.adm.Depart(t.req.ID); derr == nil {
+			e.mutations++
+		}
+		t.verdict = commitVerdict{err: fmt.Errorf("%w: %v", ErrDurability, jerr)}
+	}
 }

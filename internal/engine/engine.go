@@ -80,6 +80,11 @@ type Options struct {
 	// mode, where plan and commit are one atomic step. Decisions of a
 	// sequentially-driven engine are byte-identical across windows.
 	BatchWindow int
+	// Journal, when set, makes the engine durable: every
+	// state-changing outcome is appended to the journal on the writer
+	// goroutine before the operation acks (see journal.go and
+	// internal/wal). nil (the default) keeps the engine in-memory.
+	Journal Journal
 }
 
 // Engine is a single-writer admission engine: one goroutine owns the
@@ -115,6 +120,10 @@ type Engine struct {
 	recArena *core.PlanArena
 	lastRec  *recov.Report
 
+	// journal receives state-changing outcomes before they ack (nil =
+	// durability off). Touched only on the writer goroutine.
+	journal Journal
+
 	// mutations counts state changes (commits, departs, replaces,
 	// updates) and is touched only on the writer goroutine. A commit
 	// failure is a conflict only if it advanced past the plan's
@@ -146,6 +155,7 @@ func New(nw *sdn.Network, planner core.Planner, opts Options) *Engine {
 		planSlots:   make(chan *core.PlanArena, workers),
 		seqArena:    core.NewPlanArena(),
 		batchWindow: window,
+		journal:     opts.Journal,
 		commits:     make(chan *commitTicket),
 		ops:         make(chan func()),
 		quit:        make(chan struct{}),
@@ -228,6 +238,9 @@ func (e *Engine) AdmitContext(ctx context.Context, req *multicast.Request) (*cor
 			sol, err = e.adm.AdmitContext(ctx, req, e.seqArena)
 			if err == nil {
 				e.mutations++
+				if err = e.journalCommitted(req, sol); err != nil {
+					sol = nil
+				}
 			}
 		}); xerr != nil {
 			return nil, xerr
@@ -247,7 +260,7 @@ func (e *Engine) AdmitContext(ctx context.Context, req *multicast.Request) (*cor
 		return nil, e.reject(req, fmt.Errorf("%w: %w", ErrNoPlan, err))
 	}
 	committed, stale, cerr := e.tryCommit(req, sol, epoch)
-	if cerr == nil || errors.Is(cerr, ErrClosed) {
+	if cerr == nil || errors.Is(cerr, ErrClosed) || errors.Is(cerr, ErrDurability) {
 		return committed, cerr
 	}
 	if !stale {
@@ -270,7 +283,7 @@ func (e *Engine) AdmitContext(ctx context.Context, req *multicast.Request) (*cor
 		return nil, e.reject(req, fmt.Errorf("%w: %w", ErrNoPlan, err))
 	}
 	committed, stale, cerr = e.tryCommit(req, sol, epoch)
-	if cerr == nil || errors.Is(cerr, ErrClosed) {
+	if cerr == nil || errors.Is(cerr, ErrClosed) || errors.Is(cerr, ErrDurability) {
 		return committed, cerr
 	}
 	if !stale {
@@ -318,6 +331,9 @@ func (e *Engine) tryCommit(req *multicast.Request, sol *core.Solution, epoch uin
 		out, cerr = e.adm.Commit(req, sol)
 		if cerr == nil {
 			e.mutations++
+			if cerr = e.journalCommitted(req, out); cerr != nil {
+				out, stale = nil, false
+			}
 		}
 	}); xerr != nil {
 		return nil, false, xerr
@@ -348,6 +364,7 @@ func (e *Engine) Depart(reqID int) (*core.Solution, error) {
 		sol, err = e.adm.Depart(reqID)
 		if err == nil {
 			e.mutations++
+			err = e.journalAfter(func(j Journal) error { return j.Departed(reqID) })
 		}
 	}); xerr != nil {
 		return nil, xerr
@@ -363,6 +380,7 @@ func (e *Engine) Replace(reqID int, sol *core.Solution) error {
 		err = e.adm.Replace(reqID, sol)
 		if err == nil {
 			e.mutations++
+			err = e.journalAfter(func(j Journal) error { return j.Repaired(reqID, sol) })
 		}
 	}); xerr != nil {
 		return xerr
@@ -389,6 +407,19 @@ func (e *Engine) Update(f func(nw *sdn.Network) error) error {
 // f's nil. Sessions the canceled pass did not reach stay damaged but
 // live; RecoverNow resumes them.
 func (e *Engine) UpdateContext(ctx context.Context, f func(nw *sdn.Network) error) error {
+	return e.updateContext(ctx, f, nil)
+}
+
+// updateContext is the shared writer-side body of Update and Apply.
+// jmuts, when non-empty, is the typed description of what f does (Apply
+// passes its validated batch); it is journaled as a mutation_applied
+// record after f succeeds, before the automatic recovery pass — replay
+// re-applies the batch with RestoreApply and then replays recovery's
+// own repaired/shed records in log order. A raw Update closure has no
+// typed description, so with a journal attached its effects would be
+// invisible to replay; such updates are not journaled (documented on
+// Apply) and durable deployments must mutate through Apply.
+func (e *Engine) updateContext(ctx context.Context, f func(nw *sdn.Network) error, jmuts []Mutation) error {
 	if cerr := ctx.Err(); cerr != nil {
 		return fmt.Errorf("engine: update canceled: %w", cerr)
 	}
@@ -400,6 +431,11 @@ func (e *Engine) UpdateContext(ctx context.Context, f func(nw *sdn.Network) erro
 		// f had mutable access; count the epoch conservatively so an
 		// in-flight plan straddling this update commits as stale.
 		e.mutations++
+		if err == nil && len(jmuts) > 0 {
+			if jerr := e.journalAfter(func(j Journal) error { return j.MutationsApplied(jmuts) }); jerr != nil {
+				err = jerr
+			}
+		}
 		if after := nw.StructureVersion(); after != before {
 			detail := fmt.Sprintf("structure version %d -> %d", before, after)
 			if s := describeEvents(nw.DrainResourceEvents()); s != "" {

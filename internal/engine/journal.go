@@ -1,0 +1,211 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/sdn"
+)
+
+// Durable admission. A Journal is the engine's write-ahead hook: every
+// state-changing outcome — an admission commit, a departure, a repair
+// or shed decided by the recovery ladder, an applied maintenance batch
+// — is handed to the journal on the writer goroutine, in exactly the
+// order the state changed, *before* the operation acks to its caller.
+// That ordering is the whole durability contract: an acked operation
+// is in the log, so replaying the log (internal/wal) reconstructs
+// precisely the acked state. Rejections and failed operations change
+// no state and are not journaled.
+//
+// Barrier is the group-commit point: append calls may buffer, and the
+// engine calls Barrier once per ack boundary (per operation, or per
+// commit epoch in batched mode) so one fsync can cover a whole epoch.
+//
+// A journal error after the in-memory state change is the one place
+// the engine cannot keep "acked == logged" on its own: the engine
+// unwinds admissions (the commit is departed again and the caller gets
+// ErrDurability), but releases and maintenance cannot be un-applied —
+// those surface ErrDurability with the state change in place, and the
+// caller must treat the journal as failed (a wal.Log makes the failure
+// sticky) and restart. Replay then reconstructs the last durable
+// prefix, which never includes an operation that was acked as failed.
+
+// ErrDurability marks operations whose state change could not be made
+// durable: the journal append or barrier failed. For admissions the
+// engine has already unwound the commit; for other operations the
+// in-memory change stands and the process should stop taking writes.
+var ErrDurability = errors.New("engine: journal write failed")
+
+// Journal receives the engine's state-changing outcomes. Calls arrive
+// on the engine's writer goroutine, already serialised; implementations
+// need no locking against the engine, only against their own readers.
+type Journal interface {
+	// Admitted records a committed admission (req realised by sol).
+	Admitted(req *multicast.Request, sol *core.Solution) error
+	// Departed records a released session.
+	Departed(reqID int) error
+	// Repaired records a session re-realised by sol (a recovery repair
+	// or an explicit Replace after re-optimisation).
+	Repaired(reqID int, sol *core.Solution) error
+	// Shed records a session dropped by the recovery ladder.
+	Shed(reqID int) error
+	// MutationsApplied records a validated maintenance batch accepted
+	// by Apply.
+	MutationsApplied(muts []Mutation) error
+	// Barrier makes every record appended so far durable; the engine
+	// calls it before acking the operation(s) those records describe.
+	Barrier() error
+}
+
+// journalCommitted journals one committed admission and barriers it.
+// On failure the commit is unwound (departed again) so the acked state
+// stays equal to the logged state, and the caller gets ErrDurability.
+// Runs on the writer goroutine.
+func (e *Engine) journalCommitted(req *multicast.Request, sol *core.Solution) error {
+	if e.journal == nil {
+		return nil
+	}
+	jerr := e.journal.Admitted(req, sol)
+	if jerr == nil {
+		jerr = e.journal.Barrier()
+	}
+	if jerr == nil {
+		return nil
+	}
+	if _, derr := e.adm.Depart(req.ID); derr == nil {
+		e.mutations++
+	}
+	return fmt.Errorf("%w: %v", ErrDurability, jerr)
+}
+
+// journalAfter wraps a journal append + barrier for operations that
+// cannot be unwound (departures, replaces, maintenance). Runs on the
+// writer goroutine; returns nil without a journal.
+func (e *Engine) journalAfter(append func(Journal) error) error {
+	if e.journal == nil {
+		return nil
+	}
+	jerr := append(e.journal)
+	if jerr == nil {
+		jerr = e.journal.Barrier()
+	}
+	if jerr == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %v", ErrDurability, jerr)
+}
+
+// Replay surface. Recovery (internal/wal) rebuilds an engine from
+// logged outcomes instead of re-running planners: Restore installs a
+// logged solution verbatim, RestoreReplace/RestoreDrop replay repairs
+// and departures, and RestoreApply re-applies maintenance batches with
+// the failure-injection side effects (events, automatic recovery,
+// journaling) suppressed — the log already contains what recovery
+// decided the first time, as repaired/shed records that follow. None
+// of the Restore methods touch the journal: replayed records are
+// already in the log.
+
+// Restore re-installs a previously-committed session without planning
+// (see core.Admitter.Restore). Replay only: restoring a request whose
+// ID is already live corrupts the table.
+func (e *Engine) Restore(req *multicast.Request, sol *core.Solution) error {
+	var err error
+	if xerr := e.exec(func() {
+		err = e.adm.Restore(req, sol)
+		if err == nil {
+			e.mutations++
+		}
+	}); xerr != nil {
+		return xerr
+	}
+	return err
+}
+
+// RestoreReplace replays a repair/re-optimisation outcome: session
+// reqID swaps to sol's realisation.
+func (e *Engine) RestoreReplace(reqID int, sol *core.Solution) error {
+	var err error
+	if xerr := e.exec(func() {
+		err = e.adm.RestoreReplace(reqID, sol)
+		if err == nil {
+			e.mutations++
+		}
+	}); xerr != nil {
+		return xerr
+	}
+	return err
+}
+
+// RestoreDrop replays a departure or shed: session reqID releases its
+// resources and is forgotten.
+func (e *Engine) RestoreDrop(reqID int) error {
+	var err error
+	if xerr := e.exec(func() {
+		err = e.adm.RestoreDrop(reqID)
+		if err == nil {
+			e.mutations++
+		}
+	}); xerr != nil {
+		return xerr
+	}
+	return err
+}
+
+// RestoreApply replays a maintenance batch: the same validate-all-
+// then-apply-all semantics as Apply, but without the FailureInjected
+// event, the automatic recovery pass, or journaling — replay applies
+// the logged recovery outcomes instead of re-deciding them. Resource
+// events drained so the next real Update reports only its own changes.
+func (e *Engine) RestoreApply(muts ...Mutation) error {
+	var err error
+	if xerr := e.exec(func() {
+		nw := e.adm.Network()
+		for i, m := range muts {
+			if reason := validateMutation(nw, m); reason != "" {
+				err = &MalformedMutationError{Index: i, Mutation: m, Reason: reason}
+				return
+			}
+		}
+		for _, m := range muts {
+			if aerr := applyMutation(nw, m); aerr != nil {
+				err = fmt.Errorf("engine: restore-apply %s: %w", m, aerr)
+				return
+			}
+		}
+		nw.DrainResourceEvents()
+		e.mutations++
+	}); xerr != nil {
+		return xerr
+	}
+	return err
+}
+
+// RestoreResiduals overwrites the network's residual vectors with the
+// exact values a snapshot recorded (see sdn.RawSnapshot): after the
+// live sessions have been Restored, the re-derived residuals can differ
+// from the originals in the last float bits (allocate/release history
+// is order-dependent addition), so recovery finishes by installing the
+// recorded vectors verbatim. Replay only.
+func (e *Engine) RestoreResiduals(linkFree []float64, srvFree map[int]float64) error {
+	var err error
+	if xerr := e.exec(func() {
+		err = e.adm.Network().Restore(sdn.RawSnapshot(linkFree, srvFree))
+		if err == nil {
+			e.mutations++
+		}
+	}); xerr != nil {
+		return xerr
+	}
+	return err
+}
+
+// SnapshotState runs f on the writer goroutine with the network and
+// the live table, with no operation in flight — the atomic capture
+// point for WAL snapshots and state fingerprints. f must only read;
+// the lives slice is shared with the admitter (treat the solutions as
+// read-only) and must not be retained past f.
+func (e *Engine) SnapshotState(f func(nw *sdn.Network, lives []*core.Solution)) error {
+	return e.exec(func() { f(e.adm.Network(), e.adm.Lives()) })
+}

@@ -56,6 +56,13 @@ func WithBatchWindow(n int) Option {
 	return func(o *Options) { o.BatchWindow = n }
 }
 
+// WithJournal makes the engine durable: every state-changing outcome
+// is appended to j on the writer goroutine before the operation acks
+// (see Journal and internal/wal). nil keeps the engine in-memory.
+func WithJournal(j Journal) Option {
+	return func(o *Options) { o.Journal = j }
+}
+
 // WithRepairCostFactor sets the local-repair acceptance factor γ: a
 // re-routed tree is kept only when its operational cost is at most
 // gamma times the damaged tree's; gamma <= 0 forces every repair

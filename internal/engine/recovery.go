@@ -31,6 +31,26 @@ func (e *Engine) recoverLocked(ctx context.Context) error {
 		// Recovery moved residuals (releases, rebinds); in-flight plans
 		// that straddled it must commit as stale.
 		e.mutations++
+		// Journal what the pass decided, in outcome order: replay applies
+		// these records verbatim instead of re-running recovery, so a
+		// replayed engine lands on the same repairs/sheds even if the
+		// recovery policy or planner later changes.
+		if jerr := e.journalAfter(func(j Journal) error {
+			for _, o := range rep.Outcomes {
+				var aerr error
+				if o.Mode == recov.ModeShed {
+					aerr = j.Shed(o.RequestID)
+				} else {
+					aerr = j.Repaired(o.RequestID, o.Solution)
+				}
+				if aerr != nil {
+					return aerr
+				}
+			}
+			return nil
+		}); jerr != nil && err == nil {
+			err = jerr
+		}
 	}
 	return err
 }

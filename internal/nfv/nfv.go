@@ -50,6 +50,26 @@ func (f Function) String() string {
 // Valid reports whether f is one of the defined function types.
 func (f Function) Valid() bool { return f >= Firewall && f <= LoadBalancer }
 
+// ParseFunction maps a function name (case-insensitive; "LB" is
+// accepted for LoadBalancer) back to its type — the inverse of String,
+// shared by the CLI flag parsers and the wire/WAL codecs.
+func ParseFunction(name string) (Function, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "firewall":
+		return Firewall, nil
+	case "proxy":
+		return Proxy, nil
+	case "nat":
+		return NAT, nil
+	case "ids":
+		return IDS, nil
+	case "loadbalancer", "lb":
+		return LoadBalancer, nil
+	default:
+		return 0, fmt.Errorf("nfv: unknown function %q", name)
+	}
+}
+
 // baseDemandMHz is the computing demand of one function instance at the
 // reference traffic rate, in MHz. The paper cites ClickOS-era
 // measurements ([7], [17]) without reprinting the numbers; these values

@@ -30,6 +30,12 @@ const (
 	RepairAttempted EventType = "repair_attempted"
 	Repaired        EventType = "repaired"
 	Shed            EventType = "shed"
+	// MutationApplied records a typed maintenance batch accepted by
+	// engine.Apply — the durable form of a failure/resize script step.
+	// It appears in the write-ahead log (internal/wal), which reuses
+	// this event vocabulary as its record schema, rather than in the
+	// live admission stream (which keeps the coarser FailureInjected).
+	MutationApplied EventType = "mutation_applied"
 )
 
 // Event is one structured admission event. Fields are value types so

@@ -17,6 +17,7 @@ import (
 	recov "nfvmcast/internal/recover"
 	"nfvmcast/internal/sdn"
 	"nfvmcast/internal/shard"
+	"nfvmcast/internal/testutil"
 	"nfvmcast/internal/topology"
 )
 
@@ -69,10 +70,10 @@ type Result struct {
 // hashes — the artifact to diff when two runs disagree.
 func (r *Result) Transcript() string { return r.transcript }
 
-// watchdogTimeout bounds every engine call the runner makes. The
-// single-writer engine must never wedge: a call that does not return
-// within this budget is a liveness violation, not slowness.
-const watchdogTimeout = 2 * time.Minute
+// Every engine call the runner makes is bounded by the shared
+// testutil.Watchdog() budget (2 minutes scaled by NFVMCAST_TEST_SLOW).
+// The single-writer engine must never wedge: a call that does not
+// return within this budget is a liveness violation, not slowness.
 
 // defaultCheckEvery is the cadence of the O(live·tree) conservation
 // check; cheap residual-bounds checks run every event.
@@ -219,7 +220,7 @@ func Run(cfg *Config) (*Result, error) {
 		},
 		live:       make(map[int]string),
 		checkEvery: cfg.CheckEveryEvents,
-		watchdog:   watchdogTimeout,
+		watchdog:   testutil.Watchdog(),
 	}
 	if r.checkEvery == 0 {
 		r.checkEvery = defaultCheckEvery

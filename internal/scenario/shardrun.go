@@ -15,6 +15,7 @@ import (
 	recov "nfvmcast/internal/recover"
 	"nfvmcast/internal/sdn"
 	"nfvmcast/internal/shard"
+	"nfvmcast/internal/testutil"
 )
 
 // The sharded runner drives one scenario through a shard.Router: each
@@ -117,7 +118,7 @@ func runSharded(cfg *Config) (*Result, error) {
 		caps0:      make(map[string][]float64, len(ids)),
 		lastRec:    make(map[string]*recov.Report, len(ids)),
 		checkEvery: cfg.CheckEveryEvents,
-		watchdog:   watchdogTimeout,
+		watchdog:   testutil.Watchdog(),
 	}
 	if r.checkEvery == 0 {
 		r.checkEvery = defaultCheckEvery

@@ -287,6 +287,24 @@ type Snapshot struct {
 	srvFree  map[graph.NodeID]float64
 }
 
+// RawSnapshot builds a Snapshot from explicit residual vectors — the
+// deserialisation path of durable snapshots (internal/wal). Residuals
+// are history-dependent floats (each allocate/release moves them by one
+// addition, and float addition is order-dependent), so a recovery that
+// re-derived them from capacities minus live allocations could drift in
+// the last bits; restoring the recorded vectors verbatim keeps a
+// recovered network bit-identical to the one that was snapshotted.
+func RawSnapshot(linkFree []float64, srvFree map[graph.NodeID]float64) *Snapshot {
+	s := &Snapshot{
+		linkFree: append([]float64(nil), linkFree...),
+		srvFree:  make(map[graph.NodeID]float64, len(srvFree)),
+	}
+	for k, v := range srvFree {
+		s.srvFree[k] = v
+	}
+	return s
+}
+
 // Snapshot returns a copy of the current residual state.
 func (nw *Network) Snapshot() *Snapshot {
 	s := &Snapshot{

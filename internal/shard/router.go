@@ -128,6 +128,12 @@ type Options struct {
 	Events obs.Sink
 	// SampleLatency enables the per-shard latency histograms.
 	SampleLatency bool
+	// Journal, when set, attaches one durability journal per shard
+	// (engine.Options.Journal): the factory is called once per shard
+	// ID at construction, and each shard's engine appends its outcomes
+	// to its own write-ahead log (internal/wal keeps one log directory
+	// per shard). Returning a nil journal leaves that shard in-memory.
+	Journal func(shardID string) (engine.Journal, error)
 	// Assign, when set, overrides rendezvous placement: it maps a
 	// tenant to the shard ID that must own it (data-locality pinning —
 	// the tenant's substrate exists only on that shard). Returning ""
@@ -210,11 +216,20 @@ func New(opts Options) (*Router, error) {
 				Shard:         id,
 			})
 		}
+		var journal engine.Journal
+		if opts.Journal != nil {
+			journal, err = opts.Journal(id)
+			if err != nil {
+				r.Close()
+				return nil, fmt.Errorf("shard %q: journal: %w", id, err)
+			}
+		}
 		eng := engine.New(nw, planner, engine.Options{
 			Workers:     opts.Workers,
 			Obs:         aobs,
 			Recovery:    opts.Recovery,
 			BatchWindow: opts.BatchWindow,
+			Journal:     journal,
 		})
 		r.shards[id] = &shardState{id: id, eng: eng, nw: nw, digest: sha256.New()}
 		r.order = append(r.order, id)
@@ -456,6 +471,34 @@ func (r *Router) Network(id string) *sdn.Network {
 		return nil
 	}
 	return s.nw
+}
+
+// AdoptSessions re-pins every session currently live on shard id to
+// it in the session-owner map — the boot-recovery hook: after each
+// shard's write-ahead log has been replayed into its engine
+// (wal.Log.Recover), the router's request→shard ownership is rebuilt
+// from the recovered live tables, so Release keeps finding sessions
+// admitted before the crash. Returns how many sessions were adopted.
+// Request IDs must be unique across shards (the admission-time
+// invariant); a duplicate across two adopted shards is an error.
+func (r *Router) AdoptSessions(id string) (int, error) {
+	s, err := r.shard(id)
+	if err != nil {
+		return 0, err
+	}
+	lives := s.eng.Lives()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sol := range lives {
+		if prev, taken := r.owner[sol.Request.ID]; taken && prev != id {
+			return 0, fmt.Errorf("shard: request %d recovered live on both %s and %s",
+				sol.Request.ID, prev, id)
+		}
+	}
+	for _, sol := range lives {
+		r.owner[sol.Request.ID] = id
+	}
+	return len(lives), nil
 }
 
 // ShardIDs returns every shard ID ascending, whatever its state.

@@ -1,0 +1,78 @@
+// Package testutil holds the shared timing knobs of the test and
+// harness suites. Before it existed, the scenario watchdog and the
+// long-running integration/crash tests each hardcoded their own
+// 2-minute budget, which flakes on slow CI runners (notably -race
+// jobs): the remedy is one deadline source that every consumer reads,
+// scaled by one environment knob.
+package testutil
+
+import (
+	"context"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// baseWatchdog is the default liveness budget for one engine or
+// daemon call. It is a liveness bound, not a performance target: a
+// single-writer engine call that takes anywhere near this long is
+// wedged, not slow.
+const baseWatchdog = 2 * time.Minute
+
+// SlowEnv is the environment variable that scales every test deadline:
+// a float multiplier (e.g. NFVMCAST_TEST_SLOW=3 triples the budgets on
+// an emulated or heavily-shared CI runner). Unset, empty or
+// unparsable values mean 1.
+const SlowEnv = "NFVMCAST_TEST_SLOW"
+
+// slowFactor reads SlowEnv, clamped to [1, 100].
+func slowFactor() float64 {
+	s := os.Getenv(SlowEnv)
+	if s == "" {
+		return 1
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || f < 1 {
+		return 1
+	}
+	if f > 100 {
+		return 100
+	}
+	return f
+}
+
+// Watchdog returns the liveness budget for one engine call: the
+// 2-minute base scaled by NFVMCAST_TEST_SLOW. The scenario harness and
+// the daemon tests share this so CI slowness is tuned in one place.
+func Watchdog() time.Duration {
+	return time.Duration(float64(baseWatchdog) * slowFactor())
+}
+
+// WatchdogFor is Watchdog bounded by the test binary's own -timeout
+// deadline (minus a grace period so the watchdog fires first and
+// reports *what* wedged, instead of the panic-dump from the test
+// runner). It never returns less than 10 seconds.
+func WatchdogFor(t testing.TB) time.Duration {
+	d := Watchdog()
+	type deadliner interface{ Deadline() (time.Time, bool) }
+	if td, ok := t.(deadliner); ok {
+		if at, has := td.Deadline(); has {
+			if remain := time.Until(at) - 10*time.Second; remain < d {
+				d = remain
+			}
+		}
+	}
+	if d < 10*time.Second {
+		d = 10 * time.Second
+	}
+	return d
+}
+
+// Context returns a context bounded by WatchdogFor(t), cancelled
+// automatically at test cleanup.
+func Context(t testing.TB) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), WatchdogFor(t))
+	t.Cleanup(cancel)
+	return ctx
+}

@@ -1,0 +1,231 @@
+package wal
+
+import (
+	"testing"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/obs"
+)
+
+// Benchmarks for the durability path: raw append throughput, the
+// group-commit barrier (the fsync every ack waits behind), the
+// end-to-end overhead a journal adds to an admit/release pair, and
+// boot-time recovery replay. Numbers are recorded in
+// results/BENCH_wal.json; the correctness suite backing them is this
+// package's kill/corruption/replay tests.
+
+// benchAdmitRecord produces one representative admitted record — a
+// real GÉANT admission with its realised tree — so append benchmarks
+// pay the true encode + CRC cost, not a toy payload's.
+func benchAdmitRecord(b *testing.B) *Record {
+	b.Helper()
+	eng := testEngine(b, "geant", 7, 0, nil)
+	defer eng.Close()
+	base := testNetwork(b, "geant", 7)
+	gen, err := multicast.NewGenerator(base.NumNodes(), multicast.OnlineGeneratorConfig(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for {
+		req, gerr := gen.Next()
+		if gerr != nil {
+			b.Fatal(gerr)
+		}
+		sol, aerr := eng.Admit(req)
+		if aerr == nil {
+			return &Record{
+				Type:    obs.Admitted,
+				Request: req.ID,
+				Req:     encodeRequest(req),
+				Sol:     encodeSolution(sol),
+			}
+		}
+		if !core.IsRejection(aerr) {
+			b.Fatal(aerr)
+		}
+	}
+}
+
+// BenchmarkAppend measures one buffered record append (encode, frame,
+// CRC, segment write; rotation amortised at the default 4 MiB size).
+// Durability is the barrier's job, so the fsync is benchmarked there.
+func BenchmarkAppend(b *testing.B) {
+	rec := benchAdmitRecord(b)
+	l, err := Open(b.TempDir(), Options{NoSync: true, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer l.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rc := *rec // Append assigns the LSN; never reuse a stamped record
+		if _, err := l.Append(&rc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBarrier measures one append + group-commit barrier — the
+// latency floor of a durable ack. The nosync variant isolates the
+// non-fsync share of that cost.
+func BenchmarkBarrier(b *testing.B) {
+	for _, m := range []struct {
+		name   string
+		noSync bool
+	}{
+		{"fsync", false},
+		{"nosync", true},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			rec := benchAdmitRecord(b)
+			l, err := Open(b.TempDir(), Options{NoSync: m.noSync, SnapshotEvery: -1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer l.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rc := *rec
+				if _, err := l.Append(&rc); err != nil {
+					b.Fatal(err)
+				}
+				if err := l.Barrier(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAdmitDurable measures a full admit/release round trip
+// through the engine — bare, with a buffered journal, and with fsync
+// barriers — so the journal's share of end-to-end admission cost is
+// directly visible.
+func BenchmarkAdmitDurable(b *testing.B) {
+	for _, m := range []struct {
+		name    string
+		journal bool
+		noSync  bool
+	}{
+		{"bare", false, false},
+		{"wal-nosync", true, true},
+		{"wal-fsync", true, false},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			var j engine.Journal
+			if m.journal {
+				l, err := Open(b.TempDir(), Options{NoSync: m.noSync, SnapshotEvery: -1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer l.Close()
+				j = l.Journal()
+			}
+			eng := testEngine(b, "geant", 7, 0, j)
+			defer eng.Close()
+			base := testNetwork(b, "geant", 7)
+			gen, err := multicast.NewGenerator(base.NumNodes(), multicast.OnlineGeneratorConfig(), 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// One admissible request, admitted and released each
+			// iteration, keeps the network in steady state at any b.N.
+			var req *multicast.Request
+			for req == nil {
+				r, gerr := gen.Next()
+				if gerr != nil {
+					b.Fatal(gerr)
+				}
+				switch _, aerr := eng.Admit(r); {
+				case aerr == nil:
+					if _, derr := eng.Depart(r.ID); derr != nil {
+						b.Fatal(derr)
+					}
+					req = r
+				case !core.IsRejection(aerr):
+					b.Fatal(aerr)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Admit(req); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := eng.Depart(req.ID); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecover measures cold boot: open the log, rebuild the base
+// substrate, replay every record into a fresh engine. The log is
+// snapshot-free so the cost is pure replay — the worst case a
+// snapshot cadence exists to bound.
+func BenchmarkRecover(b *testing.B) {
+	dir := b.TempDir()
+	l, err := Open(dir, Options{NoSync: true, SnapshotEvery: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := testEngine(b, "geant", 7, 0, l.Journal())
+	base := testNetwork(b, "geant", 7)
+	gen, err := multicast.NewGenerator(base.NumNodes(), multicast.OnlineGeneratorConfig(), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// A churning workload: admits with periodic releases of the oldest
+	// live session, so replay exercises both record kinds.
+	var live []int
+	for i := 0; i < 400; i++ {
+		req, gerr := gen.Next()
+		if gerr != nil {
+			b.Fatal(gerr)
+		}
+		switch _, aerr := eng.Admit(req); {
+		case aerr == nil:
+			live = append(live, req.ID)
+		case !core.IsRejection(aerr):
+			b.Fatal(aerr)
+		}
+		if len(live) > 40 {
+			if _, derr := eng.Depart(live[0]); derr != nil {
+				b.Fatal(derr)
+			}
+			live = live[1:]
+		}
+	}
+	records := l.LastLSN()
+	eng.Close()
+	if err := l.Close(); err != nil {
+		b.Fatal(err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rl, err := Open(dir, Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		re := testEngine(b, "geant", 7, 0, nil)
+		stats, rerr := rl.Recover(re)
+		if rerr != nil {
+			b.Fatal(rerr)
+		}
+		if stats.Records != int(records) {
+			b.Fatalf("replayed %d records, logged %d", stats.Records, records)
+		}
+		re.Close()
+		if err := rl.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records), "records/op")
+}

@@ -1,0 +1,235 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildLog drives a workload into a fresh log dir with tiny segments
+// (so the chain has several files) and returns the dir plus the live
+// fingerprint.
+func buildLog(tb testing.TB, snapshotEvery int) (string, string) {
+	tb.Helper()
+	seed := int64(17)
+	dir := filepath.Join(tb.TempDir(), "wal")
+	l, err := Open(dir, Options{SegmentBytes: 4 << 10, SnapshotEvery: snapshotEvery, NoSync: true})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng := testEngine(tb, "geant", seed, 1, l.Journal())
+	driveOps(tb, eng, l, "", "geant", 70, seed, 0)
+	fp, err := Fingerprint(eng)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	eng.Close()
+	if err := l.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return dir, fp
+}
+
+func flipByte(tb testing.TB, path string, off int64) {
+	tb.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		tb.Fatal(err)
+	}
+	b[0] ^= 0x40
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestMidChainCorruptionFailsTyped: a bit flip in any segment that is
+// not the newest must fail recovery with the typed sentinel — damage
+// before acked records that follow it can never be skipped over.
+func TestMidChainCorruptionFailsTyped(t *testing.T) {
+	dir, _ := buildLog(t, -1) // no snapshots: every segment replays
+	scratch := &Log{dir: dir}
+	segs, err := scratch.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("need >= 3 segments, got %d", len(segs))
+	}
+	// Flip a payload byte in the middle of an early segment.
+	for _, segIdx := range []int{0, len(segs) / 2} {
+		t.Run(fmt.Sprintf("segment-%d", segIdx), func(t *testing.T) {
+			damaged := filepath.Join(t.TempDir(), "damaged")
+			copyDir(t, dir, damaged)
+			dl := &Log{dir: damaged}
+			path := dl.segmentPath(segs[segIdx])
+			info, err := os.Stat(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flipByte(t, path, info.Size()/2)
+
+			l, err := Open(damaged, Options{NoSync: true})
+			if err != nil {
+				// Open only scans the newest segment, so it should
+				// succeed; if the chain shape itself broke, the error
+				// must still be typed.
+				if !errors.Is(err, ErrLogCorrupt) && !errors.Is(err, ErrLogTruncated) {
+					t.Fatalf("untyped open error: %v", err)
+				}
+				return
+			}
+			eng := testEngine(t, "geant", 17, 1, nil)
+			defer eng.Close()
+			defer l.Close()
+			_, rerr := l.Recover(eng)
+			if rerr == nil {
+				t.Fatal("recovery swallowed mid-chain corruption")
+			}
+			if !errors.Is(rerr, ErrLogCorrupt) && !errors.Is(rerr, ErrLogTruncated) {
+				t.Fatalf("untyped recovery error: %v", rerr)
+			}
+		})
+	}
+}
+
+// TestNewestSegmentCorruptionCutsTail: a bit flip in the newest segment
+// is indistinguishable from a torn write, so Open cuts back to the last
+// record before the damage and recovery reports the typed cause in
+// TailError — surfaced, not silent.
+func TestNewestSegmentCorruptionCutsTail(t *testing.T) {
+	dir, _ := buildLog(t, -1)
+	scratch := &Log{dir: dir}
+	segs, err := scratch.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := segs[len(segs)-1]
+	bs := boundaries(t, scratch.segmentPath(last))
+	if len(bs) < 2 {
+		t.Skipf("newest segment holds %d records", len(bs))
+	}
+	damaged := filepath.Join(t.TempDir(), "damaged")
+	copyDir(t, dir, damaged)
+	dl := &Log{dir: damaged}
+	// Flip a byte inside the final record's payload.
+	flipByte(t, dl.segmentPath(last), int64(bs[len(bs)-2].end+frameHeaderSize+2))
+
+	reng, rl, stats := recoverDir(t, damaged, "geant", 17, 1)
+	defer reng.Close()
+	defer rl.Close()
+	if stats.LastLSN != bs[len(bs)-2].lsn {
+		t.Fatalf("recovered to lsn %d, want %d", stats.LastLSN, bs[len(bs)-2].lsn)
+	}
+	if stats.TailError == nil || !errors.Is(stats.TailError, ErrLogCorrupt) {
+		t.Fatalf("tail error = %v, want ErrLogCorrupt", stats.TailError)
+	}
+}
+
+// TestCorruptSnapshotFallsBack: damage to the newest snapshot must fall
+// recovery back to the previous snapshot (kept by GC for exactly this),
+// and the recovered fingerprint must still match the live state.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir, fp := buildLog(t, 20) // several snapshots over 70 ops
+	scratch := &Log{dir: dir}
+	snaps, err := scratch.snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("need >= 2 snapshots on disk, got %d", len(snaps))
+	}
+	damaged := filepath.Join(t.TempDir(), "damaged")
+	copyDir(t, dir, damaged)
+	dl := &Log{dir: damaged}
+	newest := dl.snapshotPath(snaps[len(snaps)-1])
+	info, err := os.Stat(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, newest, info.Size()/2)
+
+	reng, rl, stats := recoverDir(t, damaged, "geant", 17, 1)
+	defer reng.Close()
+	defer rl.Close()
+	if stats.SnapshotLSN != snaps[len(snaps)-2] {
+		t.Fatalf("recovered from snapshot lsn %d, want fallback %d",
+			stats.SnapshotLSN, snaps[len(snaps)-2])
+	}
+	got, err := Fingerprint(reng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fp {
+		t.Fatal("fallback recovery diverged from live state")
+	}
+}
+
+// TestAllSnapshotsCorruptWithGC: when every snapshot is damaged AND the
+// early segments were already collected, recovery must fail with a
+// typed error — a partial replay would silently drop sessions.
+func TestAllSnapshotsCorruptWithGC(t *testing.T) {
+	dir, _ := buildLog(t, 20)
+	scratch := &Log{dir: dir}
+	snaps, err := scratch.snapshots()
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, err := scratch.segments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) == 0 {
+		t.Fatal("no snapshots on disk")
+	}
+	if segs[0] == 1 {
+		t.Skip("GC kept the full chain; full replay would legitimately succeed")
+	}
+	damaged := filepath.Join(t.TempDir(), "damaged")
+	copyDir(t, dir, damaged)
+	dl := &Log{dir: damaged}
+	for _, s := range snaps {
+		path := dl.snapshotPath(s)
+		info, serr := os.Stat(path)
+		if serr != nil {
+			t.Fatal(serr)
+		}
+		flipByte(t, path, info.Size()/2)
+	}
+
+	l, err := Open(damaged, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	eng := testEngine(t, "geant", 17, 1, nil)
+	defer eng.Close()
+	_, rerr := l.Recover(eng)
+	if rerr == nil {
+		t.Fatal("recovery succeeded with every snapshot damaged and the chain GC'd")
+	}
+	if !errors.Is(rerr, ErrLogCorrupt) && !errors.Is(rerr, ErrLogTruncated) {
+		t.Fatalf("untyped recovery error: %v", rerr)
+	}
+}
+
+// TestEmptyDirRecovery: a fresh log dir recovers to an empty engine
+// and accepts appends from LSN 1.
+func TestEmptyDirRecovery(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	reng, rl, stats := recoverDir(t, dir, "geant", 1, 1)
+	defer reng.Close()
+	defer rl.Close()
+	if stats.LastLSN != 0 || stats.Records != 0 || stats.SnapshotLSN != 0 {
+		t.Fatalf("fresh dir replayed something: %+v", stats)
+	}
+	if n := reng.LiveCount(); n != 0 {
+		t.Fatalf("fresh recovery has %d live sessions", n)
+	}
+}

@@ -1,0 +1,117 @@
+package wal
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"sort"
+	"strconv"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
+	"nfvmcast/internal/sdn"
+)
+
+// State fingerprint: a SHA-256 over everything recovery promises to
+// reconstruct — the live session table (requests, trees, costs) and
+// the network's capacity/residual/failure state. Floats are rendered
+// with strconv.FormatFloat(x, 'g', -1, 64) (shortest round-trip form),
+// so two states fingerprint equal exactly when they are bit-identical.
+// Deliberately excluded: lifecycle counters (admitted/rejected totals
+// are history, reset by a restart), version counters (replay takes a
+// different number of steps than the original run), and planner
+// caches (derived state). The crash-recovery oracle's contract is
+// Fingerprint(recovered) == Fingerprint(original-at-acked-prefix).
+
+// Fingerprint captures the engine's durable state fingerprint
+// atomically (no operation in flight — see engine.SnapshotState).
+func Fingerprint(eng *engine.Engine) (string, error) {
+	var fp string
+	err := eng.SnapshotState(func(nw *sdn.Network, lives []*core.Solution) {
+		fp = fingerprintOf(nw, lives)
+	})
+	return fp, err
+}
+
+// fingerprintOf hashes a captured (network, live table) pair. Callers
+// must hold the state still (inside SnapshotState, or a test's own
+// serialisation).
+func fingerprintOf(nw *sdn.Network, lives []*core.Solution) string {
+	h := sha256.New()
+	writeString := func(parts ...string) {
+		for _, s := range parts {
+			h.Write([]byte(s))
+			h.Write([]byte{0})
+		}
+	}
+	writeFloat := func(f float64) {
+		writeString(strconv.FormatFloat(f, 'g', -1, 64))
+	}
+
+	// Live sessions, ascending request ID (Lives() order).
+	writeString("lives", strconv.Itoa(len(lives)))
+	for _, sol := range lives {
+		hashSolution(writeString, writeFloat, sol)
+	}
+
+	// Link state: capacity, residual, up-flag per edge in ID order.
+	writeString("links", strconv.Itoa(nw.NumEdges()))
+	for e := 0; e < nw.NumEdges(); e++ {
+		writeFloat(nw.BandwidthCap(e))
+		writeFloat(nw.ResidualBandwidth(e))
+		writeString(strconv.FormatBool(nw.LinkUp(e)))
+	}
+
+	// Server state per attached server in node order.
+	servers := append([]int(nil), nw.Servers()...)
+	sort.Ints(servers)
+	writeString("servers", strconv.Itoa(len(servers)))
+	for _, v := range servers {
+		writeString(strconv.Itoa(v))
+		writeFloat(nw.ComputeCap(v))
+		writeFloat(nw.ResidualCompute(v))
+		writeString(strconv.FormatBool(nw.ServerUp(v)))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// hashSolution folds one live session into the fingerprint: the
+// request's identity and demand, the serving nodes, the tree's
+// directed hops (sorted, so structurally equal trees hash equal
+// regardless of construction order) and both costs.
+func hashSolution(writeString func(...string), writeFloat func(float64), sol *core.Solution) {
+	req := sol.Request
+	writeString("req", strconv.Itoa(req.ID), strconv.Itoa(req.Source))
+	writeString(strconv.Itoa(len(req.Destinations)))
+	for _, d := range req.Destinations {
+		writeString(strconv.Itoa(d))
+	}
+	writeFloat(req.BandwidthMbps)
+	writeString(req.Chain.String())
+
+	writeString("servers", strconv.Itoa(len(sol.Servers)))
+	for _, v := range sol.Servers {
+		writeString(strconv.Itoa(v))
+	}
+
+	hops := sol.Tree.Hops()
+	sort.Slice(hops, func(i, j int) bool {
+		a, b := hops[i], hops[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Edge != b.Edge {
+			return a.Edge < b.Edge
+		}
+		return !a.Processed && b.Processed
+	})
+	writeString("hops", strconv.Itoa(len(hops)))
+	for _, hp := range hops {
+		writeString(strconv.Itoa(hp.From), strconv.Itoa(hp.To),
+			strconv.Itoa(hp.Edge), strconv.FormatBool(hp.Processed))
+	}
+	writeFloat(sol.OperationalCost)
+	writeFloat(sol.SelectionCost)
+}

@@ -1,0 +1,223 @@
+package wal
+
+import (
+	"fmt"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/engine"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/nfv"
+	"nfvmcast/internal/obs"
+)
+
+// Record is one logged state-changing outcome. The schema reuses the
+// obs admission-event vocabulary (obs.Admitted, obs.Departed,
+// obs.Repaired, obs.Shed, obs.MutationApplied) with the payload the
+// events deliberately omit: the full request and realised solution, so
+// replay restores logged outcomes verbatim instead of re-running
+// planners — a replayed engine is bit-identical to the pre-crash one
+// regardless of planner, policy or worker count. Payloads are JSON
+// (encoding/json round-trips float64 exactly), framed and checksummed
+// by the segment codec (codec.go).
+type Record struct {
+	// LSN is the record's log sequence number, assigned by Append:
+	// consecutive from 1, no gaps. A gap on replay means a lost record
+	// and fails recovery with ErrLogCorrupt.
+	LSN uint64 `json:"lsn"`
+	// Type is the outcome's lifecycle step (the obs event vocabulary).
+	Type obs.EventType `json:"type"`
+	// Request is the request ID the outcome concerns (absent for
+	// mutation_applied records).
+	Request int `json:"request,omitempty"`
+	// Req is the admitted/repaired request (admitted and repaired
+	// records carry it so replay never needs a live-table lookup).
+	Req *RequestRecord `json:"req,omitempty"`
+	// Sol is the realised solution (admitted and repaired records).
+	Sol *SolutionRecord `json:"sol,omitempty"`
+	// Muts is the typed maintenance batch (mutation_applied records).
+	Muts []MutationRecord `json:"muts,omitempty"`
+}
+
+// RequestRecord is the wire form of a multicast.Request.
+type RequestRecord struct {
+	ID            int      `json:"id"`
+	Source        int      `json:"source"`
+	Destinations  []int    `json:"dests"`
+	BandwidthMbps float64  `json:"bw"`
+	Chain         []string `json:"chain"`
+}
+
+// HopRecord is the wire form of one directed tree hop.
+type HopRecord struct {
+	From      int  `json:"from"`
+	To        int  `json:"to"`
+	Edge      int  `json:"edge"`
+	Processed bool `json:"proc,omitempty"`
+}
+
+// SolutionRecord is the wire form of a core.Solution: the serving
+// nodes, the pseudo-tree's directed hops in insertion order (order is
+// preserved so the restored tree is structurally identical), and both
+// costs verbatim.
+type SolutionRecord struct {
+	Servers         []int       `json:"servers"`
+	Hops            []HopRecord `json:"hops"`
+	OperationalCost float64     `json:"op_cost"`
+	SelectionCost   float64     `json:"sel_cost"`
+}
+
+// MutationRecord is the wire form of one engine.Mutation.
+type MutationRecord struct {
+	Kind     string  `json:"kind"`
+	ID       int     `json:"id"`
+	Up       bool    `json:"up,omitempty"`
+	Capacity float64 `json:"cap,omitempty"`
+}
+
+// encodeRequest converts a request to its wire form.
+func encodeRequest(req *multicast.Request) *RequestRecord {
+	funcs := req.Chain.Functions()
+	chain := make([]string, len(funcs))
+	for i, f := range funcs {
+		chain[i] = f.String()
+	}
+	return &RequestRecord{
+		ID:            req.ID,
+		Source:        req.Source,
+		Destinations:  append([]int(nil), req.Destinations...),
+		BandwidthMbps: req.BandwidthMbps,
+		Chain:         chain,
+	}
+}
+
+// Decode rebuilds the request.
+func (r *RequestRecord) Decode() (*multicast.Request, error) {
+	funcs := make([]nfv.Function, len(r.Chain))
+	for i, name := range r.Chain {
+		f, err := nfv.ParseFunction(name)
+		if err != nil {
+			return nil, fmt.Errorf("request %d: %w", r.ID, err)
+		}
+		funcs[i] = f
+	}
+	chain, err := nfv.NewChain(funcs...)
+	if err != nil {
+		return nil, fmt.Errorf("request %d: %w", r.ID, err)
+	}
+	return &multicast.Request{
+		ID:            r.ID,
+		Source:        r.Source,
+		Destinations:  append([]int(nil), r.Destinations...),
+		BandwidthMbps: r.BandwidthMbps,
+		Chain:         chain,
+	}, nil
+}
+
+// encodeSolution converts a solution to its wire form.
+func encodeSolution(sol *core.Solution) *SolutionRecord {
+	hops := sol.Tree.Hops()
+	hr := make([]HopRecord, len(hops))
+	for i, h := range hops {
+		hr[i] = HopRecord{From: h.From, To: h.To, Edge: h.Edge, Processed: h.Processed}
+	}
+	return &SolutionRecord{
+		Servers:         append([]int(nil), sol.Servers...),
+		Hops:            hr,
+		OperationalCost: sol.OperationalCost,
+		SelectionCost:   sol.SelectionCost,
+	}
+}
+
+// Decode rebuilds the solution realising req.
+func (s *SolutionRecord) Decode(req *multicast.Request) *core.Solution {
+	tree := multicast.NewPseudoTree(req.Source, req.Destinations, s.Servers)
+	for _, h := range s.Hops {
+		tree.AddHop(multicast.Hop{From: h.From, To: h.To, Edge: h.Edge, Processed: h.Processed})
+	}
+	return &core.Solution{
+		Request:         req,
+		Tree:            tree,
+		Servers:         append([]int(nil), s.Servers...),
+		OperationalCost: s.OperationalCost,
+		SelectionCost:   s.SelectionCost,
+	}
+}
+
+// encodeMutations converts a maintenance batch to its wire form.
+func encodeMutations(muts []engine.Mutation) []MutationRecord {
+	out := make([]MutationRecord, len(muts))
+	for i, m := range muts {
+		out[i] = MutationRecord{Kind: m.Kind.String(), ID: m.ID, Up: m.Up, Capacity: m.Capacity}
+	}
+	return out
+}
+
+// decodeMutations rebuilds a maintenance batch.
+func decodeMutations(recs []MutationRecord) ([]engine.Mutation, error) {
+	out := make([]engine.Mutation, len(recs))
+	for i, r := range recs {
+		kind, err := parseMutationKind(r.Kind)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = engine.Mutation{Kind: kind, ID: r.ID, Up: r.Up, Capacity: r.Capacity}
+	}
+	return out, nil
+}
+
+// parseMutationKind is the inverse of engine.MutationKind.String.
+func parseMutationKind(name string) (engine.MutationKind, error) {
+	switch name {
+	case engine.LinkState.String():
+		return engine.LinkState, nil
+	case engine.ServerState.String():
+		return engine.ServerState, nil
+	case engine.LinkCapacity.String():
+		return engine.LinkCapacity, nil
+	case engine.ServerCapacity.String():
+		return engine.ServerCapacity, nil
+	default:
+		return 0, fmt.Errorf("unknown mutation kind %q", name)
+	}
+}
+
+// The wire forms double as the daemon's HTTP/JSON vocabulary — one
+// schema for what is logged, replayed, and served. These exported
+// constructors are the non-log entry points.
+
+// EncodeRequest converts a request to its wire form.
+func EncodeRequest(req *multicast.Request) *RequestRecord { return encodeRequest(req) }
+
+// EncodeSolution converts a solution to its wire form.
+func EncodeSolution(sol *core.Solution) *SolutionRecord { return encodeSolution(sol) }
+
+// EncodeMutations converts a maintenance batch to its wire form.
+func EncodeMutations(muts []engine.Mutation) []MutationRecord { return encodeMutations(muts) }
+
+// DecodeMutations rebuilds a maintenance batch from its wire form.
+func DecodeMutations(recs []MutationRecord) ([]engine.Mutation, error) {
+	return decodeMutations(recs)
+}
+
+// validate checks a decoded record's shape before replay applies it —
+// a malformed payload that still passed its CRC (an encoder bug, or a
+// hand-edited log) must fail recovery loudly, never half-apply.
+func (r *Record) validate() error {
+	switch r.Type {
+	case obs.Admitted, obs.Repaired:
+		if r.Req == nil || r.Sol == nil {
+			return fmt.Errorf("%s record without req/sol payload", r.Type)
+		}
+	case obs.Departed, obs.Shed:
+		if r.Req != nil || r.Sol != nil || r.Muts != nil {
+			return fmt.Errorf("%s record with unexpected payload", r.Type)
+		}
+	case obs.MutationApplied:
+		if len(r.Muts) == 0 {
+			return fmt.Errorf("mutation_applied record without mutations")
+		}
+	default:
+		return fmt.Errorf("unknown record type %q", r.Type)
+	}
+	return nil
+}

@@ -38,6 +38,7 @@ import (
 	"io"
 
 	"nfvmcast/internal/core"
+	"nfvmcast/internal/daemon"
 	"nfvmcast/internal/engine"
 	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
@@ -48,6 +49,7 @@ import (
 	"nfvmcast/internal/shard"
 	"nfvmcast/internal/topology"
 	"nfvmcast/internal/viz"
+	"nfvmcast/internal/wal"
 )
 
 // Graph substrate.
@@ -461,6 +463,78 @@ var (
 	MetricsHandler = obs.Handler
 )
 
+// Durability (internal/wal): an append-only write-ahead log of
+// admission outcomes. The WAL logs decisions, not inputs — replay
+// restores an engine's state bit-exactly without re-running any
+// planner. Attach a log to an engine with WithJournal(log.Journal());
+// every ack then implies the outcome is on disk ("acked ⇒ logged").
+type (
+	// WAL is an append-only outcome log over one directory
+	// (CRC-framed records, rotated segments, snapshots).
+	WAL = wal.Log
+	// WALOptions configures OpenWAL (segment size, snapshot cadence,
+	// fsync policy, observability).
+	WALOptions = wal.Options
+	// WALRecord is one logged outcome (admit, depart, repair, shed,
+	// mutation batch).
+	WALRecord = wal.Record
+	// WALReplayStats summarises one Recover pass (snapshot LSN,
+	// records replayed, torn-tail details).
+	WALReplayStats = wal.ReplayStats
+	// EngineJournal is the engine-side durability hook a WAL's
+	// Journal() satisfies.
+	EngineJournal = engine.Journal
+)
+
+// WAL defaults (see internal/wal).
+const (
+	DefaultWALSegmentBytes  = wal.DefaultSegmentBytes
+	DefaultWALSnapshotEvery = wal.DefaultSnapshotEvery
+)
+
+// WAL entry points.
+var (
+	// OpenWAL opens (or creates) the log in dir and verifies the
+	// existing chain up to a recoverable torn tail.
+	OpenWAL = wal.Open
+	// EngineFingerprint digests an engine's network residuals and live
+	// sessions; two engines with equal fingerprints are in the same
+	// admission state.
+	EngineFingerprint = wal.Fingerprint
+	// IsRecoverableTailError reports whether a Recover error is
+	// confined to the newest segment's torn tail (crash mid-append)
+	// rather than mid-chain corruption.
+	IsRecoverableTailError = wal.IsRecoverableTail
+	// WithJournal makes an engine durable: every state-changing
+	// outcome is journalled (and barriered) before the caller's ack.
+	WithJournal = engine.WithJournal
+)
+
+// Daemon (internal/daemon): nfvmcastd's embeddable core — a WAL-backed
+// shard router behind an HTTP/JSON API (submit/release/apply/report),
+// with bounded admission queueing, per-request deadlines, graceful
+// drain and crash recovery on boot.
+type (
+	// Daemon serves admission over HTTP with per-shard WALs.
+	Daemon = daemon.Server
+	// DaemonConfig sizes the daemon (substrate, shards, WAL layout,
+	// queue depth, request timeout).
+	DaemonConfig = daemon.Config
+	// DaemonBootStats reports one shard's crash-recovery outcome.
+	DaemonBootStats = daemon.BootStats
+)
+
+// NewDaemon builds the daemon: recover every shard from its WAL (or
+// start fresh), verify the on-disk manifest matches cfg's substrate,
+// and return a server ready for Serve:
+//
+//	d, err := nfvmcast.NewDaemon(nfvmcast.DaemonConfig{
+//	    Topology: "geant", Policy: "Online_CP", Shards: 2, WALDir: dir,
+//	})
+//	ln, _ := net.Listen("tcp", addr)
+//	go d.Serve(ln)
+func NewDaemon(cfg DaemonConfig) (*Daemon, error) { return daemon.New(cfg) }
+
 // WriteTopologyDOT renders a topology as Graphviz DOT (servers drawn
 // as filled boxes).
 func WriteTopologyDOT(w io.Writer, topo *Topology, servers []NodeID) error {
@@ -496,4 +570,8 @@ var (
 	ErrShardStopped     = shard.ErrShardStopped
 	ErrShardUnavailable = shard.ErrShardUnavailable
 	ErrShardNotDrained  = shard.ErrNotDrained
+	// Durability sentinels.
+	ErrDurability   = engine.ErrDurability
+	ErrLogCorrupt   = wal.ErrLogCorrupt
+	ErrLogTruncated = wal.ErrLogTruncated
 )
