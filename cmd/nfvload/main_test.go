@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nfvmcast/internal/daemon"
+)
+
+// TestRunAgainstLiveDaemon drives the generator end to end against an
+// in-process nfvmcastd: every request must get a terminal verdict,
+// admitted sessions must be released (leaving the daemon with zero
+// live sessions), and the -json capture must carry the unified
+// BENCH_*.json envelope.
+func TestRunAgainstLiveDaemon(t *testing.T) {
+	srv, err := daemon.New(daemon.Config{Topology: "geant", Seed: 42, Policy: "Online_CP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	capture := filepath.Join(t.TempDir(), "capture.json")
+	var out bytes.Buffer
+	err = run([]string{
+		"-url", ts.URL, "-topology", "geant", "-seed", "7",
+		"-c", "4", "-n", "60", "-tenants", "2", "-json", capture,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "60 submits") {
+		t.Fatalf("summary did not account for all submits:\n%s", out.String())
+	}
+
+	rep := srv.Router().Report()
+	if rep.Live != 0 {
+		t.Fatalf("daemon still holds %d live sessions after a releasing run", rep.Live)
+	}
+
+	raw, err := os.ReadFile(capture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Benchmark   string           `json:"benchmark"`
+		Workload    string           `json:"workload"`
+		Command     string           `json:"command"`
+		Date        string           `json:"date"`
+		Environment map[string]any   `json:"environment"`
+		Results     []map[string]any `json:"results"`
+		Gates       string           `json:"correctness_gates"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("capture is not valid JSON: %v", err)
+	}
+	for field, v := range map[string]string{
+		"benchmark": doc.Benchmark, "workload": doc.Workload,
+		"command": doc.Command, "date": doc.Date, "correctness_gates": doc.Gates,
+	} {
+		if v == "" {
+			t.Errorf("capture missing %q", field)
+		}
+	}
+	if len(doc.Environment) == 0 || len(doc.Results) == 0 {
+		t.Fatalf("capture missing environment or results: %s", raw)
+	}
+	for _, entry := range doc.Results {
+		if ns, ok := entry["ns_per_op"].(float64); !ok || ns <= 0 {
+			t.Fatalf("entry %v: ns_per_op missing or not positive", entry["name"])
+		}
+	}
+}
+
+// TestRunLeavesSessionsWithNoRelease pins the -no-release mode: the
+// admitted sessions stay live on the daemon.
+func TestRunLeavesSessionsWithNoRelease(t *testing.T) {
+	srv, err := daemon.New(daemon.Config{Topology: "geant", Seed: 42, Policy: "Online_CP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	var out bytes.Buffer
+	if err := run([]string{
+		"-url", ts.URL, "-topology", "geant", "-seed", "9",
+		"-c", "2", "-n", "20", "-no-release",
+	}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+	if rep := srv.Router().Report(); rep.Live == 0 {
+		t.Fatal("-no-release run left no live sessions; expected some admissions to stick")
+	}
+}

@@ -54,6 +54,11 @@ type Options struct {
 // DefaultOptions returns the evaluation defaults (K = 3).
 func DefaultOptions() Options { return Options{K: 3} }
 
+// disableSubsetPruning turns the candidate lower-bound pruning off —
+// test instrumentation for asserting pruned and unpruned sweeps return
+// byte-identical solutions.
+var disableSubsetPruning bool
+
 // ApproMulti implements Algorithm 1 (Appro_Multi) and its capacitated
 // variant (Appro_Multi_Cap): it returns a minimum-cost pseudo-multicast
 // tree over all server subsets of size at most K, with approximation
@@ -221,8 +226,49 @@ func evaluateCandidates(
 	for i := range locals {
 		locals[i] = bestCandidate{op: graph.Infinity, idx: -1}
 	}
+	demand := req.ComputeDemandMHz()
 	eval := func(idx int, local *bestCandidate, delayed *bool, s *evalScratch) {
 		c := cands[idx]
+		// Branch-and-bound: an admissible lower bound on any tree this
+		// candidate can realise, priced directly in operational terms
+		// (the work graph's weights ARE unit cost × bandwidth). The
+		// realised tree contains a source→server path for some v ∈ S
+		// (≥ the cheapest), uses at least one server of S (≥ the
+		// cheapest placement), and reaches every destination from some
+		// v ∈ S over processed edges (≥ the worst destination's best
+		// connection). A pruned candidate therefore satisfies
+		// op >= lb >= local.op and would lose the strict `op < local.op`
+		// comparison below — the surviving tree, cost and enumeration
+		// index are byte-identical with pruning on or off. Pruning only
+		// engages once the worker holds an incumbent tree, so the
+		// delay-violation flag (which is only consulted when no tree
+		// exists at all) is unaffected.
+		if local.tree != nil && !disableSubsetPruning {
+			minSrc, minUnit := graph.Infinity, graph.Infinity
+			for _, v := range c.servers {
+				if d := spSrc.Dist[v]; d < minSrc {
+					minSrc = d
+				}
+				if u := nw.ServerUnitCost(v); u < minUnit {
+					minUnit = u
+				}
+			}
+			var procLB float64
+			for _, d := range req.Destinations {
+				best := graph.Infinity
+				for _, v := range c.servers {
+					if dd := ev.spSrv[v].Dist[d]; dd < best {
+						best = dd
+					}
+				}
+				if best > procLB {
+					procLB = best
+				}
+			}
+			if lb := minSrc + demand*minUnit + procLB; lb >= local.op {
+				return
+			}
+		}
 		var (
 			servers   []graph.NodeID
 			realEdges []graph.EdgeID

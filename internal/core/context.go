@@ -54,6 +54,13 @@ func (a *Admitter) PlanOnContext(
 		return nil, canceled(err)
 	}
 	start := a.obs.Now()
+	// Provably-doomed requests (see FastRejecter) skip the work graph
+	// and Steiner machinery entirely; the error is exactly what the
+	// full plan would have returned.
+	if err := a.fastReject(view, req); err != nil {
+		a.obs.PlanDone(start, req.ID, nil, 0, err)
+		return nil, err
+	}
 	var sol *Solution
 	var err error
 	switch p := a.planner.(type) {

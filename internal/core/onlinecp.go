@@ -52,20 +52,7 @@ func NewCPPlanner(model CostModel) (*CPPlanner, error) {
 	if err := model.Validate(); err != nil {
 		return nil, err
 	}
-	return &CPPlanner{model: model}, nil
-}
-
-// Name identifies the algorithm.
-func (p *CPPlanner) Name() string { return "Online_CP" }
-
-// view returns the residual work graph and shortest-path cache for
-// (nw, req), memoized across Plan calls on the (structure, mutation,
-// request-parameter) key — see workGraphCache.
-func (p *CPPlanner) view(nw *sdn.Network, req *multicast.Request) (*workGraph, *spCache) {
-	key := makeWorkGraphKey(nw, req)
-	if w, spc, ok := p.cache.get(key); ok {
-		return w, spc
-	}
+	p := &CPPlanner{model: model}
 	// Residual view of the network. Steiner-tree construction prices
 	// each link with the request's marginal exponential cost — the
 	// weight increase its own b_k causes. On an idle network the
@@ -74,14 +61,26 @@ func (p *CPPlanner) view(nw *sdn.Network, req *multicast.Request) (*workGraph, *
 	// marginal form ≈ (b_k/B_e)·ln β at low load steers requests
 	// onto short, high-capacity trees and converges to w_e(k) as
 	// links fill. Admission thresholds still use the paper's
-	// pre-allocation weights.
-	w := buildWorkGraph(nw, req, true, func(e graph.EdgeID) float64 {
+	// pre-allocation weights. The recipe lives on the cache so
+	// incremental patches re-price edges exactly as a cold build
+	// would.
+	p.cache.capacitated = true
+	p.cache.weight = func(nw *sdn.Network, req *multicast.Request, e graph.EdgeID) float64 {
 		utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
 		return math.Pow(p.model.Beta, utilAfter) - 1
-	})
-	spc := newSPCache(w.g)
-	p.cache.put(key, w, spc)
-	return w, spc
+	}
+	return p, nil
+}
+
+// Name identifies the algorithm.
+func (p *CPPlanner) Name() string { return "Online_CP" }
+
+// view returns the residual work graph and shortest-path cache for
+// (nw, req) — cached, incrementally patched from a neighbouring
+// residual epoch, or cold-built, whichever the delta admits (see
+// workGraphCache).
+func (p *CPPlanner) view(nw *sdn.Network, req *multicast.Request) (*workGraph, *spCache) {
+	return p.cache.acquire(nw, req)
 }
 
 // Plan computes the cheapest feasible pseudo-multicast tree for req
@@ -131,12 +130,16 @@ func (p *CPPlanner) PlanContext(
 		return nil, err
 	}
 	arena.dstSPs = arena.dstSPs[:0]
+	dMax := 0.0 // farthest destination from the source
 	for _, d := range req.Destinations {
 		spD, derr := spc.fromWith(d, &arena.ws)
 		if derr != nil {
 			return nil, derr
 		}
 		arena.dstSPs = append(arena.dstSPs, spD)
+		if dd := spSrc.Dist[d]; dd > dMax {
+			dMax = dd
+		}
 	}
 
 	var (
@@ -151,6 +154,19 @@ func (p *CPPlanner) PlanContext(
 		// Threshold (a): overloaded servers are not considered
 		// (Algorithm 2, step 7).
 		if p.model.ServerWeight(nw, v) >= p.model.SigmaV {
+			continue
+		}
+		// Admissible pre-KMB bound: any Steiner tree over
+		// {s_k, v} ∪ D_k contains a path s_k→v and a path to the
+		// farthest destination, so its cost is at least
+		// max(dist(s,v), max_d dist(s,d)); adding the server cost
+		// lower-bounds the selection cost before running KMB at all.
+		// A pruned candidate satisfies sel >= lower0 >= bestSelection
+		// and would lose the strict `sel < bestSelection` comparison,
+		// so the chosen server and tree are bit-identical with or
+		// without the pruning (spSrc.Dist[v] = Infinity reproduces the
+		// KMB-unreachable `continue`).
+		if lower0 := maxf(spSrc.Dist[v], dMax) + p.model.ServerCost(nw, v); lower0 >= bestSelection {
 			continue
 		}
 		spV, verr := spc.fromWith(v, &arena.ws)
@@ -301,3 +317,12 @@ func realizeSingleServer(
 // IsRejection reports whether err represents an admission-policy
 // rejection (as opposed to an input error).
 func IsRejection(err error) bool { return errors.Is(err, ErrRejected) }
+
+// maxf is math.Max without the NaN/signed-zero ceremony — distances
+// here are non-negative and never NaN.
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

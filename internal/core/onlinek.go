@@ -53,28 +53,27 @@ func NewCPKPlanner(model CostModel, k int) (*CPKPlanner, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("core: invalid K=%d (need K >= 1)", k)
 	}
-	return &CPKPlanner{model: model, k: k}, nil
+	p := &CPKPlanner{model: model, k: k}
+	// Residual network with marginal exponential link weights (the
+	// same pricing Online_CP uses for tree construction); the recipe
+	// lives on the cache so incremental patches re-price edges exactly
+	// as a cold build would.
+	p.cache.capacitated = true
+	p.cache.weight = func(nw *sdn.Network, req *multicast.Request, e graph.EdgeID) float64 {
+		utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
+		return math.Pow(p.model.Beta, utilAfter) - 1
+	}
+	return p, nil
 }
 
 // Name identifies the algorithm.
 func (p *CPKPlanner) Name() string { return "Online_CPK" }
 
 // view returns the residual work graph and shortest-path cache for
-// (nw, req), memoized across Plan calls — see workGraphCache.
+// (nw, req) — cached, incrementally patched, or cold-built (see
+// workGraphCache).
 func (p *CPKPlanner) view(nw *sdn.Network, req *multicast.Request) (*workGraph, *spCache) {
-	key := makeWorkGraphKey(nw, req)
-	if w, spc, ok := p.cache.get(key); ok {
-		return w, spc
-	}
-	// Residual network with marginal exponential link weights (the
-	// same pricing Online_CP uses for tree construction).
-	w := buildWorkGraph(nw, req, true, func(e graph.EdgeID) float64 {
-		utilAfter := 1 - (nw.ResidualBandwidth(e)-req.BandwidthMbps)/nw.BandwidthCap(e)
-		return math.Pow(p.model.Beta, utilAfter) - 1
-	})
-	spc := newSPCache(w.g)
-	p.cache.put(key, w, spc)
-	return w, spc
+	return p.cache.acquire(nw, req)
 }
 
 // Plan proposes the cheapest admissible tree over server subsets of

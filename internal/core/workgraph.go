@@ -14,9 +14,10 @@ import (
 // returns (explicit-auxiliary evaluation clones g before mutating),
 // so it may be read from any number of goroutines concurrently.
 type workGraph struct {
-	g       *graph.Graph
-	toHost  []graph.EdgeID
-	servers []graph.NodeID // eligible servers in this view
+	g        *graph.Graph
+	toHost   []graph.EdgeID
+	fromHost []int32        // host edge → local edge, -1 when filtered out
+	servers  []graph.NodeID // eligible servers in this view
 }
 
 // hostEdge maps a local edge ID back to the network's edge ID.
@@ -38,7 +39,9 @@ func buildWorkGraph(
 	n := hg.NumNodes()
 	g := graph.New(n)
 	var toHost []graph.EdgeID
+	fromHost := make([]int32, hg.NumEdges())
 	for e := 0; e < hg.NumEdges(); e++ {
+		fromHost[e] = -1
 		if !nw.LinkUp(e) {
 			continue // failed links are physically unusable
 		}
@@ -46,7 +49,7 @@ func buildWorkGraph(
 			continue
 		}
 		he := hg.Edge(e)
-		g.MustAddEdge(he.U, he.V, weight(e))
+		fromHost[e] = int32(g.MustAddEdge(he.U, he.V, weight(e)))
 		toHost = append(toHost, e)
 	}
 	demand := req.ComputeDemandMHz()
@@ -60,7 +63,7 @@ func buildWorkGraph(
 		}
 		servers = append(servers, v)
 	}
-	return &workGraph{g: g, toHost: toHost, servers: servers}
+	return &workGraph{g: g, toHost: toHost, fromHost: fromHost, servers: servers}
 }
 
 // hostPath converts a local (nodes, edges) path to host edge IDs.

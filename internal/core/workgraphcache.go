@@ -3,6 +3,7 @@ package core
 import (
 	"sync"
 
+	"nfvmcast/internal/graph"
 	"nfvmcast/internal/multicast"
 	"nfvmcast/internal/sdn"
 )
@@ -39,50 +40,159 @@ func makeWorkGraphKey(nw *sdn.Network, req *multicast.Request) workGraphKey {
 	}
 }
 
+// sameFamily reports whether two keys differ only in their residual
+// epoch — the precondition for patching one key's entry into the
+// other's: equal structVer means identical topology and up/down state,
+// and equal request parameters mean identical filtering and pricing
+// formulas, so any divergence between the two views is confined to
+// residual values the journal (or a value sweep) can enumerate.
+func (k workGraphKey) sameFamily(o workGraphKey) bool {
+	return k.structVer == o.structVer && k.nodes == o.nodes && k.edges == o.edges &&
+		k.bandwidth == o.bandwidth && k.demand == o.demand
+}
+
+// residualSnap records the residual values an entry's work graph was
+// built from, so a later epoch can be verified value-by-value: a link
+// whose (free, cap) pair round-tripped back to these exact bits prices
+// to the exact same weight and needs no patch at all. Float residuals
+// round-trip bit-exactly through most allocate/release cycles, which
+// turns the bulk of epoch transitions into pure re-keys.
+type residualSnap struct {
+	linkFree []float64
+	linkCap  []float64
+	srvIDs   []graph.NodeID // sorted; position-aligned with srvFree
+	srvFree  []float64
+}
+
+func captureResidualSnap(nw *sdn.Network) *residualSnap {
+	m := nw.NumEdges()
+	s := &residualSnap{
+		linkFree: make([]float64, m),
+		linkCap:  make([]float64, m),
+	}
+	for e := 0; e < m; e++ {
+		s.linkFree[e] = nw.ResidualBandwidth(e)
+		s.linkCap[e] = nw.BandwidthCap(e)
+	}
+	nw.VisitServers(func(v graph.NodeID) bool {
+		s.srvIDs = append(s.srvIDs, v)
+		s.srvFree = append(s.srvFree, nw.ResidualCompute(v))
+		return true
+	})
+	return s
+}
+
+// serverIndex locates v's position in the sorted srvIDs, or -1.
+func (s *residualSnap) serverIndex(v graph.NodeID) int {
+	lo, hi := 0, len(s.srvIDs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.srvIDs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(s.srvIDs) && s.srvIDs[lo] == v {
+		return lo
+	}
+	return -1
+}
+
 // wgEntry pairs a cached work graph with the shortest-path cache over
 // it; both are immutable/concurrency-safe, so entries may be shared by
-// any number of planner goroutines.
+// any number of planner goroutines. snap is the residual state the
+// entry was built against; entries inserted through the legacy put
+// (tests) carry no snapshot and are served for exact hits only.
 type wgEntry struct {
-	key workGraphKey
-	w   *workGraph
-	sp  *spCache
+	key  workGraphKey
+	w    *workGraph
+	sp   *spCache
+	snap *residualSnap
+}
+
+// wgCall is one in-flight build other goroutines wait on instead of
+// duplicating it.
+type wgCall struct {
+	done chan struct{}
+	w    *workGraph
+	sp   *spCache
 }
 
 // workGraphCache memoizes residual work graphs (and their
-// shortest-path caches) across Plan calls. Admission plans cluster
-// around few distinct keys — the engine snapshots one mutation epoch
-// for every concurrently-planning request, and replans revisit the
-// epoch that invalidated them — so a small LRU captures nearly every
-// repeat while old epochs age out. Sharing the spCache is the larger
-// win: a hit resumes with every previously-computed Dijkstra tree of
-// that residual state.
+// shortest-path caches) across Plan calls, maintained incrementally:
 //
-// Safe for concurrent use. Misses are built outside the lock; two
-// goroutines may duplicate a build, but buildWorkGraph is
-// deterministic, so whichever insert wins is correct.
+//   - An exact (structVer, mutVer, params) hit returns the shared entry.
+//   - A miss whose key differs from a cached entry's only by mutation
+//     epoch is built by *patching* that base entry. The residual-change
+//     journal (sdn.ResidualChangesSince) narrows the candidate set; each
+//     candidate is value-verified against the base's residual snapshot.
+//     Verified-unchanged epochs re-key the base entry as-is (zero new
+//     state — the common case, since residual floats round-trip through
+//     allocate/release cycles bit-exactly). A handful of re-priced
+//     links clone only the weight array and dynamically repair the
+//     cached shortest-path trees (graph.RepairInto). Membership flips
+//     or damage beyond a quarter of the graph rebuild from scratch.
+//   - Concurrent misses on one key are single-flighted.
+//
+// Patching preserves bit-identity with a cold build: unchanged edges
+// keep weights computed from bit-identical (free, cap) inputs, changed
+// edges are re-priced with the same formula a cold build would use,
+// and repaired trees are bit-identical to fresh Dijkstra runs whenever
+// shortest paths are unique (ties are measure-zero under the planners'
+// continuous weight distributions — see graph.RepairInto).
 type workGraphCache struct {
-	mu      sync.Mutex
-	entries []wgEntry // most recently used first
+	// capacitated and weight fix the build recipe so patches re-price
+	// edges exactly as buildWorkGraph would. Set once at planner
+	// construction, before any concurrent use.
+	capacitated bool
+	weight      func(nw *sdn.Network, req *multicast.Request, e graph.EdgeID) float64
+
+	mu       sync.Mutex
+	entries  []wgEntry // most recently used first
+	inflight map[workGraphKey]*wgCall
+
+	// Transition counters (under mu) — test and tuning instrumentation.
+	hits    uint64 // exact key hits
+	rekeys  uint64 // verified-unchanged aliases of a base entry
+	patches uint64 // weight-patched / server-patched derivations
+	builds  uint64 // cold buildWorkGraph runs
 }
 
-// workGraphCacheSize bounds the LRU: enough for the engine's default
-// worker fan-out to keep every in-flight epoch resident.
-const workGraphCacheSize = 8
+// workGraphCacheSize bounds the LRU. Entries are cheap to retain
+// (re-keyed epochs alias their base's graph and trees), and the engine
+// benchmarks cycle through hundreds of distinct request parameter
+// pairs, each its own key family — size the cache to keep a full
+// request pool resident.
+const workGraphCacheSize = 512
+
+// wgMaxChangedFrac bounds patching: when more than this fraction of
+// the work graph's edges changed residual class, a cold rebuild is
+// cheaper than patch + repair.
+const wgMaxChangedFrac = 0.25
 
 // get returns the cached entry for key, promoting it to most recently
 // used.
 func (c *workGraphCache) get(key workGraphKey) (*workGraph, *spCache, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if e, ok := c.lookup(key); ok {
+		return e.w, e.sp, true
+	}
+	return nil, nil, false
+}
+
+// lookup finds key and promotes it to the MRU front. Caller holds mu.
+func (c *workGraphCache) lookup(key workGraphKey) (wgEntry, bool) {
 	for i := range c.entries {
 		if c.entries[i].key == key {
 			e := c.entries[i]
 			copy(c.entries[1:i+1], c.entries[:i])
 			c.entries[0] = e
-			return e.w, e.sp, true
+			return e, true
 		}
 	}
-	return nil, nil, false
+	return wgEntry{}, false
 }
 
 // put inserts an entry at the front, evicting the least recently used
@@ -91,8 +201,13 @@ func (c *workGraphCache) get(key workGraphKey) (*workGraph, *spCache, bool) {
 func (c *workGraphCache) put(key workGraphKey, w *workGraph, sp *spCache) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.insert(wgEntry{key: key, w: w, sp: sp})
+}
+
+// insert is put's locked core, shared with acquire.
+func (c *workGraphCache) insert(e wgEntry) {
 	for i := range c.entries {
-		if c.entries[i].key == key {
+		if c.entries[i].key == e.key {
 			return
 		}
 	}
@@ -100,5 +215,259 @@ func (c *workGraphCache) put(key workGraphKey, w *workGraph, sp *spCache) {
 		c.entries = append(c.entries, wgEntry{})
 	}
 	copy(c.entries[1:], c.entries)
-	c.entries[0] = wgEntry{key: key, w: w, sp: sp}
+	c.entries[0] = e
+}
+
+// stats returns the transition counters.
+func (c *workGraphCache) stats() (hits, rekeys, patches, builds uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.rekeys, c.patches, c.builds
+}
+
+// acquire returns the work graph and shortest-path cache for (nw, req),
+// from cache, by incremental patch of a same-family entry, or by cold
+// build — whichever the residual delta admits. Concurrent misses on
+// one key share a single construction.
+func (c *workGraphCache) acquire(nw *sdn.Network, req *multicast.Request) (*workGraph, *spCache) {
+	key := makeWorkGraphKey(nw, req)
+	c.mu.Lock()
+	if e, ok := c.lookup(key); ok {
+		c.hits++
+		c.mu.Unlock()
+		return e.w, e.sp
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-call.done
+		return call.w, call.sp
+	}
+	call := &wgCall{done: make(chan struct{})}
+	if c.inflight == nil {
+		c.inflight = make(map[workGraphKey]*wgCall)
+	}
+	c.inflight[key] = call
+	// Pick the most recently used same-family entry as patch base.
+	var base wgEntry
+	haveBase := false
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.snap != nil && e.key.sameFamily(key) {
+			base, haveBase = *e, true
+			break
+		}
+	}
+	c.mu.Unlock()
+
+	var (
+		w    *workGraph
+		sp   *spCache
+		snap *residualSnap
+		kind int // 0 rekey, 1 patch, 2 build
+	)
+	if haveBase {
+		w, sp, snap, kind = c.derive(nw, req, key, base)
+	} else {
+		kind = 2
+	}
+	if w == nil {
+		w = buildWorkGraph(nw, req, c.capacitated, func(e graph.EdgeID) float64 {
+			return c.weight(nw, req, e)
+		})
+		sp = newSPCache(w.g)
+		snap = captureResidualSnap(nw)
+		kind = 2
+	}
+
+	c.mu.Lock()
+	c.insert(wgEntry{key: key, w: w, sp: sp, snap: snap})
+	switch kind {
+	case 0:
+		c.rekeys++
+	case 1:
+		c.patches++
+	default:
+		c.builds++
+	}
+	delete(c.inflight, key)
+	c.mu.Unlock()
+	call.w, call.sp = w, sp
+	close(call.done)
+	return w, sp
+}
+
+// patchScratch pools the transient state of one derive call.
+type patchScratch struct {
+	links, srvs  []int32
+	gen          uint32
+	edgeStamp    []uint32
+	srvStamp     []uint32
+	changedLocal []graph.EdgeID
+	changedW     []float64
+	ws           graph.DijkstraWorkspace
+	roots        spRootScratch
+}
+
+var patchPool = sync.Pool{New: func() any { return new(patchScratch) }}
+
+func (ps *patchScratch) ensure(m, nsrv int) {
+	if cap(ps.edgeStamp) < m {
+		ps.edgeStamp = make([]uint32, m)
+	} else {
+		ps.edgeStamp = ps.edgeStamp[:m]
+	}
+	if cap(ps.srvStamp) < nsrv {
+		ps.srvStamp = make([]uint32, nsrv)
+	} else {
+		ps.srvStamp = ps.srvStamp[:nsrv]
+	}
+	ps.gen++
+	if ps.gen == 0 {
+		clear(ps.edgeStamp)
+		clear(ps.srvStamp)
+		ps.gen = 1
+	}
+}
+
+// derive attempts to produce key's entry from base by value-verified
+// patching. It returns w == nil when the delta demands a cold rebuild
+// (membership flips, damage above wgMaxChangedFrac, or a repair
+// failure).
+func (c *workGraphCache) derive(
+	nw *sdn.Network, req *multicast.Request, key workGraphKey, base wgEntry,
+) (w *workGraph, sp *spCache, snap *residualSnap, kind int) {
+	ps := patchPool.Get().(*patchScratch)
+	defer patchPool.Put(ps)
+	m := key.edges
+	ps.ensure(m, len(base.snap.srvIDs))
+	ps.changedLocal = ps.changedLocal[:0]
+	ps.changedW = ps.changedW[:0]
+
+	// Candidate changed IDs: the residual journal when the window is
+	// retained, otherwise every link and server (a full value sweep is
+	// still O(m) float compares — far below a rebuild's pricing cost).
+	links, srvs, tracked := nw.ResidualChangesSince(base.key.mutVer, ps.links[:0], ps.srvs[:0])
+	ps.links, ps.srvs = links[:0], srvs[:0]
+
+	// Verify candidate links against the base snapshot.
+	verifyEdge := func(e graph.EdgeID) bool {
+		if ps.edgeStamp[e] == ps.gen {
+			return true
+		}
+		ps.edgeStamp[e] = ps.gen
+		free, capMbps := nw.ResidualBandwidth(e), nw.BandwidthCap(e)
+		if free == base.snap.linkFree[e] && capMbps == base.snap.linkCap[e] {
+			return true // bit-exact round-trip: same membership, same price
+		}
+		member := !c.capacitated || free >= key.bandwidth
+		local := base.w.fromHost[e]
+		if (local >= 0) != member {
+			return false // residual class flipped: graph shape changes
+		}
+		if member {
+			ps.changedLocal = append(ps.changedLocal, graph.EdgeID(local))
+			ps.changedW = append(ps.changedW, c.weight(nw, req, e))
+		}
+		return true
+	}
+	if tracked {
+		for _, e := range links {
+			if e < 0 || int(e) >= m {
+				return nil, nil, nil, 0
+			}
+			if !verifyEdge(graph.EdgeID(e)) {
+				return nil, nil, nil, 0
+			}
+		}
+	} else {
+		for e := 0; e < m; e++ {
+			if !verifyEdge(e) {
+				return nil, nil, nil, 0
+			}
+		}
+	}
+	if len(ps.changedLocal) > int(wgMaxChangedFrac*float64(base.w.g.NumEdges())) {
+		return nil, nil, nil, 0 // damage too broad: rebuild
+	}
+
+	// Verify candidate servers. Membership flips rebuild only the
+	// eligible-server list — server state never enters the graph.
+	srvChanged, srvFlip := false, false
+	verifySrv := func(v graph.NodeID) bool {
+		i := base.snap.serverIndex(v)
+		if i < 0 {
+			return false // unknown server: snapshot is stale, rebuild
+		}
+		if ps.srvStamp[i] == ps.gen {
+			return true
+		}
+		ps.srvStamp[i] = ps.gen
+		free := nw.ResidualCompute(v)
+		baseFree := base.snap.srvFree[i]
+		if free == baseFree {
+			return true
+		}
+		srvChanged = true
+		if c.capacitated && (free >= key.demand) != (baseFree >= key.demand) {
+			srvFlip = true
+		}
+		return true
+	}
+	if tracked {
+		for _, v := range srvs {
+			if !verifySrv(graph.NodeID(v)) {
+				return nil, nil, nil, 0
+			}
+		}
+	} else {
+		ok := true
+		nw.VisitServers(func(v graph.NodeID) bool {
+			ok = verifySrv(v)
+			return ok
+		})
+		if !ok {
+			return nil, nil, nil, 0
+		}
+	}
+
+	if len(ps.changedLocal) == 0 && !srvChanged {
+		// Verified bit-identical residual view: alias the base entry
+		// under the new key, sharing graph, trees and snapshot.
+		return base.w, base.sp, base.snap, 0
+	}
+
+	servers := base.w.servers
+	if srvFlip {
+		servers = make([]graph.NodeID, 0, len(base.w.servers))
+		demand := key.demand
+		nw.VisitServers(func(v graph.NodeID) bool {
+			if nw.ServerUp(v) && nw.ResidualCompute(v) >= demand {
+				servers = append(servers, v)
+			}
+			return true
+		})
+	}
+
+	if len(ps.changedLocal) == 0 {
+		// Only server residuals moved: the graph and every cached tree
+		// stay exactly valid — share them, refresh the snapshot.
+		nw2 := &workGraph{g: base.w.g, toHost: base.w.toHost, fromHost: base.w.fromHost, servers: servers}
+		return nw2, base.sp, captureResidualSnap(nw), 1
+	}
+
+	// Re-price the changed edges on a weight-only clone and repair the
+	// cached shortest-path trees through the change set.
+	newG := base.w.g.WeightClone()
+	for i, local := range ps.changedLocal {
+		if err := newG.SetWeight(local, ps.changedW[i]); err != nil {
+			return nil, nil, nil, 0
+		}
+	}
+	maxDamage := key.nodes / 4
+	newSP, err := base.sp.repairedClone(newG, ps.changedLocal, maxDamage, &ps.ws, &ps.roots)
+	if err != nil {
+		return nil, nil, nil, 0
+	}
+	nw2 := &workGraph{g: newG, toHost: base.w.toHost, fromHost: base.w.fromHost, servers: servers}
+	return nw2, newSP, captureResidualSnap(nw), 1
 }

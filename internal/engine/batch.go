@@ -27,6 +27,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"nfvmcast/internal/core"
 	"nfvmcast/internal/multicast"
@@ -50,16 +51,28 @@ type commitVerdict struct {
 	err   error
 }
 
+// ticketPool recycles commit tickets (and their buffered verdict
+// channels) across epochs. The writer's verdict send is its last touch
+// of a ticket, so returning the ticket after the receive never races.
+var ticketPool = sync.Pool{New: func() any {
+	return &commitTicket{done: make(chan commitVerdict, 1)}
+}}
+
 // submitCommit queues sol for the next commit epoch and waits for its
 // verdict. Only called on the batched concurrent path.
 func (e *Engine) submitCommit(req *multicast.Request, sol *core.Solution, epoch uint64) (*core.Solution, bool, error) {
-	t := &commitTicket{req: req, sol: sol, epoch: epoch, done: make(chan commitVerdict, 1)}
+	t := ticketPool.Get().(*commitTicket)
+	t.req, t.sol, t.epoch, t.verdict = req, sol, epoch, commitVerdict{}
 	select {
 	case e.commits <- t:
 		// The writer has the ticket and always answers it.
 		v := <-t.done
+		t.req, t.sol, t.verdict = nil, nil, commitVerdict{}
+		ticketPool.Put(t)
 		return v.sol, v.stale, v.err
 	case <-e.quit:
+		t.req, t.sol, t.verdict = nil, nil, commitVerdict{}
+		ticketPool.Put(t)
 		return nil, false, ErrClosed
 	}
 }

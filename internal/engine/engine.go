@@ -96,11 +96,18 @@ type Engine struct {
 	obs        *obs.AdmissionObs // nil-safe; shared with adm
 	sequential bool
 	// planSlots both bounds concurrent planners and hands each one a
-	// dedicated scratch arena: a worker owns the arena it drew for the
-	// whole plan (including a re-plan after a commit conflict), so
-	// concurrent planners never share scratch while arenas still get
-	// reused across requests.
-	planSlots chan *core.PlanArena
+	// dedicated scratch slot: a worker owns the arena and snapshot
+	// network it drew for the whole plan (including a re-plan after a
+	// commit conflict), so concurrent planners never share scratch
+	// while both get reused across requests — the snapshot is refilled
+	// in place with sdn.CloneInto, so steady-state planning stops
+	// allocating per-request clones.
+	planSlots chan *planSlot
+
+	// opPool recycles writer-op envelopes (see exec) so the hot
+	// plan/commit path does not allocate an ack channel per writer
+	// round-trip.
+	opPool sync.Pool
 
 	// seqArena is the single-writer mode's scratch; only the writer
 	// goroutine plans in that mode, so one arena suffices.
@@ -132,10 +139,28 @@ type Engine struct {
 	// would be futile and mislabel the rejection.
 	mutations uint64
 
-	ops       chan func()
+	ops       chan *wop
 	quit      chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+}
+
+// planSlot is one concurrent planner's reusable scratch: the planning
+// arena plus the snapshot destination the writer clones residual state
+// into. Solutions never alias the view (trees and server lists are
+// value copies), so the view can be overwritten by the slot's next
+// request while earlier solutions stay live in the admitted set.
+type planSlot struct {
+	arena *core.PlanArena
+	view  *sdn.Network
+}
+
+// wop is a pooled writer operation: the closure to run on the writer
+// goroutine and a reusable buffered ack channel. Recycling the
+// envelope keeps exec allocation-free apart from the caller's closure.
+type wop struct {
+	f    func()
+	done chan struct{}
 }
 
 // New returns an engine owning nw that admits with planner's policy.
@@ -152,17 +177,18 @@ func New(nw *sdn.Network, planner core.Planner, opts Options) *Engine {
 		adm:         core.NewAdmitter(nw, planner),
 		obs:         opts.Obs,
 		sequential:  workers <= 1,
-		planSlots:   make(chan *core.PlanArena, workers),
+		planSlots:   make(chan *planSlot, workers),
 		seqArena:    core.NewPlanArena(),
 		batchWindow: window,
 		journal:     opts.Journal,
 		commits:     make(chan *commitTicket),
-		ops:         make(chan func()),
+		ops:         make(chan *wop),
 		quit:        make(chan struct{}),
 		done:        make(chan struct{}),
 	}
+	e.opPool.New = func() any { return &wop{done: make(chan struct{}, 1)} }
 	for i := 0; i < workers; i++ {
-		e.planSlots <- core.NewPlanArena()
+		e.planSlots <- &planSlot{arena: core.NewPlanArena(), view: &sdn.Network{}}
 	}
 	e.adm.Observe(opts.Obs)
 	if opts.Recovery != nil {
@@ -179,8 +205,9 @@ func (e *Engine) writer() {
 	defer close(e.done)
 	for {
 		select {
-		case f := <-e.ops:
-			f()
+		case op := <-e.ops:
+			op.f()
+			op.done <- struct{}{}
 		case t := <-e.commits:
 			e.commitEpoch(t)
 		case <-e.quit:
@@ -197,14 +224,22 @@ func (e *Engine) Close() {
 	<-e.done
 }
 
-// exec runs f on the writer goroutine and waits for it to finish.
+// exec runs f on the writer goroutine and waits for it to finish. The
+// op envelope is pooled; the writer's ack on the buffered done channel
+// is its last touch of the envelope, so recycling after the receive
+// never races the writer.
 func (e *Engine) exec(f func()) error {
-	ran := make(chan struct{})
+	op := e.opPool.Get().(*wop)
+	op.f = f
 	select {
-	case e.ops <- func() { f(); close(ran) }:
-		<-ran
+	case e.ops <- op:
+		<-op.done
+		op.f = nil
+		e.opPool.Put(op)
 		return nil
 	case <-e.quit:
+		op.f = nil
+		e.opPool.Put(op)
 		return ErrClosed
 	}
 }
@@ -248,11 +283,11 @@ func (e *Engine) AdmitContext(ctx context.Context, req *multicast.Request) (*cor
 		return sol, err
 	}
 
-	arena := <-e.planSlots
-	defer func() { e.planSlots <- arena }()
+	slot := <-e.planSlots
+	defer func() { e.planSlots <- slot }()
 
 	// Plan against a residual snapshot, commit against the live state.
-	sol, epoch, err := e.planOnSnapshot(ctx, req, arena)
+	sol, epoch, err := e.planOnSnapshot(ctx, req, slot)
 	if err != nil {
 		if core.IsCanceled(err) {
 			return nil, err
@@ -275,7 +310,7 @@ func (e *Engine) AdmitContext(ctx context.Context, req *multicast.Request) (*cor
 	// then give up.
 	e.obs.CommitConflict(req.ID, core.RejectReason(cerr))
 	e.obs.Replanned(req.ID)
-	sol, epoch, err = e.planOnSnapshot(ctx, req, arena)
+	sol, epoch, err = e.planOnSnapshot(ctx, req, slot)
 	if err != nil {
 		if core.IsCanceled(err) {
 			return nil, err
@@ -293,23 +328,22 @@ func (e *Engine) AdmitContext(ctx context.Context, req *multicast.Request) (*cor
 	return nil, e.reject(req, fmt.Errorf("%w: %w: %w", core.ErrRejected, ErrCommitConflict, cerr))
 }
 
-// planOnSnapshot clones the live residual state on the writer and
-// plans against the clone on the calling goroutine, using the
-// worker's scratch arena. It also returns the mutation epoch the
-// snapshot was taken at, so the commit can tell a concurrent
-// invalidation from a deterministic planner overcommit.
-func (e *Engine) planOnSnapshot(ctx context.Context, req *multicast.Request, arena *core.PlanArena) (*core.Solution, uint64, error) {
-	var view *sdn.Network
+// planOnSnapshot clones the live residual state into the slot's
+// reusable snapshot on the writer and plans against it on the calling
+// goroutine, using the slot's scratch arena. It also returns the
+// mutation epoch the snapshot was taken at, so the commit can tell a
+// concurrent invalidation from a deterministic planner overcommit.
+func (e *Engine) planOnSnapshot(ctx context.Context, req *multicast.Request, slot *planSlot) (*core.Solution, uint64, error) {
 	var epoch uint64
 	if xerr := e.exec(func() {
 		start := e.obs.Now()
-		view = e.adm.Network().Clone()
+		e.adm.Network().CloneInto(slot.view)
 		epoch = e.mutations
 		e.obs.CloneDone(start)
 	}); xerr != nil {
 		return nil, 0, xerr
 	}
-	sol, err := e.adm.PlanOnContext(ctx, view, req, arena)
+	sol, err := e.adm.PlanOnContext(ctx, slot.view, req, slot.arena)
 	return sol, epoch, err
 }
 

@@ -268,6 +268,20 @@ func FuzzEngineUpdate(f *testing.F) {
 		0x00, 0x00, 0x00, 0x07, 0x01, 0x00, // valid: restore link 7
 		0x01, 0x03, 0x00, 0x02, 0xE8, 0x03, // malformed: server ID -3
 	})
+	// Threshold-crossing seed: capacity resizes that walk residual
+	// classes across work-graph membership boundaries — a link squeezed
+	// to 2 Mbps (below any request's bandwidth demand, so the cached
+	// capacitated graph drops it) then regrown to 10001, and a server
+	// shrunk to 3 MHz (below any chain's compute demand) then regrown —
+	// driving the incremental cache through flip-triggered rebuilds in
+	// both directions with live sessions and recovery enabled.
+	f.Add([]byte{
+		0x01, 0x03, // workers, then a 4-mutation batch
+		0x00, 0x02, 0x00, 0x04, 0x01, 0x00, // link 4 capacity -> 2 Mbps
+		0x00, 0x02, 0x00, 0x04, 0x10, 0x27, // link 4 capacity -> 10001 Mbps
+		0x00, 0x03, 0x00, 0x01, 0x02, 0x00, // 2nd server -> 3 MHz
+		0x00, 0x03, 0x00, 0x01, 0xA0, 0x0F, // 2nd server -> 4001 MHz
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		if len(data) > 1024 {
 			data = data[:1024]

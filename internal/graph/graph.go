@@ -82,6 +82,51 @@ func (g *Graph) Clone() *Graph {
 	return c
 }
 
+// CopyInto overwrites dst with a deep copy of g, reusing dst's edge
+// and adjacency storage where capacities allow. After the call dst is
+// independent of g (mutating either does not affect the other) and
+// identical to what Clone would return. It exists for snapshot loops
+// (the admission engine re-clones the network per planning slot) that
+// would otherwise reallocate the whole adjacency structure per copy.
+func (g *Graph) CopyInto(dst *Graph) {
+	dst.n = g.n
+	if cap(dst.edges) < len(g.edges) {
+		dst.edges = make([]Edge, len(g.edges))
+	} else {
+		dst.edges = dst.edges[:len(g.edges)]
+	}
+	copy(dst.edges, g.edges)
+	if cap(dst.adj) < g.n {
+		dst.adj = make([][]halfEdge, g.n)
+	} else {
+		dst.adj = dst.adj[:g.n]
+	}
+	for v := range g.adj {
+		src := g.adj[v]
+		if cap(dst.adj[v]) < len(src) {
+			dst.adj[v] = make([]halfEdge, len(src))
+		} else {
+			dst.adj[v] = dst.adj[v][:len(src)]
+		}
+		copy(dst.adj[v], src)
+	}
+}
+
+// WeightClone returns a copy of g that owns its edge array (so
+// SetWeight on the clone is invisible to g) but shares g's adjacency
+// structure. Both graphs must stay structurally frozen afterwards:
+// adding nodes or edges to either would write into the shared
+// adjacency backing. The planner caches use it to patch a handful of
+// re-priced weights onto a cached work graph without copying the
+// adjacency lists — the dominant share of a graph clone.
+func (g *Graph) WeightClone() *Graph {
+	return &Graph{
+		n:     g.n,
+		edges: append([]Edge(nil), g.edges...),
+		adj:   g.adj,
+	}
+}
+
 // Reset empties g and re-sizes it to n nodes with no edges, reusing
 // the adjacency arenas of previous construction rounds. It exists for
 // scratch graphs that are rebuilt per evaluation round (Steiner

@@ -31,7 +31,8 @@ func Dijkstra(g *Graph, src NodeID) (*ShortestPaths, error) {
 // The zero value is ready to use. A workspace is not safe for
 // concurrent use; give each goroutine its own.
 type DijkstraWorkspace struct {
-	heap indexedHeap
+	heap   indexedHeap
+	repair repairScratch // RepairInto's child lists and stamp sets
 }
 
 // DijkstraInto computes single-source shortest paths from src into sp,

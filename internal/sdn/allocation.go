@@ -95,9 +95,11 @@ func (nw *Network) Allocate(a Allocation) error {
 	}
 	for e, need := range a.Links {
 		nw.linkFree[e] -= need
+		nw.markLinkChanged(e)
 	}
 	for v, need := range a.Servers {
 		nw.srvFree[v] -= need
+		nw.markServerChanged(v)
 	}
 	nw.bumpMutation()
 	return nil
@@ -132,12 +134,14 @@ func (nw *Network) Release(a Allocation) error {
 		if nw.linkFree[e] > nw.linkCap[e] {
 			nw.linkFree[e] = nw.linkCap[e]
 		}
+		nw.markLinkChanged(e)
 	}
 	for v, amt := range a.Servers {
 		nw.srvFree[v] += amt
 		if nw.srvFree[v] > nw.srvCap[v] {
 			nw.srvFree[v] = nw.srvCap[v]
 		}
+		nw.markServerChanged(v)
 	}
 	nw.bumpMutation()
 	return nil

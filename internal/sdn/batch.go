@@ -37,6 +37,7 @@ func (nw *Network) EndMutationBatch() {
 	if nw.batchDepth == 0 && nw.batchDirty {
 		nw.batchDirty = false
 		nw.mutVer++
+		nw.flushResidualChanges()
 	}
 }
 
@@ -52,4 +53,5 @@ func (nw *Network) bumpMutation() {
 		return
 	}
 	nw.mutVer++
+	nw.flushResidualChanges()
 }

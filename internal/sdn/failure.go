@@ -34,6 +34,7 @@ func (nw *Network) SetLinkUp(e graph.EdgeID, up bool) error {
 		nw.linkDown[e] = true
 	}
 	nw.structVer++
+	nw.markLinkChanged(e)
 	nw.bumpMutation()
 	nw.recordResourceEvent(LinkResource, e, up)
 	return nil
@@ -58,6 +59,7 @@ func (nw *Network) SetServerUp(v graph.NodeID, up bool) error {
 		nw.srvDown[v] = true
 	}
 	nw.structVer++
+	nw.markServerChanged(v)
 	nw.bumpMutation()
 	nw.recordResourceEvent(ServerResource, v, up)
 	return nil

@@ -92,6 +92,16 @@ type Network struct {
 	batchDepth int
 	batchDirty bool
 
+	// Residual-change journal (see changes.go): the per-epoch change
+	// ring plus the accumulator the mutators mark into before the
+	// version bump flushes it. The accumulator is not cloned (cloning
+	// mid-batch is a caller bug, see batch.go); the ring is copied so a
+	// snapshot answers ResidualChangesSince for its own history.
+	log        *residualLog
+	dirtyLinks []int32
+	dirtySrvs  []int32
+	dirtyFull  bool
+
 	// pending buffers failure/restore notifications until the owning
 	// goroutine drains them (see events.go). Clones start empty.
 	pending []ResourceEvent
@@ -257,6 +267,10 @@ func (nw *Network) Clone() *Network {
 		structVer: nw.structVer,
 		mutVer:    nw.mutVer,
 	}
+	if nw.log != nil {
+		cp.log = &residualLog{}
+		*cp.log = *nw.log
+	}
 	for k, v := range nw.srvCap {
 		cp.srvCap[k] = v
 	}
@@ -279,6 +293,74 @@ func (nw *Network) Clone() *Network {
 		}
 	}
 	return cp
+}
+
+// CloneInto overwrites dst with a deep copy of nw, reusing dst's
+// storage (graph adjacency, residual vectors, maps, journal ring)
+// where shapes allow. Afterwards dst is equivalent to what Clone
+// returns: fully independent, outside any mutation batch, with no
+// pending events. The admission engine's snapshot loop keeps one
+// destination per planning slot, so steady-state snapshots stop
+// allocating. dst must not alias nw and must not be concurrently read.
+func (nw *Network) CloneInto(dst *Network) {
+	dst.name = nw.name
+	if dst.g == nil {
+		dst.g = graph.New(0)
+	}
+	nw.g.CopyInto(dst.g)
+	dst.servers = append(dst.servers[:0], nw.servers...)
+	dst.isSrv = append(dst.isSrv[:0], nw.isSrv...)
+	dst.linkCap = append(dst.linkCap[:0], nw.linkCap...)
+	dst.linkFree = append(dst.linkFree[:0], nw.linkFree...)
+	dst.linkCost = append(dst.linkCost[:0], nw.linkCost...)
+	if dst.srvCap == nil {
+		dst.srvCap = make(map[graph.NodeID]float64, len(nw.srvCap))
+		dst.srvFree = make(map[graph.NodeID]float64, len(nw.srvFree))
+		dst.srvCost = make(map[graph.NodeID]float64, len(nw.srvCost))
+	} else {
+		clear(dst.srvCap)
+		clear(dst.srvFree)
+		clear(dst.srvCost)
+	}
+	for k, v := range nw.srvCap {
+		dst.srvCap[k] = v
+	}
+	for k, v := range nw.srvFree {
+		dst.srvFree[k] = v
+	}
+	for k, v := range nw.srvCost {
+		dst.srvCost[k] = v
+	}
+	clear(dst.linkDown)
+	for k, v := range nw.linkDown {
+		if dst.linkDown == nil {
+			dst.linkDown = make(map[graph.EdgeID]bool, len(nw.linkDown))
+		}
+		dst.linkDown[k] = v
+	}
+	clear(dst.srvDown)
+	for k, v := range nw.srvDown {
+		if dst.srvDown == nil {
+			dst.srvDown = make(map[graph.NodeID]bool, len(nw.srvDown))
+		}
+		dst.srvDown[k] = v
+	}
+	dst.structVer = nw.structVer
+	dst.mutVer = nw.mutVer
+	dst.batchDepth = 0
+	dst.batchDirty = false
+	if nw.log != nil {
+		if dst.log == nil {
+			dst.log = &residualLog{}
+		}
+		*dst.log = *nw.log
+	} else {
+		dst.log = nil
+	}
+	dst.dirtyLinks = dst.dirtyLinks[:0]
+	dst.dirtySrvs = dst.dirtySrvs[:0]
+	dst.dirtyFull = false
+	dst.pending = dst.pending[:0]
 }
 
 // Snapshot captures the residual state of a network for later Restore.
@@ -332,6 +414,7 @@ func (nw *Network) Restore(s *Snapshot) error {
 		}
 		nw.srvFree[k] = v
 	}
+	nw.markAllChanged()
 	nw.bumpMutation()
 	return nil
 }
