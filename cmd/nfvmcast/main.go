@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -45,14 +46,18 @@ func run(args []string) error {
 		chainFlag   = fs.String("chain", "NAT,Firewall", "comma-separated service chain")
 		k           = fs.Int("k", 3, "server budget K")
 		workers     = fs.Int("workers", -1, "concurrent subset evaluations for appro (-1 = all CPUs, 0/1 = sequential)")
-		algorithm   = fs.String("algorithm", "appro", "appro | oneserver | nearest | onlinecp")
-		shards      = fs.Int("shards", 0, "route admission through a shard router over this many identical substrate replicas (onlinecp only; 0 = direct engine)")
+		algorithm   = fs.String("algorithm", "appro", "appro | oneserver | nearest | any registry planner (\"help\" lists them; onlinecp = Online_CP)")
+		shards      = fs.Int("shards", 0, "route admission through a shard router over this many identical substrate replicas (engine planners only; 0 = direct engine)")
 		tenant      = fs.String("tenant", "default", "tenant key for shard routing (rendezvous-hashed to a shard; only with -shards)")
 		dotPath     = fs.String("dot", "", "write the routing graph as Graphviz DOT to this file")
 		metricsAddr = fs.String("metrics-addr", "", "after solving, serve metrics over HTTP at this address until interrupted (/metrics Prometheus text, /metrics.json, /debug/pprof/)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *algorithm == "help" {
+		printAlgorithms(os.Stdout)
+		return nil
 	}
 	if *destsFlag == "" {
 		fs.Usage()
@@ -61,8 +66,9 @@ func run(args []string) error {
 	if *shards < 0 {
 		return fmt.Errorf("-shards %d must be >= 0", *shards)
 	}
-	if *shards > 0 && *algorithm != "onlinecp" {
-		return fmt.Errorf("-shards requires -algorithm onlinecp (admission routing is an online-engine feature)")
+	regName, isEngineAlg := registryName(*algorithm)
+	if *shards > 0 && !isEngineAlg {
+		return fmt.Errorf("-shards requires an engine planner (e.g. -algorithm onlinecp; admission routing is an online-engine feature)")
 	}
 
 	topo, err := buildTopology(*topoName, *nodes, *seed)
@@ -112,14 +118,14 @@ func run(args []string) error {
 	// allocates manually for them.
 	allocated := false
 	var sol *nfvmcast.Solution
-	switch *algorithm {
-	case "appro":
+	switch {
+	case *algorithm == "appro":
 		sol, err = nfvmcast.ApproMulti(nw, req, nfvmcast.Options{K: *k, Workers: *workers})
-	case "oneserver":
+	case *algorithm == "oneserver":
 		sol, err = nfvmcast.AlgOneServer(nw, req, false)
-	case "nearest":
+	case *algorithm == "nearest":
 		sol, err = nfvmcast.AlgOneServerNearest(nw, req, false)
-	case "onlinecp":
+	case isEngineAlg:
 		if *shards > 0 {
 			// Shard-routed admission: every shard owns an identical
 			// replica of the substrate (same topology, seed-identical
@@ -139,7 +145,8 @@ func run(args []string) error {
 					if berr != nil {
 						return nil, nil, berr
 					}
-					planner, berr := nfvmcast.NewCPPlanner(model)
+					planner, berr := nfvmcast.NewPlanner(regName,
+						nfvmcast.PlannerOptions{Nodes: snw.NumNodes()})
 					return snw, planner, berr
 				},
 			})
@@ -156,8 +163,8 @@ func run(args []string) error {
 			allocated = err == nil
 			break
 		}
-		var planner *nfvmcast.CPPlanner
-		planner, err = nfvmcast.NewCPPlanner(model)
+		var planner nfvmcast.Planner
+		planner, err = nfvmcast.NewPlanner(regName, nfvmcast.PlannerOptions{Nodes: nw.NumNodes()})
 		if err != nil {
 			return err
 		}
@@ -172,7 +179,7 @@ func run(args []string) error {
 		sol, err = eng.Admit(req)
 		allocated = err == nil
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algorithm)
+		return fmt.Errorf("unknown algorithm %q (run -algorithm help for the table)", *algorithm)
 	}
 	if err != nil {
 		return err
@@ -253,6 +260,40 @@ func run(args []string) error {
 		<-sig
 	}
 	return nil
+}
+
+// registryName maps the -algorithm flag to a planner-registry name,
+// keeping the historical lowercase alias, and reports whether it
+// resolves to an engine-path planner.
+func registryName(alg string) (string, bool) {
+	if alg == "onlinecp" {
+		alg = "Online_CP"
+	}
+	_, ok := nfvmcast.LookupPlanner(alg)
+	return alg, ok
+}
+
+// printAlgorithms writes the -algorithm table: the offline one-shot
+// solvers plus every planner in the policy registry.
+func printAlgorithms(w io.Writer) {
+	fmt.Fprintln(w, "offline algorithms (one-shot solve, no admission state):")
+	fmt.Fprintln(w, "  appro      Appro_Multi: the paper's 2K-approximation over server subsets (-k budget)")
+	fmt.Fprintln(w, "  oneserver  baseline: best single consolidated server")
+	fmt.Fprintln(w, "  nearest    baseline: closest eligible server to the source")
+	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "engine planners (admission through the online engine; registry names):")
+	specs := nfvmcast.Planners()
+	width := 0
+	for _, s := range specs {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range specs {
+		fmt.Fprintf(w, "  %-*s  %s\n", width, s.Name, s.Description)
+	}
+	fmt.Fprintln(w, "")
+	fmt.Fprintln(w, "alias: onlinecp = Online_CP")
 }
 
 func buildTopology(name string, n int, seed int64) (*nfvmcast.Topology, error) {

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nfvmcast"
 )
 
 func TestRunGEANT(t *testing.T) {
@@ -86,5 +88,30 @@ func TestRunDOTOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "digraph pseudomulticast") {
 		t.Fatal("DOT output missing header")
+	}
+}
+
+// TestAlgorithmHelp pins the discoverability contract: -algorithm help
+// works without any other flag and the table names every registry
+// policy plus the offline one-shot algorithms and the onlinecp alias.
+func TestAlgorithmHelp(t *testing.T) {
+	if err := run([]string{"-algorithm", "help"}); err != nil {
+		t.Fatalf("-algorithm help must not require -dest: %v", err)
+	}
+	var buf strings.Builder
+	printAlgorithms(&buf)
+	out := buf.String()
+	for _, spec := range nfvmcast.Planners() {
+		if !strings.Contains(out, spec.Name) {
+			t.Errorf("help table missing registry policy %q:\n%s", spec.Name, out)
+		}
+		if spec.Description != "" && !strings.Contains(out, spec.Description) {
+			t.Errorf("help table missing description for %q", spec.Name)
+		}
+	}
+	for _, word := range []string{"appro", "oneserver", "nearest", "onlinecp"} {
+		if !strings.Contains(out, word) {
+			t.Errorf("help table missing %q:\n%s", word, out)
+		}
 	}
 }

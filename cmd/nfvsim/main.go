@@ -72,7 +72,7 @@ func run(args []string) error {
 		return err
 	}
 	if *scenarioLs {
-		listScenarios()
+		listScenarios(os.Stdout)
 		return nil
 	}
 	if *scenarioRun != "" {
@@ -141,7 +141,7 @@ func run(args []string) error {
 	for _, name := range names {
 		c := cfg
 		switch name {
-		case "fig8", "fig9", "ablation-costmodel", "ext-churn", "ext-erlang", "ext-onlinek", "ext-reoptimize", "ext-recover":
+		case "fig8", "fig9", "ablation-costmodel", "ext-churn", "ext-erlang", "ext-onlinek", "ext-reoptimize", "ext-recover", "ext-distchain":
 			c = onlineCfg
 		}
 		if *metricsAddr != "" || *metricsDir != "" {

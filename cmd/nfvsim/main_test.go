@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"nfvmcast/internal/core"
 )
 
 func TestRunList(t *testing.T) {
@@ -142,5 +144,25 @@ func TestScenarioTenantFilter(t *testing.T) {
 	}
 	if err := run([]string{"-scenario", "multi-tenant", "-tenant", "nope"}); err == nil {
 		t.Fatal("unknown tenant accepted")
+	}
+}
+
+// TestScenarioListShowsRegistryPolicies pins -scenario-list's second
+// table: every planner-registry policy appears with its description,
+// so scenario authors discover valid "policy" values from the CLI.
+func TestScenarioListShowsRegistryPolicies(t *testing.T) {
+	var buf strings.Builder
+	listScenarios(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "planner registry") {
+		t.Fatalf("policy table header missing:\n%s", out)
+	}
+	for _, spec := range core.Planners() {
+		if !strings.Contains(out, spec.Name) {
+			t.Errorf("-scenario-list missing registry policy %q", spec.Name)
+		}
+		if spec.Description != "" && !strings.Contains(out, spec.Description) {
+			t.Errorf("-scenario-list missing description for %q", spec.Name)
+		}
 	}
 }

@@ -3,10 +3,12 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
+	"nfvmcast/internal/core"
 	"nfvmcast/internal/scenario"
 )
 
@@ -17,8 +19,8 @@ import (
 // first.
 
 // listScenarios prints the shipped scenario library.
-func listScenarios() {
-	fmt.Println("shipped scenarios (run with -scenario <name>, or pass a JSON config path):")
+func listScenarios(w io.Writer) {
+	fmt.Fprintln(w, "shipped scenarios (run with -scenario <name>, or pass a JSON config path):")
 	for _, cfg := range scenario.Library() {
 		extras := ""
 		if len(cfg.Failures) > 0 {
@@ -30,10 +32,22 @@ func listScenarios() {
 		if cfg.Shards > 1 {
 			extras += fmt.Sprintf(", %d shards", cfg.Shards)
 		}
-		fmt.Printf("  %-18s %s/%s, %gh horizon, %d tenants%s\n",
+		fmt.Fprintf(w, "  %-18s %s/%s, %gh horizon, %d tenants%s\n",
 			cfg.Name, cfg.Topology.Name, cfg.Policy, cfg.HorizonHours, len(cfg.Tenants), extras)
 	}
-	fmt.Println("  all                run the whole library")
+	fmt.Fprintln(w, "  all                run the whole library")
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "policies (a scenario's \"policy\" field; from the planner registry):")
+	specs := core.Planners()
+	width := 0
+	for _, s := range specs {
+		if len(s.Name) > width {
+			width = len(s.Name)
+		}
+	}
+	for _, s := range specs {
+		fmt.Fprintf(w, "  %-*s  %s\n", width, s.Name, s.Description)
+	}
 }
 
 // scenarioConfigs resolves the -scenario argument: "all", a library

@@ -1,6 +1,7 @@
 package nfvmcast_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"os"
@@ -276,4 +277,246 @@ func ExampleWriteTreeDOT() {
 	//   "v3" -> "v2" [style="dashed, color=gray40"];
 	//   "v2" -> "v3" [style="solid, color=blue"];
 	// }
+}
+
+// The functional-option constructors, one doc example each. The two
+// families share one convention: constructors are named With<Setting>
+// (boolean selectors like Capacitated drop the prefix), zero options
+// always means the evaluation defaults, and the type names the target
+// — a SolveOption configures one ApproMulti call, an EngineOption
+// configures an Engine at construction.
+
+func ExampleWithK() {
+	opts := nfvmcast.NewOptions(nfvmcast.WithK(2))
+	fmt.Println("K =", opts.K)
+	// Output:
+	// K = 2
+}
+
+func ExampleCapacitated() {
+	opts := nfvmcast.NewOptions(nfvmcast.Capacitated())
+	fmt.Println("capacitated =", opts.Capacitated)
+	// Output:
+	// capacitated = true
+}
+
+func ExampleWithMaxDeliveryHops() {
+	opts := nfvmcast.NewOptions(nfvmcast.WithMaxDeliveryHops(6))
+	fmt.Println("max delivery hops =", opts.MaxDeliveryHops)
+	// Output:
+	// max delivery hops = 6
+}
+
+// ExampleWithSolveWorkers pins the parallel-solve contract: the same
+// call is byte-identical at every worker count.
+func ExampleWithSolveWorkers() {
+	nw := square()
+	req := &nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{3},
+		BandwidthMbps: 50, Chain: nfvmcast.MustChain(nfvmcast.NAT),
+	}
+	seq, err := nfvmcast.ApproMulti(nw, req, nfvmcast.NewOptions(nfvmcast.WithSolveWorkers(1)))
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	par, err := nfvmcast.ApproMulti(nw, req, nfvmcast.NewOptions(nfvmcast.WithSolveWorkers(4)))
+	if err != nil {
+		fmt.Println("solve:", err)
+		return
+	}
+	fmt.Println("identical at any worker count:",
+		seq.Servers[0] == par.Servers[0] && seq.Tree.NumHops() == par.Tree.NumHops())
+	// Output:
+	// identical at any worker count: true
+}
+
+func ExampleWithWorkers() {
+	nw := square()
+	planner, _ := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+	eng := nfvmcast.NewEngine(nw, planner, nfvmcast.WithWorkers(4))
+	defer eng.Close()
+	_, err := eng.Admit(&nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{3},
+		BandwidthMbps: 10, Chain: nfvmcast.MustChain(nfvmcast.Firewall),
+	})
+	fmt.Println("admitted:", err == nil, "live:", eng.LiveCount())
+	// Output:
+	// admitted: true live: 1
+}
+
+func ExampleWithMetrics() {
+	nw := square()
+	planner, _ := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+	reg := nfvmcast.NewMetricsRegistry()
+	ring := nfvmcast.NewRingSink(8)
+	eng := nfvmcast.NewEngine(nw, planner,
+		nfvmcast.WithMetrics(nfvmcast.NewAdmissionObs(reg, planner.Name(),
+			nfvmcast.AdmissionObsOptions{Events: ring})),
+	)
+	defer eng.Close()
+	_, _ = eng.Admit(&nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{1},
+		BandwidthMbps: 10, Chain: nfvmcast.MustChain(nfvmcast.Firewall),
+	})
+	for _, ev := range ring.Events() {
+		fmt.Println("event:", ev.Type)
+	}
+	fmt.Println("admitted:", reg.CounterValues()[`nfv_admitted_total{policy="Online_CP"}`])
+	// Output:
+	// event: admit_planned
+	// event: admitted
+	// admitted: 1
+}
+
+func ExampleWithRecovery() {
+	nw := square()
+	planner, _ := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+	pol := nfvmcast.DefaultRecoveryPolicy()
+	eng := nfvmcast.NewEngine(nw, planner, nfvmcast.WithRecovery(pol))
+	defer eng.Close()
+	fmt.Printf("self-healing engine: gamma=%.1f retries=%d\n", pol.Gamma, pol.RetryBudget)
+	// Output:
+	// self-healing engine: gamma=1.5 retries=2
+}
+
+// ExampleWithRepairCostFactor sets gamma to zero, disabling local
+// repair: the session ExampleNewEngine recovers with a local re-route
+// now goes through the full re-plan path instead.
+func ExampleWithRepairCostFactor() {
+	nw := square()
+	planner, _ := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+	eng := nfvmcast.NewEngine(nw, planner,
+		nfvmcast.WithRecovery(nfvmcast.DefaultRecoveryPolicy()),
+		nfvmcast.WithRepairCostFactor(0),
+	)
+	defer eng.Close()
+	req := &nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{1, 3},
+		BandwidthMbps: 50, Chain: nfvmcast.MustChain(nfvmcast.Firewall),
+	}
+	sol, err := eng.Admit(req)
+	if err != nil {
+		fmt.Println("admit:", err)
+		return
+	}
+	var used []int
+	for e := range nfvmcast.AllocationFor(req, sol.Tree).Links {
+		used = append(used, int(e))
+	}
+	sort.Ints(used)
+	if err := eng.Update(func(n *nfvmcast.Network) error {
+		return n.SetLinkUp(nfvmcast.EdgeID(used[0]), false)
+	}); err != nil {
+		fmt.Println("update:", err)
+		return
+	}
+	for _, out := range eng.LastRecovery().Outcomes {
+		fmt.Printf("session %d: %s\n", out.RequestID, out.Mode)
+	}
+	// Output:
+	// session 1: replan
+}
+
+func ExampleWithBatchWindow() {
+	nw := square()
+	planner, _ := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(nw.NumNodes()))
+	eng := nfvmcast.NewEngine(nw, planner,
+		nfvmcast.WithWorkers(2),
+		nfvmcast.WithBatchWindow(4),
+	)
+	defer eng.Close()
+	for id := 1; id <= 3; id++ {
+		_, _ = eng.Admit(&nfvmcast.Request{
+			ID: id, Source: 0, Destinations: []nfvmcast.NodeID{3},
+			BandwidthMbps: 5, Chain: nfvmcast.MustChain(nfvmcast.Firewall),
+		})
+	}
+	fmt.Println("live:", eng.LiveCount())
+	// Output:
+	// live: 3
+}
+
+// ExampleWithJournal runs an engine's two lives: a durable engine
+// admits a session and "crashes"; a fresh engine over the same log
+// replays the outcome — no planner re-runs — back to the identical
+// admission state.
+func ExampleWithJournal() {
+	dir, err := os.MkdirTemp("", "nfvwal")
+	if err != nil {
+		fmt.Println("tmp:", err)
+		return
+	}
+	defer os.RemoveAll(dir)
+
+	first, err := nfvmcast.OpenWAL(dir, nfvmcast.WALOptions{})
+	if err != nil {
+		fmt.Println("wal:", err)
+		return
+	}
+	p1, _ := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(4))
+	eng1 := nfvmcast.NewEngine(square(), p1, nfvmcast.WithJournal(first.Journal()))
+	if _, err := eng1.Admit(&nfvmcast.Request{
+		ID: 1, Source: 0, Destinations: []nfvmcast.NodeID{3},
+		BandwidthMbps: 25, Chain: nfvmcast.MustChain(nfvmcast.Firewall),
+	}); err != nil {
+		fmt.Println("admit:", err)
+		return
+	}
+	before, _ := nfvmcast.EngineFingerprint(eng1)
+	eng1.Close()
+	first.Close()
+
+	second, err := nfvmcast.OpenWAL(dir, nfvmcast.WALOptions{})
+	if err != nil {
+		fmt.Println("reopen:", err)
+		return
+	}
+	defer second.Close()
+	p2, _ := nfvmcast.NewCPPlanner(nfvmcast.DefaultCostModel(4))
+	eng2 := nfvmcast.NewEngine(square(), p2, nfvmcast.WithJournal(second.Journal()))
+	defer eng2.Close()
+	stats, err := second.Recover(eng2)
+	if err != nil {
+		fmt.Println("recover:", err)
+		return
+	}
+	after, _ := nfvmcast.EngineFingerprint(eng2)
+	fmt.Printf("replayed %d record(s), state restored: %v\n", stats.Records, before == after)
+	// Output:
+	// replayed 1 record(s), state restored: true
+}
+
+// ExamplePlanners walks the planner registry — the single table
+// nfvmcast -algorithm, nfvsim experiment drivers, the daemon manifest
+// and scenario configs all resolve policies from.
+func ExamplePlanners() {
+	for _, spec := range nfvmcast.Planners() {
+		fmt.Println(spec.Name)
+	}
+	// Output:
+	// Appro_Multi_Cap
+	// Dist_CP
+	// Online_CP
+	// Online_CPK
+	// Reconf_CP
+	// SP
+	// SP_Static
+}
+
+// ExampleNewPlanner resolves a planner by registry name and shows the
+// typed miss: unknown names return ErrUnknownPlanner.
+func ExampleNewPlanner() {
+	nw := square()
+	p, err := nfvmcast.NewPlanner("Dist_CP", nfvmcast.PlannerOptions{Nodes: nw.NumNodes()})
+	if err != nil {
+		fmt.Println("planner:", err)
+		return
+	}
+	fmt.Println("resolved:", p.Name())
+	_, err = nfvmcast.NewPlanner("Bogus_CP", nfvmcast.PlannerOptions{Nodes: nw.NumNodes()})
+	fmt.Println("unknown name:", errors.Is(err, nfvmcast.ErrUnknownPlanner))
+	// Output:
+	// resolved: Dist_CP
+	// unknown name: true
 }

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// TestPlannersTableSortedAndComplete pins the registry's contents: the
+// built-in policies are all present, every row carries a description
+// and constructor, and the listing is name-sorted (the order every
+// policy table in the CLIs renders).
+func TestPlannersTableSortedAndComplete(t *testing.T) {
+	specs := Planners()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+		if s.Description == "" {
+			t.Errorf("planner %q has no description", s.Name)
+		}
+		if s.New == nil {
+			t.Errorf("planner %q has no constructor", s.Name)
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("Planners() not sorted: %v", names)
+	}
+	for _, want := range []string{
+		"Online_CP", "SP", "SP_Static", "Online_CPK",
+		"Appro_Multi_Cap", "Dist_CP", "Reconf_CP",
+	} {
+		if _, ok := LookupPlanner(want); !ok {
+			t.Errorf("built-in planner %q missing from registry", want)
+		}
+	}
+}
+
+// TestNewPlannerConstructsEveryRegisteredPolicy constructs every
+// registry row with defaulted options and checks the planner reports
+// its registered name — the property the obs policy labels and the
+// figure series rely on.
+func TestNewPlannerConstructsEveryRegisteredPolicy(t *testing.T) {
+	for _, spec := range Planners() {
+		p, err := NewPlanner(spec.Name, PlannerOptions{Nodes: 40})
+		if err != nil {
+			t.Fatalf("NewPlanner(%q): %v", spec.Name, err)
+		}
+		if p.Name() != spec.Name {
+			t.Errorf("NewPlanner(%q).Name() = %q", spec.Name, p.Name())
+		}
+	}
+}
+
+// TestNewPlannerUnknownName pins the typed error and its message shape
+// (the registered-names list helps operators fix manifests).
+func TestNewPlannerUnknownName(t *testing.T) {
+	_, err := NewPlanner("Bogus_CP", PlannerOptions{Nodes: 40})
+	if !errors.Is(err, ErrUnknownPlanner) {
+		t.Fatalf("err = %v, want ErrUnknownPlanner", err)
+	}
+	if !strings.Contains(err.Error(), `"Bogus_CP"`) || !strings.Contains(err.Error(), "Online_CP") {
+		t.Fatalf("error %q should name the miss and list registered planners", err)
+	}
+}
+
+// TestRegisterPlannerMisusePanics pins the fail-fast contract for
+// registration bugs: empty names, nil constructors and duplicate
+// registrations are programmer errors caught at init time, not
+// runtime lookups.
+func TestRegisterPlannerMisusePanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty name", func() {
+		RegisterPlanner(PlannerSpec{Name: "", Description: "x", New: func(PlannerOptions) (Planner, error) { return nil, nil }})
+	})
+	mustPanic("nil constructor", func() {
+		RegisterPlanner(PlannerSpec{Name: "X_CP", Description: "x"})
+	})
+	mustPanic("duplicate", func() {
+		RegisterPlanner(PlannerSpec{Name: "Online_CP", Description: "x", New: func(PlannerOptions) (Planner, error) { return nil, nil }})
+	})
+}
+
+// TestPlannersReturnsACopy mutating the returned slice must not
+// corrupt the registry.
+func TestPlannersReturnsACopy(t *testing.T) {
+	a := Planners()
+	a[0].Name = "mutated"
+	if b := Planners(); b[0].Name == "mutated" {
+		t.Fatal("Planners() exposes the registry's backing array")
+	}
+}

@@ -111,8 +111,12 @@ func OperationalCost(nw *sdn.Network, req *multicast.Request, tree *multicast.Ps
 		cost += float64(loads[e]) * req.BandwidthMbps * nw.LinkUnitCost(e)
 	}
 	demand := req.ComputeDemandMHz()
-	for _, v := range tree.Servers {
-		cost += demand * nw.ServerUnitCost(v)
+	for i, v := range tree.Servers {
+		d := demand
+		if tree.ServerDemands != nil {
+			d = tree.ServerDemands[i]
+		}
+		cost += d * nw.ServerUnitCost(v)
 	}
 	return cost
 }
@@ -127,8 +131,13 @@ func AllocationFor(req *multicast.Request, tree *multicast.PseudoTree) sdn.Alloc
 	}
 	servers := make(map[graph.NodeID]float64, len(tree.Servers))
 	demand := req.ComputeDemandMHz()
-	for _, v := range tree.Servers {
-		servers[v] = demand
+	for i, v := range tree.Servers {
+		if tree.ServerDemands != nil {
+			// Distributed placement: each host carries its own segment.
+			servers[v] += tree.ServerDemands[i]
+		} else {
+			servers[v] = demand
+		}
 	}
 	return sdn.Allocation{Links: links, Servers: servers}
 }

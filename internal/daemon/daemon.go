@@ -51,7 +51,8 @@ type Config struct {
 	Topology string `json:"topology"`
 	Nodes    int    `json:"nodes,omitempty"`
 	Seed     int64  `json:"seed"`
-	// Policy is the admission planner ("Online_CP" or "SP").
+	// Policy is the admission planner, resolved by name from the
+	// planner registry (core.Planners lists the accepted names).
 	Policy string `json:"policy"`
 	// Shards is the shard count (default 1). Workers/BatchWindow tune
 	// each shard's engine.
@@ -130,14 +131,11 @@ func buildNetwork(cfg *Config) (*sdn.Network, error) {
 }
 
 func buildPlanner(cfg *Config, n int) (core.Planner, error) {
-	switch cfg.Policy {
-	case "Online_CP":
-		return core.NewCPPlanner(core.DefaultCostModel(n))
-	case "SP":
-		return core.NewSPPlanner(), nil
-	default:
+	p, err := core.NewPlanner(cfg.Policy, core.PlannerOptions{Nodes: n})
+	if err != nil {
 		return nil, fmt.Errorf("daemon: unknown policy %q", cfg.Policy)
 	}
+	return p, nil
 }
 
 // BootStats reports what recovery did per shard at New time.
@@ -213,8 +211,8 @@ func New(cfg Config) (*Server, error) {
 		build = cfg.testBuild
 	}
 	opts := shard.Options{
-		Shards: shardIDs(cfg.Shards),
-		Build:  build,
+		Shards:      shardIDs(cfg.Shards),
+		Build:       build,
 		Workers:     cfg.Workers,
 		BatchWindow: cfg.BatchWindow,
 		Recovery:    &pol,

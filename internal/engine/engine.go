@@ -127,6 +127,13 @@ type Engine struct {
 	recArena *core.PlanArena
 	lastRec  *recov.Report
 
+	// reconf is non-nil when the planner supports drift-triggered
+	// migration of admitted sessions (core.Reconfigurer, e.g.
+	// Reconf_CP): after every successful Update mutation the writer
+	// runs one migration pass. It shares recArena as writer-owned
+	// planning scratch — recovery and reconfiguration never overlap.
+	reconf core.Reconfigurer
+
 	// journal receives state-changing outcomes before they ack (nil =
 	// durability off). Touched only on the writer goroutine.
 	journal Journal
@@ -194,6 +201,12 @@ func New(nw *sdn.Network, planner core.Planner, opts Options) *Engine {
 	if opts.Recovery != nil {
 		e.rec = recov.New(e.adm, opts.Obs, *opts.Recovery)
 		e.recArena = core.NewPlanArena()
+	}
+	if r, ok := planner.(core.Reconfigurer); ok {
+		e.reconf = r
+		if e.recArena == nil {
+			e.recArena = core.NewPlanArena()
+		}
 	}
 	go e.writer()
 	return e
@@ -479,6 +492,9 @@ func (e *Engine) updateContext(ctx context.Context, f func(nw *sdn.Network) erro
 			if rerr := e.recoverLocked(ctx); rerr != nil && err == nil {
 				err = rerr
 			}
+		}
+		if err == nil && e.reconf != nil {
+			err = e.reconfigureLocked()
 		}
 	}); xerr != nil {
 		return xerr

@@ -161,71 +161,109 @@ func requestPool(t *testing.T, n, count int, seed int64) []*multicast.Request {
 	return reqs
 }
 
-// TestEngineDeterminismOracle pins the tentpole's equivalence claim:
-// the engine in sequential mode — and at workers=4 when driven one
-// request at a time — makes byte-identical admit/reject decisions,
-// trees and costs to the direct admitters, per request, across both a
-// real (GÉANT) and a random (Waxman) topology for all four policies.
-// The metrics registry rides along: every decision counter (admitted,
-// departed, per-reason rejected) must also agree between the worker
-// counts — only mode-dependent machinery counters (snapshot clones,
-// plan invocations) may differ.
+// directOraclePolicies are the registry policies with a pre-engine
+// direct admitter to compare against; the rest of the registry is
+// checked for self-consistency across worker counts (the workers=1 run
+// is the reference).
+var directOraclePolicies = map[string]bool{
+	"Online_CP": true, "SP": true, "SP_Static": true, "Online_CPK": true,
+}
+
+// TestEngineDeterminismOracle pins the equivalence claim for every
+// policy in the planner registry: the engine in sequential mode — and
+// at workers=4 and 8 when driven one request at a time — makes
+// byte-identical admit/reject decisions, trees and costs per request,
+// across both a real (GÉANT) and a random (Waxman) topology. Policies
+// with a pre-engine direct admitter are additionally compared against
+// it decision-for-decision. The metrics registry rides along: every
+// decision counter (admitted, departed, per-reason rejected) must also
+// agree between the worker counts — only mode-dependent machinery
+// counters (snapshot clones, plan invocations) may differ.
 func TestEngineDeterminismOracle(t *testing.T) {
 	const requests = 60
 	decisionCounterPrefixes := []string{
 		"nfv_admitted_total", "nfv_rejected_total", "nfv_departed_total",
 	}
 	for _, topoName := range []string{"geant", "waxman"} {
-		for _, alg := range []string{"Online_CP", "SP", "SP_Static", "Online_CPK"} {
-			alg, topoName := alg, topoName
+		for _, spec := range core.Planners() {
+			alg, topoName := spec.Name, topoName
 			t.Run(topoName+"/"+alg, func(t *testing.T) {
 				seed := int64(7)
-				nwDirect := testNetwork(t, topoName, seed)
-				reqs := requestPool(t, nwDirect.NumNodes(), requests, seed+13)
+				nwRef := testNetwork(t, topoName, seed)
+				reqs := requestPool(t, nwRef.NumNodes(), requests, seed+13)
 
-				direct := directAdmitterFor(t, alg, nwDirect)
-				want := make([]decision, len(reqs))
-				for i, req := range reqs {
-					want[i] = captureDecision(direct.Admit(req))
+				var (
+					want                       []decision
+					wantAdmitted, wantRejected int
+					reference                  string
+				)
+				if directOraclePolicies[alg] {
+					direct := directAdmitterFor(t, alg, nwRef)
+					want = make([]decision, len(reqs))
+					for i, req := range reqs {
+						want[i] = captureDecision(direct.Admit(req))
+					}
+					wantAdmitted, wantRejected = direct.AdmittedCount(), direct.RejectedCount()
+					reference = "direct admitter"
 				}
 
-				workerCounts := []int{1, 4}
+				workerCounts := []int{1, 4, 8}
 				counters := make(map[int]map[string]uint64)
 				for _, workers := range workerCounts {
 					nw := testNetwork(t, topoName, seed)
 					reg := obs.NewRegistry()
-					eng := New(nw, plannerFor(t, alg, nw), Options{
+					planner, perr := core.NewPlanner(alg, core.PlannerOptions{Nodes: nw.NumNodes()})
+					if perr != nil {
+						t.Fatal(perr)
+					}
+					eng := New(nw, planner, Options{
 						Workers: workers,
 						Obs:     obs.NewAdmissionObs(reg, alg, obs.AdmissionObsOptions{}),
 					})
+					got := make([]decision, len(reqs))
 					for i, req := range reqs {
-						got := captureDecision(eng.Admit(req))
-						if !sameDecision(want[i], got) {
-							eng.Close()
-							t.Fatalf("workers=%d request %d: engine decision diverged from direct admitter (admitted %v vs %v)",
-								workers, i, got.admitted, want[i].admitted)
+						got[i] = captureDecision(eng.Admit(req))
+					}
+					if want == nil {
+						// No direct admitter for this policy: the sequential
+						// engine run is the reference the concurrent runs
+						// must reproduce.
+						want = got
+						wantAdmitted, wantRejected = eng.AdmittedCount(), eng.RejectedCount()
+						reference = "workers=1 engine"
+					} else {
+						for i := range reqs {
+							if !sameDecision(want[i], got[i]) {
+								eng.Close()
+								t.Fatalf("workers=%d request %d: engine decision diverged from %s (admitted %v vs %v)",
+									workers, i, reference, got[i].admitted, want[i].admitted)
+							}
 						}
 					}
-					if eng.AdmittedCount() != direct.AdmittedCount() ||
-						eng.RejectedCount() != direct.RejectedCount() {
+					if eng.AdmittedCount() != wantAdmitted || eng.RejectedCount() != wantRejected {
 						eng.Close()
-						t.Fatalf("workers=%d: counts diverged: engine %d/%d, direct %d/%d",
+						t.Fatalf("workers=%d: counts diverged: engine %d/%d, %s %d/%d",
 							workers, eng.AdmittedCount(), eng.RejectedCount(),
-							direct.AdmittedCount(), direct.RejectedCount())
+							reference, wantAdmitted, wantRejected)
 					}
-					if got := eng.obs.AdmittedCount(); got != uint64(direct.AdmittedCount()) {
+					if got := eng.obs.AdmittedCount(); got != uint64(wantAdmitted) {
 						eng.Close()
-						t.Fatalf("workers=%d: admitted counter %d != direct count %d",
-							workers, got, direct.AdmittedCount())
+						t.Fatalf("workers=%d: admitted counter %d != %s count %d",
+							workers, got, reference, wantAdmitted)
 					}
 					counters[workers] = reg.CounterValues()
 					eng.Close()
 				}
 				for series, v1 := range counters[1] {
 					for _, prefix := range decisionCounterPrefixes {
-						if strings.HasPrefix(series, prefix) && counters[4][series] != v1 {
-							t.Errorf("decision counter %s: workers=1 %d, workers=4 %d",
-								series, v1, counters[4][series])
+						if !strings.HasPrefix(series, prefix) {
+							continue
+						}
+						for _, workers := range workerCounts[1:] {
+							if counters[workers][series] != v1 {
+								t.Errorf("decision counter %s: workers=1 %d, workers=%d %d",
+									series, v1, workers, counters[workers][series])
+							}
 						}
 					}
 				}

@@ -29,6 +29,13 @@ type PseudoTree struct {
 	// Servers are the switch nodes whose attached servers run the
 	// consolidated service-chain VM (1 <= len <= K).
 	Servers []graph.NodeID
+	// ServerDemands, when non-nil, carries each serving node's own
+	// compute demand in MHz, position-aligned with Servers. Distributed
+	// chain placement (Dist_CP) splits the chain into per-server
+	// segments, so each host is charged its segment rather than the
+	// whole chain. nil keeps the paper's consolidated model: every
+	// serving node is charged the request's full chain demand.
+	ServerDemands []float64
 
 	hops    []Hop
 	hopSeen map[hopKey]struct{}

@@ -56,6 +56,7 @@ type AdmissionObs struct {
 	failures  *Counter
 	repairs   *Counter
 	repaired  map[string]*Counter
+	reconf    *Counter
 	shed      *Counter
 	live      *Gauge
 	inflight  *Gauge
@@ -120,6 +121,8 @@ func NewAdmissionObs(reg *Registry, policy string, opts AdmissionObsOptions) *Ad
 		repairs: reg.Counter("nfv_repairs_attempted_total",
 			"Live sessions a recovery pass tried to repair after a failure.", base...),
 		repaired: make(map[string]*Counter),
+		reconf: reg.Counter("nfv_reconfigurations_total",
+			"Live sessions migrated to a cheaper tree by a reconfiguration pass.", base...),
 		shed: reg.Counter("nfv_shed_total",
 			"Live sessions dropped by recovery because no residual capacity could host them.", base...),
 		live: reg.Gauge("nfv_live_sessions",
@@ -316,6 +319,25 @@ func (o *AdmissionObs) Repaired(reqID int, mode string, cost float64) {
 		c.Inc()
 	}
 	o.emit(Event{Type: Repaired, Request: reqID, Reason: mode, Cost: cost})
+}
+
+// Reconfigured records a live session migrated to a cheaper tree by a
+// reconfiguration pass, at the new tree's cost.
+func (o *AdmissionObs) Reconfigured(reqID int, servers []int, cost float64) {
+	if o == nil {
+		return
+	}
+	o.reconf.Inc()
+	o.emit(Event{Type: Reconfigured, Request: reqID, Servers: servers, Cost: cost})
+}
+
+// ReconfiguredCount returns the reconfiguration counter's value (0 on
+// nil).
+func (o *AdmissionObs) ReconfiguredCount() uint64 {
+	if o == nil {
+		return 0
+	}
+	return o.reconf.Value()
 }
 
 // SessionShed records a session recovery had to drop: its resources

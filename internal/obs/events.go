@@ -29,7 +29,11 @@ const (
 	FailureInjected EventType = "failure_injected"
 	RepairAttempted EventType = "repair_attempted"
 	Repaired        EventType = "repaired"
-	Shed            EventType = "shed"
+	// Reconfigured records a live session migrated to a cheaper tree by
+	// a drift-triggered reconfiguration pass (Reconf_CP) during
+	// Engine.Update.
+	Reconfigured EventType = "reconfigured"
+	Shed         EventType = "shed"
 	// MutationApplied records a typed maintenance batch accepted by
 	// engine.Apply — the durable form of a failure/resize script step.
 	// It appears in the write-ahead log (internal/wal), which reuses

@@ -29,6 +29,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"nfvmcast/internal/core"
 )
 
 // Config is one declarative scenario.
@@ -38,7 +40,9 @@ type Config struct {
 	// Topology names the substrate: geant, as1755, as4755, waxman or
 	// fattree (waxman takes Size nodes; the others fix their size).
 	Topology TopologySpec `json:"topology"`
-	// Policy is the admission algorithm: Online_CP, SP or SP_Static.
+	// Policy is the admission algorithm, resolved by name from the
+	// planner registry (core.Planners): Online_CP, SP, SP_Static,
+	// Online_CPK, Appro_Multi_Cap, Dist_CP, Reconf_CP.
 	Policy string `json:"policy"`
 	// Workers is the engine's planning concurrency (0/1 sequential).
 	// Decisions are identical at any value because the runner drives
@@ -205,9 +209,11 @@ var knownTopologies = map[string]bool{
 	"geant": true, "as1755": true, "as4755": true, "waxman": true, "fattree": true,
 }
 
-// policies the harness accepts.
-var knownPolicies = map[string]bool{
-	"Online_CP": true, "SP": true, "SP_Static": true,
+// knownPolicy reports whether the admission policy resolves in the
+// planner registry (core.Planners lists the accepted names).
+func knownPolicy(name string) bool {
+	_, ok := core.LookupPlanner(name)
+	return ok
 }
 
 // recovery modes the harness accepts.
@@ -234,7 +240,7 @@ func (c *Config) Validate() error {
 	if c.Topology.Name == "waxman" && c.Topology.Size < 10 {
 		return fmt.Errorf("scenario %q: waxman topology needs size >= 10, got %d", c.Name, c.Topology.Size)
 	}
-	if !knownPolicies[c.Policy] {
+	if !knownPolicy(c.Policy) {
 		return fmt.Errorf("scenario %q: unknown policy %q", c.Name, c.Policy)
 	}
 	if !positiveFinite(c.HorizonHours) {

@@ -1,0 +1,42 @@
+package scenario
+
+import (
+	"testing"
+
+	"nfvmcast/internal/core"
+)
+
+// TestEveryRegistryPolicyValidates pins the registry wiring: the
+// scenario harness accepts exactly the planner registry's names, so a
+// policy registered once is immediately usable in a config with no
+// harness change.
+func TestEveryRegistryPolicyValidates(t *testing.T) {
+	for _, spec := range core.Planners() {
+		c := base()
+		c.Policy = spec.Name
+		if err := c.Validate(); err != nil {
+			t.Errorf("registry policy %q rejected by scenario validation: %v", spec.Name, err)
+		}
+	}
+}
+
+// TestNewRegistryPoliciesRunEndToEnd drives a short scenario through
+// the two planners this registry release adds; the run must finish
+// with zero invariant violations (conservation, residual bounds and
+// event-stream consistency all hold for split-chain allocations too).
+func TestNewRegistryPoliciesRunEndToEnd(t *testing.T) {
+	for _, policy := range []string{"Dist_CP", "Reconf_CP"} {
+		c := base()
+		c.Policy = policy
+		res, err := Run(c)
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if len(res.Violations) != 0 {
+			t.Fatalf("%s: %d invariant violations: %v", policy, len(res.Violations), res.Violations)
+		}
+		if res.Admitted == 0 {
+			t.Fatalf("%s: scenario admitted nothing", policy)
+		}
+	}
+}

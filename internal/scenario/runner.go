@@ -125,18 +125,14 @@ func networkFor(cfg *Config) (*sdn.Network, error) {
 	return sdn.NewNetwork(topo, sdn.DefaultConfig(), rand.New(rand.NewSource(cfg.Seed)))
 }
 
-// plannerFor builds the scenario's admission planner.
+// plannerFor builds the scenario's admission planner from the policy
+// registry (core.Planners lists what resolves).
 func plannerFor(cfg *Config, n int) (core.Planner, error) {
-	switch cfg.Policy {
-	case "Online_CP":
-		return core.NewCPPlanner(core.DefaultCostModel(n))
-	case "SP":
-		return core.NewSPPlanner(), nil
-	case "SP_Static":
-		return core.NewSPStaticPlanner(), nil
-	default:
+	p, err := core.NewPlanner(cfg.Policy, core.PlannerOptions{Nodes: n})
+	if err != nil {
 		return nil, fmt.Errorf("scenario %q: unknown policy %q", cfg.Name, cfg.Policy)
 	}
+	return p, nil
 }
 
 // recoveryPolicy maps the config's recovery mode onto an engine

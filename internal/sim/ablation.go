@@ -178,6 +178,7 @@ var Experiments = []struct {
 	{"ext-reoptimize", "extension: batch re-placement of admitted sessions", ExtReoptimize},
 	{"ext-optgap", "extension: measured optimality gaps vs exact solutions", ExtOptGap},
 	{"ext-recover", "extension: self-healing recovery after link failures (repair vs replan)", ExtRecover},
+	{"ext-distchain", "extension: distributed chain placement & live reconfiguration (open problem)", ExtDistChain},
 }
 
 // RunExperiment runs one named experiment.

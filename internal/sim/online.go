@@ -16,18 +16,13 @@ import (
 var onlineSeries = []string{"Online_CP", "SP", "SP_Static"}
 
 // plannerFor builds the pure planning policy behind an online series
-// label.
+// label, resolved from the planner registry.
 func plannerFor(name string, nw *sdn.Network) (core.Planner, error) {
-	switch name {
-	case "Online_CP":
-		return core.NewCPPlanner(core.DefaultCostModel(nw.NumNodes()))
-	case "SP":
-		return core.NewSPPlanner(), nil
-	case "SP_Static":
-		return core.NewSPStaticPlanner(), nil
-	default:
+	p, err := core.NewPlanner(name, core.PlannerOptions{Nodes: nw.NumNodes()})
+	if err != nil {
 		return nil, fmt.Errorf("sim: unknown online algorithm %q", name)
 	}
+	return p, nil
 }
 
 // newEngine builds the admission engine every online driver runs

@@ -60,7 +60,12 @@ type HopRecord struct {
 // preserved so the restored tree is structurally identical), and both
 // costs verbatim.
 type SolutionRecord struct {
-	Servers         []int       `json:"servers"`
+	Servers []int `json:"servers"`
+	// ServerDemands, when present, is the per-server compute split of a
+	// distributed-chain placement (position-aligned with Servers); its
+	// absence means the consolidated model (full chain demand per
+	// server), so legacy logs replay unchanged.
+	ServerDemands   []float64   `json:"segd,omitempty"`
 	Hops            []HopRecord `json:"hops"`
 	OperationalCost float64     `json:"op_cost"`
 	SelectionCost   float64     `json:"sel_cost"`
@@ -120,8 +125,13 @@ func encodeSolution(sol *core.Solution) *SolutionRecord {
 	for i, h := range hops {
 		hr[i] = HopRecord{From: h.From, To: h.To, Edge: h.Edge, Processed: h.Processed}
 	}
+	var segd []float64
+	if sol.Tree.ServerDemands != nil {
+		segd = append([]float64(nil), sol.Tree.ServerDemands...)
+	}
 	return &SolutionRecord{
 		Servers:         append([]int(nil), sol.Servers...),
+		ServerDemands:   segd,
 		Hops:            hr,
 		OperationalCost: sol.OperationalCost,
 		SelectionCost:   sol.SelectionCost,
@@ -131,6 +141,9 @@ func encodeSolution(sol *core.Solution) *SolutionRecord {
 // Decode rebuilds the solution realising req.
 func (s *SolutionRecord) Decode(req *multicast.Request) *core.Solution {
 	tree := multicast.NewPseudoTree(req.Source, req.Destinations, s.Servers)
+	if len(s.ServerDemands) == len(s.Servers) && len(s.ServerDemands) > 0 {
+		tree.ServerDemands = append([]float64(nil), s.ServerDemands...)
+	}
 	for _, h := range s.Hops {
 		tree.AddHop(multicast.Hop{From: h.From, To: h.To, Edge: h.Edge, Processed: h.Processed})
 	}

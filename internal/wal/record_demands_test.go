@@ -1,0 +1,47 @@
+package wal
+
+import (
+	"reflect"
+	"testing"
+
+	"nfvmcast/internal/core"
+	"nfvmcast/internal/graph"
+	"nfvmcast/internal/multicast"
+	"nfvmcast/internal/nfv"
+)
+
+// TestSolutionRecordServerDemandsRoundTrip pins the distributed-chain
+// extension of the WAL schema: per-segment compute demands survive the
+// encode/decode round trip position-aligned with the server tuple, and
+// their absence (consolidated solutions, legacy logs) decodes to a nil
+// slice so replay charges the full chain demand exactly as before.
+func TestSolutionRecordServerDemandsRoundTrip(t *testing.T) {
+	req := &multicast.Request{
+		ID: 9, Source: 0, Destinations: []graph.NodeID{3, 5},
+		BandwidthMbps: 50,
+		Chain:         nfv.MustChain(nfv.NAT, nfv.Firewall),
+	}
+	tree := multicast.NewPseudoTree(req.Source, req.Destinations, []graph.NodeID{2, 4})
+	tree.ServerDemands = []float64{120, 330.5}
+	sol := &core.Solution{Request: req, Tree: tree, Servers: tree.Servers}
+
+	got := EncodeSolution(sol).Decode(req)
+	if !reflect.DeepEqual(got.Tree.ServerDemands, tree.ServerDemands) {
+		t.Fatalf("ServerDemands round trip = %v, want %v",
+			got.Tree.ServerDemands, tree.ServerDemands)
+	}
+
+	// Consolidated solutions stay demand-less end to end.
+	tree.ServerDemands = nil
+	if got := EncodeSolution(sol).Decode(req); got.Tree.ServerDemands != nil {
+		t.Fatalf("consolidated solution decoded demands %v, want nil", got.Tree.ServerDemands)
+	}
+
+	// A legacy/corrupt record whose demand count disagrees with the
+	// server tuple must be ignored, not half-applied.
+	rec := EncodeSolution(sol)
+	rec.ServerDemands = []float64{1}
+	if got := rec.Decode(req); got.Tree.ServerDemands != nil {
+		t.Fatalf("mismatched demand count decoded as %v, want nil", got.Tree.ServerDemands)
+	}
+}

@@ -242,6 +242,14 @@ var (
 	IsCanceled = core.IsCanceled
 )
 
+// Functional options across the façade share one convention: every
+// constructor is named With<Setting> (boolean selectors like
+// Capacitated drop the prefix), zero options always means the
+// evaluation defaults, and the option type names its target —
+// a SolveOption configures one solver call, an EngineOption
+// configures an Engine at construction. Each constructor carries a
+// runnable doc example.
+//
 // SolveOption configures ApproMulti functionally; build the Options
 // value with NewOptions. The bare Options struct remains supported,
 // but new call sites should prefer
@@ -294,6 +302,56 @@ var (
 	NewSPStaticPlanner = core.NewSPStaticPlanner
 	NewCPKPlanner      = core.NewCPKPlanner
 	NewApproCapPlanner = core.NewApproCapPlanner
+	NewDistCPPlanner   = core.NewDistCPPlanner
+	NewReconfPlanner   = core.NewReconfPlanner
+)
+
+// Planner registry: the one table every policy-by-name surface
+// resolves against — nfvmcast -algorithm, nfvsim's online drivers, the
+// daemon manifest, and scenario configs. Planners() lists the
+// registered specs in name order; NewPlanner constructs by name
+// (ErrUnknownPlanner on a miss); RegisterPlanner adds out-of-tree
+// policies at init time.
+type (
+	// PlannerSpec is one registry row: a stable policy name, a
+	// one-line description, and the constructor.
+	PlannerSpec = core.PlannerSpec
+	// PlannerOptions parameterises NewPlanner: the substrate size (for
+	// the exponential cost-model defaults) plus per-policy knobs
+	// (K, SplitLimit, Hysteresis, ...) that each constructor reads as
+	// it needs.
+	PlannerOptions = core.PlannerOptions
+	// DistCPPlanner splits a request's service chain across up to
+	// SplitLimit servers (distributed chain placement) under the same
+	// exponential cost model as Online_CP.
+	DistCPPlanner = core.DistCPPlanner
+	// ReconfPlanner wraps Online_CP and additionally migrates the
+	// worst-drifted live sessions to cheaper trees during Engine.Update
+	// when the projected saving clears its hysteresis factor.
+	ReconfPlanner = core.ReconfPlanner
+	// Reconfigurer is the capability interface the engine probes for:
+	// planners implementing it run a migration pass after every
+	// successful Update.
+	Reconfigurer = core.Reconfigurer
+)
+
+var (
+	RegisterPlanner = core.RegisterPlanner
+	Planners        = core.Planners
+	LookupPlanner   = core.LookupPlanner
+	NewPlanner      = core.NewPlanner
+)
+
+// Registry-policy defaults (overridable through PlannerOptions).
+const (
+	// DefaultSplitLimit is Dist_CP's chain-split budget.
+	DefaultSplitLimit = core.DefaultSplitLimit
+	// DefaultReconfHysteresis is Reconf_CP's migration threshold β: a
+	// session migrates only when its current price is at least β× the
+	// freshly planned tree's cost.
+	DefaultReconfHysteresis = core.DefaultReconfHysteresis
+	// DefaultReconfMigrations bounds migrations per Update pass.
+	DefaultReconfMigrations = core.DefaultReconfMigrations
 )
 
 // Admission engine (single-writer concurrency over a capacitated SDN).
@@ -305,15 +363,11 @@ type (
 	// evaluations, is never counted as a rejection, and never leaves a
 	// request half-admitted.
 	Engine = engine.Engine
-	// EngineOption configures an Engine at construction (see
-	// WithWorkers, WithMetrics, WithRecovery, WithRepairCostFactor).
+	// EngineOption configures an Engine at construction. It follows
+	// the façade-wide With<Setting> convention (see SolveOption):
+	// WithWorkers, WithMetrics, WithRecovery, WithRepairCostFactor,
+	// WithBatchWindow and WithJournal.
 	EngineOption = engine.Option
-	// EngineOptions configures an Engine as a bare struct.
-	//
-	// Deprecated: use NewEngine with EngineOption functions instead;
-	// the struct form cannot grow without breaking callers and is kept
-	// only for v0 compatibility (construct via NewEngineFromOptions).
-	EngineOptions = engine.Options
 )
 
 // Engine construction options (the v1 API).
@@ -350,14 +404,6 @@ var (
 //	    nfvmcast.WithRecovery(nfvmcast.DefaultRecoveryPolicy()))
 func NewEngine(nw *Network, planner Planner, opts ...EngineOption) *Engine {
 	return engine.NewWith(nw, planner, opts...)
-}
-
-// NewEngineFromOptions is the v0 constructor taking the bare options
-// struct.
-//
-// Deprecated: use NewEngine with EngineOption functions.
-func NewEngineFromOptions(nw *Network, planner Planner, opts EngineOptions) *Engine {
-	return engine.New(nw, planner, opts)
 }
 
 // Sharded multi-tenant admission (internal/shard): a router over N
@@ -554,6 +600,7 @@ var (
 	ErrUnreachable      = core.ErrUnreachable
 	ErrDelayBound       = core.ErrDelayBound
 	ErrUnknownRequest   = core.ErrUnknownRequest
+	ErrUnknownPlanner   = core.ErrUnknownPlanner
 	ErrEngineClosed     = engine.ErrClosed
 	ErrNoPlan           = engine.ErrNoPlan
 	ErrCommitConflict   = engine.ErrCommitConflict
